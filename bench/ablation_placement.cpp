@@ -1,0 +1,58 @@
+/// Ablation A3 (Fig 3c / §IV-D): producer/consumer placement. The paper
+/// chooses the intra-node split (4 GCDs PIConGPU + 4 GCDs MLapp per node)
+/// so streamed data mostly stays inside the node; inter-node placement is
+/// easier to schedule (Slurm) but sends everything over the fabric.
+#include <cstdio>
+
+#include "cluster/placement.hpp"
+#include "common/ascii.hpp"
+
+using namespace artsci;
+using namespace artsci::cluster;
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation A3 — intra-node vs inter-node placement (Fig 3c)\n");
+  std::printf("==============================================================\n\n");
+
+  const auto frontier = ClusterSpec::frontier();
+  const double bytesPerNode = 5.86e9;  // paper's per-node step volume
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Placement placement :
+       {Placement::kIntraNode, Placement::kInterNode}) {
+    PlacementConfig cfg;
+    cfg.placement = placement;
+    const auto cost = placementCost(frontier, cfg, bytesPerNode);
+    rows.push_back({placementName(placement),
+                    ascii::num(cost.bytesOverNic / 1e9, 2) + " GB",
+                    ascii::num(cost.bytesIntraNode / 1e9, 2) + " GB",
+                    ascii::num(cost.transferSeconds * 1e3, 1) + " ms"});
+  }
+  std::printf("%s\n",
+              ascii::table({"placement", "over NIC /node-step",
+                            "intra-node /node-step", "transfer time"},
+                           rows)
+                  .c_str());
+
+  // Sensitivity to the locality fraction the reader achieves.
+  std::printf("locality sensitivity (intra-node placement):\n\n");
+  std::vector<std::vector<std::string>> rows2;
+  for (double local : {0.5, 0.75, 0.9, 1.0}) {
+    PlacementConfig cfg;
+    cfg.placement = Placement::kIntraNode;
+    cfg.localReadFraction = local;
+    const auto cost = placementCost(frontier, cfg, bytesPerNode);
+    rows2.push_back({ascii::num(100 * local, 0) + " %",
+                     ascii::num(cost.bytesOverNic / 1e9, 2) + " GB",
+                     ascii::num(cost.transferSeconds * 1e3, 1) + " ms"});
+  }
+  std::printf("%s\n", ascii::table({"local reads", "over NIC",
+                                    "transfer time"},
+                                   rows2)
+                          .c_str());
+  std::printf(
+      "paper's choice: intra-node (4+4 GCD split); 'data exchange mostly\n"
+      "does not need to leave the node' — confirmed by the cost model.\n");
+  return 0;
+}

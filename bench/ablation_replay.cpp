@@ -1,0 +1,128 @@
+/// Ablation A1 (§V-A.1): continual-learning hyperparameters.
+///  * n_rep sweep — the paper samples up to 96 batches per streamed step
+///    and finds learning success up to ~48;
+///  * experience replay on/off — without the EP buffer the model forgets
+///    early stream phases (catastrophic forgetting on the non-steady KHI);
+///  * sqrt learning-rate scaling across rank counts.
+#include <cstdio>
+
+#include "common/ascii.hpp"
+#include "core/trainer.hpp"
+#include "ml/optim.hpp"
+
+using namespace artsci;
+
+namespace {
+
+/// A drifting synthetic stream: phase 0 emits clouds with +u drift, later
+/// phases drift negative — a caricature of the KHI's non-steady stages.
+core::Sample phaseSample(Rng& rng, int phase, long points, long specDim) {
+  const double mean = phase == 0 ? 0.7 : (phase == 1 ? 0.0 : -0.7);
+  core::Sample s;
+  s.cloud.resize(static_cast<std::size_t>(points) * 6);
+  for (long p = 0; p < points; ++p) {
+    for (int c = 0; c < 3; ++c)
+      s.cloud[static_cast<std::size_t>(p * 6 + c)] = rng.uniform(-1, 1);
+    s.cloud[static_cast<std::size_t>(p * 6 + 3)] = mean + rng.normal(0, 0.05);
+    s.cloud[static_cast<std::size_t>(p * 6 + 4)] = rng.normal(0, 0.05);
+    s.cloud[static_cast<std::size_t>(p * 6 + 5)] = rng.normal(0, 0.05);
+  }
+  s.spectrum.assign(static_cast<std::size_t>(specDim),
+                    0.5 + 0.2 * mean);
+  s.region = phase;
+  return s;
+}
+
+/// Stream 3 phases x 12 samples with n_rep training iterations per sample;
+/// returns the final loss on held-out phase-0 data (forgetting metric).
+double runStream(long nRep, std::size_t epPerBatch, double& finalLoss) {
+  auto mcfg = core::ArtificialScientistModel::Config::reduced();
+  core::TrainerConfig tcfg;
+  tcfg.ranks = 2;
+  tcfg.buffer.epPerBatch = epPerBatch;
+  core::InTransitTrainer trainer(mcfg, tcfg);
+  Rng rng(5);
+  for (int phase = 0; phase < 3; ++phase) {
+    for (int i = 0; i < 12; ++i) {
+      trainer.buffer().push(phaseSample(rng, phase, 64, mcfg.spectrumDim));
+      trainer.trainIterations(nRep);
+    }
+  }
+  finalLoss = trainer.stats().lossHistory.empty()
+                  ? 0.0
+                  : trainer.stats().lossHistory.back();
+
+  // Forgetting metric: loss on fresh phase-0 samples after the stream
+  // has moved on to phase 2.
+  Rng evalRng(77);
+  std::vector<core::Sample> oldPhase;
+  for (int i = 0; i < 8; ++i)
+    oldPhase.push_back(phaseSample(evalRng, 0, 64, mcfg.spectrumDim));
+  ml::Tensor clouds = core::batchClouds(oldPhase, 64);
+  ml::Tensor spectra = core::batchSpectra(oldPhase, mcfg.spectrumDim);
+  Rng lossRng(78);
+  return trainer.model().loss(clouds, spectra, lossRng).item();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation A1 — experience replay & n_rep (paper §IV-C, §V-A.1)\n");
+  std::printf("==============================================================\n\n");
+
+  std::printf("[1] n_rep sweep (batches trained per streamed sample)\n\n");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (long nRep : {1L, 4L, 16L, 48L}) {
+      double finalLoss = 0;
+      const double oldLoss = runStream(nRep, 4, finalLoss);
+      rows.push_back({std::to_string(nRep), ascii::num(finalLoss, 4),
+                      ascii::num(oldLoss, 4)});
+    }
+    std::printf("%s\n",
+                ascii::table({"n_rep", "final stream loss",
+                              "loss on early-phase data"},
+                             rows)
+                    .c_str());
+    std::printf("paper: more iterations per sample improve convergence up "
+                "to n_rep ~ 48\n\n");
+  }
+
+  std::printf("[2] experience replay on/off (forgetting on drifting stream)\n\n");
+  {
+    double lossWith = 0, lossWithout = 0;
+    const double oldWith = runStream(8, 4, lossWith);
+    const double oldWithout = runStream(8, 0, lossWithout);
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"with EP buffer (n_EP=4)", ascii::num(lossWith, 4),
+                    ascii::num(oldWith, 4)});
+    rows.push_back({"without EP (n_EP=0)", ascii::num(lossWithout, 4),
+                    ascii::num(oldWithout, 4)});
+    std::printf("%s\n",
+                ascii::table({"configuration", "final stream loss",
+                              "loss on early-phase data"},
+                             rows)
+                    .c_str());
+    std::printf("paper: EP avoids catastrophic forgetting of earlier time "
+                "steps\n\n");
+  }
+
+  std::printf("[3] sqrt learning-rate rule across scales\n\n");
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (long gcds : {32L, 384L, 3072L}) {
+      const double lr =
+          ml::sqrtScaledLearningRate(1e-6, gcds * 8, 8);
+      rows.push_back({std::to_string(gcds),
+                      std::to_string(gcds * 8), ascii::num(lr * 1e6, 2) +
+                          "e-6"});
+    }
+    std::printf("%s\n",
+                ascii::table({"GCDs", "total batch", "scaled LR"}, rows)
+                    .c_str());
+    std::printf("paper: base LR 1e-6 scaled by sqrt(batch); separate "
+                "l_VAE > l_INN at scale\n");
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+/// Fig 6 + §IV-B table reproduction: full-scale streaming throughput.
+///
+/// Paper setup: PIConGPU KHI producing 5.86 GB per node per step, streamed
+/// via openPMD/ADIOS2-SST to a synthetic no-op consumer; 5 steps per scale;
+/// boxplots of parallel total throughput for (a) the libfabric/CXI data
+/// plane and (b) the MPI data plane; 20-30 TB/s at full scale vs the
+/// 10 TB/s Orion filesystem and ~35 TB/s aggregate node-local SSDs.
+///
+/// Part A is a real measurement of our nanoSST engine moving actual PIC
+/// particle data between threads; Part B reproduces the Frontier-scale
+/// figure through the calibrated virtual-time data-plane models.
+#include <cstdio>
+#include <thread>
+
+#include "cluster/netsim.hpp"
+#include "common/ascii.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "openpmd/backends.hpp"
+#include "pic/khi.hpp"
+
+using namespace artsci;
+
+namespace {
+
+/// Real in-process measurement: KHI particle data -> no-op consumer.
+void measuredPart() {
+  std::printf("[A] Measured: nanoSST in-process staging, KHI particle data\n");
+  std::printf("    producer: PIC KHI (%s), consumer: no-op (discards data)\n\n",
+              "32x64x8 cells, 4 ppc");
+
+  pic::KhiConfig kcfg;
+  kcfg.grid = pic::GridSpec{32, 64, 8, 0.25, 0.25, 0.25};
+  kcfg.dt = 0.1;
+  kcfg.particlesPerCell = 4;
+  pic::SimulationConfig sc;
+  sc.grid = kcfg.grid;
+  sc.dt = kcfg.dt;
+  pic::Simulation sim(sc);
+  const auto sp = pic::initializeKhi(sim, kcfg);
+  const auto& e = sim.species(sp.electrons);
+
+  auto engine =
+      std::make_shared<stream::SstEngine>(stream::SstParams{1, 1, 2});
+  const long n = static_cast<long>(e.size());
+
+  std::thread producer([&] {
+    auto writer = engine->makeWriter(0);
+    for (int step = 0; step < 5; ++step) {
+      sim.step();
+      writer.beginStep();
+      const std::vector<const std::vector<double>*> columns{
+          &e.x, &e.y, &e.z, &e.ux, &e.uy, &e.uz};
+      for (std::size_t c = 0; c < columns.size(); ++c) {
+        stream::Block b;
+        b.offset = {static_cast<long>(c) * n};
+        b.extent = {n};
+        b.payload = *columns[c];
+        writer.put("particles", std::move(b), {6 * n});
+      }
+      writer.endStep();
+    }
+    writer.close();
+  });
+
+  std::vector<double> throughputs;
+  {
+    auto reader = engine->makeReader(0);
+    while (auto step = reader.beginStep()) {
+      Timer t;
+      std::size_t bytes = 0;
+      for (const auto* b : reader.myBlocks(*step, "particles")) {
+        // "no-op consumer ... only discards received data": we touch the
+        // payload once (checksum) to force the read.
+        double sum = 0;
+        for (double v : b->payload) sum += v;
+        (void)sum;
+        bytes += b->bytes();
+      }
+      reader.endStep();
+      throughputs.push_back(static_cast<double>(bytes) / t.seconds() / 1e9);
+    }
+  }
+  producer.join();
+
+  const auto box = stats::boxplot(throughputs);
+  std::printf("    consumer ingest throughput [GB/s]: %s\n\n",
+              stats::formatBoxPlot(box).c_str());
+}
+
+void modeledPart() {
+  const auto frontier = cluster::ClusterSpec::frontier();
+  cluster::StreamStepConfig scfg;  // 5.86 GB/node/step, paper defaults
+
+  std::printf(
+      "[B] Modeled: Frontier scale, 5.86 GB/node/step, 5 steps per point\n\n");
+
+  const std::vector<long> nodeCounts{4096, 8192, 9126};
+  const std::vector<cluster::DataPlaneModel> planes{
+      cluster::DataPlaneModel::libfabricAllAtOnce(),
+      cluster::DataPlaneModel::libfabricBatched(10),
+      cluster::DataPlaneModel::mpi()};
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto& plane : planes) {
+    for (long nodes : nodeCounts) {
+      Rng rng(static_cast<std::uint64_t>(nodes) * 31 + 7);
+      const auto series =
+          cluster::simulateStreamSeries(frontier, nodes, plane, scfg, 5, rng);
+      if (series.empty()) {
+        rows.push_back({plane.name, std::to_string(nodes),
+                        "did not scale (DNS)", "-", "-"});
+        continue;
+      }
+      const auto box = stats::boxplot(series);
+      const double perNodeMin = box.min / static_cast<double>(nodes) / 1e9;
+      const double perNodeMax = box.max / static_cast<double>(nodes) / 1e9;
+      const double stepMin = scfg.bytesPerNode / (perNodeMax * 1e9);
+      const double stepMax = scfg.bytesPerNode / (perNodeMin * 1e9);
+      rows.push_back(
+          {plane.name, std::to_string(nodes),
+           ascii::num(box.min / 1e12, 1) + " - " +
+               ascii::num(box.max / 1e12, 1) + " TB/s [med " +
+               ascii::num(box.median / 1e12, 1) + "]",
+           ascii::num(perNodeMin, 1) + " - " + ascii::num(perNodeMax, 1) +
+               " GB/s",
+           ascii::num(stepMin, 1) + " - " + ascii::num(stepMax, 1) + " s"});
+    }
+  }
+  std::printf("%s\n",
+              ascii::table({"data plane", "nodes", "total throughput",
+                            "per-node", "step time"},
+                           rows)
+                  .c_str());
+
+  std::printf("reference lines (paper):\n");
+  std::printf("  Orion parallel filesystem : %.0f TB/s\n",
+              frontier.filesystemBandwidth / 1e12);
+  std::printf("  node-local SSD aggregate  : %.0f TB/s\n",
+              frontier.nodeSsdAggregateBandwidth / 1e12);
+  std::printf("  single Slingshot NIC      : %.0f GB/s per node\n",
+              frontier.node.nicBandwidth / 1e9);
+  std::printf(
+      "\npaper values: libfabric 3.5-4.7 GB/s/node @4096 (DNS at full "
+      "scale),\n  batched 1.9-2.6 GB/s/node @9126, MPI 2.6-3.7 @4096 -> "
+      "2.4-3.3 @9126;\n  totals 10.5-29.5 TB/s; step times 1.2-3.2 s\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==============================================================\n");
+  std::printf("Fig 6 — parallel streaming throughput at full scale\n");
+  std::printf("==============================================================\n\n");
+  measuredPart();
+  modeledPart();
+  return 0;
+}

@@ -1,0 +1,128 @@
+/// Fig 8 reproduction: weak scaling of the in-transit training.
+///
+/// Paper: 8 -> 96 Frontier nodes (32 -> 384 GCDs), batch 8 per GCD;
+/// single-batch times averaged after removing > 4 sigma outliers;
+/// efficiency relative to the smallest size falls to ~35 % at 96 nodes,
+/// with ~30 % of the deficit attributed to the DDP all-reduce and the
+/// rest to the replicated MMD computation with its graph-breaking
+/// all-gather.
+#include <cstdio>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "cluster/collectives.hpp"
+#include "common/ascii.hpp"
+#include "common/stats.hpp"
+#include "common/timer.hpp"
+#include "core/trainer.hpp"
+
+using namespace artsci;
+
+namespace {
+
+core::Sample syntheticSample(Rng& rng, long points, long specDim) {
+  core::Sample s;
+  s.cloud.resize(static_cast<std::size_t>(points) * 6);
+  for (auto& v : s.cloud) v = rng.normal(0, 0.4);
+  s.spectrum.resize(static_cast<std::size_t>(specDim));
+  for (auto& v : s.spectrum) v = 0.4 + rng.normal(0, 0.05);
+  s.region = 0;
+  return s;
+}
+
+/// Mean per-batch time for a rank count (real thread-DDP training).
+/// OpenMP inside the op kernels is disabled (see main) so the rank
+/// threads are the only parallelism (one "GCD" = one core, as in the
+/// paper's GCD mapping).
+double measuredBatchSeconds(std::size_t ranks, long iterations) {
+  core::TrainerConfig tcfg;
+  tcfg.ranks = ranks;
+  auto mcfg = core::ArtificialScientistModel::Config::reduced();
+  core::InTransitTrainer trainer(mcfg, tcfg);
+  Rng rng(17);
+  for (int i = 0; i < 30; ++i)
+    trainer.buffer().push(syntheticSample(rng, 64, mcfg.spectrumDim));
+  trainer.trainIterations(2);  // warm-up
+  std::vector<double> times;
+  for (long it = 0; it < iterations; ++it) {
+    Timer t;
+    trainer.trainIterations(1);
+    times.push_back(t.seconds());
+  }
+  // The paper removes > 4 sigma outliers before averaging.
+  return stats::mean(stats::removeOutliers(times, 4.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // The measured part maps one rank thread to one "GCD", so OpenMP inside
+  // the kernels must be off. libgomp fixes its thread count from the
+  // environment at process start (later setenv calls don't reach rank
+  // threads), so re-exec once with OMP_NUM_THREADS=1.
+#ifdef _OPENMP
+  if (getenv("ARTSCI_FIG8_CHILD") == nullptr) {
+    setenv("OMP_NUM_THREADS", "1", 1);
+    setenv("ARTSCI_FIG8_CHILD", "1", 1);
+    execv("/proc/self/exe", argv);
+    // exec failed (no procfs?): continue with a best-effort setting.
+    omp_set_num_threads(1);
+  }
+#endif
+  (void)argc;
+  std::printf("==============================================================\n");
+  std::printf("Fig 8 — weak scaling of in-transit training (efficiency %%)\n");
+  std::printf("==============================================================\n\n");
+
+  std::printf("[A] Measured: thread-rank DDP on this machine, batch 8/rank,\n");
+  std::printf("    reduced model preset, >4-sigma outliers removed\n\n");
+  {
+    std::vector<std::vector<std::string>> rows;
+    double t1 = 0;
+    for (std::size_t ranks : {1u, 2u, 4u, 8u}) {
+      const double t = measuredBatchSeconds(ranks, 10);
+      if (ranks == 1) t1 = t;
+      rows.push_back({std::to_string(ranks),
+                      ascii::num(t * 1e3, 2) + " ms",
+                      ascii::num(100.0 * t1 / t, 1) + " %"});
+    }
+    std::printf("%s\n",
+                ascii::table({"ranks", "per-batch time", "efficiency"}, rows)
+                    .c_str());
+  }
+
+  std::printf("[B] Modeled: Frontier 8 -> 96 nodes (32 -> 384 GCDs),\n");
+  std::printf("    paper-scale model (~4.3M params, 17.2 MB gradients)\n\n");
+  const auto frontier = cluster::ClusterSpec::frontier();
+  const cluster::TrainingScalingModel model;
+  std::vector<double> nodesAxis, effSeries;
+  std::vector<std::vector<std::string>> rows;
+  for (long gcds : {32L, 64L, 96L, 128L, 192L, 256L, 320L, 384L}) {
+    const auto cost = cluster::trainingBatchCost(frontier, gcds, model);
+    const double eff =
+        100.0 * cluster::trainingEfficiency(frontier, gcds, model);
+    nodesAxis.push_back(static_cast<double>(gcds) / 4.0);  // nodes
+    effSeries.push_back(eff);
+    rows.push_back({std::to_string(gcds / 4), std::to_string(gcds),
+                    ascii::num(cost.total * 1e3, 1) + " ms",
+                    ascii::num(cost.allReduceExposed * 1e3, 1) + " ms",
+                    ascii::num(cost.mmd * 1e3, 1) + " ms",
+                    ascii::num(eff, 1) + " %"});
+  }
+  std::printf("%s\n",
+              ascii::table({"nodes", "GCDs", "batch time", "allreduce",
+                            "MMD (replicated)", "efficiency"},
+                           rows)
+                  .c_str());
+  std::printf("%s\n",
+              ascii::plot(nodesAxis, {{"efficiency [%]", effSeries, '*'}},
+                          72, 16, false, false,
+                          "Fig 8 shape: efficiency vs nodes")
+                  .c_str());
+  std::printf(
+      "paper: ~100%% at 8 nodes falling to ~35%% at 96 nodes; all-reduce\n"
+      "accounts for ~30%% deficit, MMD's replicated work for the rest\n");
+  return 0;
+}

@@ -1,0 +1,128 @@
+/// Fig 9 reproduction: predictive capability of the in-transit trained
+/// model. Trains the Artificial Scientist on a live streamed KHI
+/// simulation, then compares per region (approaching / receding / vortex):
+///   (a) radiation spectra — ground truth vs INN forward prediction,
+///   (b) ground-truth momentum (u_x) distributions,
+///   (c) ML-predicted momentum distributions from inverted spectra,
+/// plus the latent-space region classification the paper argues for.
+#include <cstdio>
+#include <thread>
+
+#include "common/ascii.hpp"
+#include "common/config.hpp"
+#include "core/evaluate.hpp"
+#include "core/pipeline.hpp"
+#include "radiation/detector.hpp"
+
+using namespace artsci;
+
+int main(int argc, char** argv) {
+  const Config cli = Config::fromArgs(argc, argv);
+  std::printf("==============================================================\n");
+  std::printf("Fig 9 — inversion: radiation spectra -> momentum distributions\n");
+  std::printf("==============================================================\n\n");
+
+  auto cfg = core::PipelineConfig::quickDemo();
+  cfg.producer.khi.grid = pic::GridSpec{16, 32, 4, 0.25, 0.25, 0.25};
+  cfg.producer.warmupSteps = 5;
+  cfg.producer.totalSteps = cli.getInt("steps", 70);
+  cfg.producer.streamEvery = 2;
+  cfg.nRep = cli.getInt("nrep", 6);
+  cfg.trainer.ranks = static_cast<std::size_t>(cli.getInt("ranks", 2));
+  cfg.trainer.baseLearningRate = cli.getDouble("lr", 4e-4);
+
+  std::printf("training in-transit: %ld PIC steps, n_rep=%ld, %zu DDP ranks\n",
+              cfg.producer.totalSteps, cfg.nRep, cfg.trainer.ranks);
+  auto run = core::runPipeline(cfg);
+  const auto& hist = run.result.train.lossHistory;
+  std::printf("streamed %ld iterations (%zu samples, %.1f MB); trained %ld "
+              "batches\n",
+              run.result.iterationsStreamed, run.result.samplesReceived,
+              static_cast<double>(run.result.bytesStreamed) / 1e6,
+              run.result.train.iterations);
+  if (!hist.empty()) {
+    std::printf("loss: first %.4f -> last %.4f\n\n", hist.front(),
+                hist.back());
+  }
+
+  // Held-out ground truth from a fresh simulation seed.
+  core::ProducerConfig pcfg = cfg.producer;
+  pcfg.seed = 555;
+  pcfg.totalSteps = 12;
+  pcfg.streamEvery = 4;
+  auto pEng = std::make_shared<stream::SstEngine>(stream::SstParams{1, 1, 4});
+  auto rEng = std::make_shared<stream::SstEngine>(stream::SstParams{1, 1, 4});
+  core::KhiStreamProducer producer(pcfg, pEng, rEng);
+  std::thread producerThread([&] { producer.run(); });
+  openpmd::Series pRead("particles", openpmd::Access::kRead,
+                        openpmd::StreamBackend::forReader(pEng, 0));
+  openpmd::Series rRead("radiation", openpmd::Access::kRead,
+                        openpmd::StreamBackend::forReader(rEng, 0));
+  std::vector<core::Sample> groundTruth;
+  for (;;) {
+    auto itP = pRead.readNextIteration();
+    auto itR = rRead.readNextIteration();
+    if (!itP || !itR) break;
+    for (int r = 0; r < 3; ++r) {
+      if (!itP->data.count(core::cloudPath(r))) continue;
+      core::Sample s;
+      s.cloud = itP->data.at(core::cloudPath(r));
+      s.spectrum = itR->data.at(core::spectrumPath(r));
+      s.region = r;
+      groundTruth.push_back(std::move(s));
+    }
+  }
+  producerThread.join();
+
+  Rng rng(41);
+  core::EvaluationConfig ecfg;
+  ecfg.inversionDraws = 12;
+  const auto evals = core::evaluateInversion(
+      run.trainer->model(), cfg.producer.transform, groundTruth, ecfg, rng);
+
+  const auto freqs = radiation::logFrequencyAxis(
+      cfg.producer.omegaMin, cfg.producer.omegaMax,
+      cfg.producer.frequencyCount);
+
+  for (const auto& e : evals) {
+    std::printf("--- region: %s ---------------------------------------\n",
+                pic::khiRegionName(e.region));
+    std::printf("%s\n",
+                ascii::plot(freqs,
+                            {{"ground truth (normalized)", e.spectrumTruth,
+                              '#'},
+                             {"ML prediction", e.spectrumPred, '+'}},
+                            70, 12, /*logX=*/true, /*logY=*/false,
+                            "(a) radiation spectrum vs omega/omega_pe")
+                    .c_str());
+    std::printf("(b) ground-truth momentum u_x (charge density, log bars)\n%s\n",
+                e.momentumTruth.renderAscii(46, true).c_str());
+    std::printf("(c) ML-predicted momentum u_x from inverted spectra\n%s\n",
+                e.momentumPred.renderAscii(46, true).c_str());
+    std::printf("mean u_x: truth %+0.4f  predicted %+0.4f\n",
+                e.meanTruth, e.meanPred);
+    const auto peaks = e.momentumPred.findPeaks(0.25, 4);
+    std::printf("predicted distribution peaks: %zu%s\n\n", peaks.size(),
+                e.region == pic::KhiRegion::kVortex
+                    ? "  (paper: vortex region shows two populations)"
+                    : "");
+  }
+
+  // Region classification from the latent space.
+  const std::size_t half = groundTruth.size() / 2;
+  std::vector<core::Sample> train(groundTruth.begin(),
+                                  groundTruth.begin() + half);
+  std::vector<core::Sample> test(groundTruth.begin() + half,
+                                 groundTruth.end());
+  if (!train.empty() && !test.empty()) {
+    const double acc = core::latentRegionClassificationAccuracy(
+        run.trainer->model(), train, test);
+    std::printf("latent nearest-centroid region classification: %.0f %% "
+                "(chance 33 %%)\n",
+                100.0 * acc);
+  }
+  std::printf(
+      "\npaper: momentum distributions of bulk regions reconstruct well;\n"
+      "vortex region shows two populations; regions classify unambiguously\n");
+  return 0;
+}

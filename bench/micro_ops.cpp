@@ -1,0 +1,151 @@
+/// Micro-benchmarks (google-benchmark) of the hot kernels across the
+/// stack: tensor ops, the losses of Eq.(1), the PIC inner loops and the
+/// radiation kernel. These guard against performance regressions in the
+/// substrate and calibrate the bench harness constants.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "ml/coupling.hpp"
+#include "ml/layers.hpp"
+#include "ml/losses.hpp"
+#include "pic/deposit.hpp"
+#include "pic/interpolate.hpp"
+#include "pic/pusher.hpp"
+#include "radiation/detector.hpp"
+
+using namespace artsci;
+using namespace artsci::ml;
+
+namespace {
+
+void BM_Matmul(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ChamferDistance(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(2);
+  Tensor a = Tensor::randn({4, n, 6}, rng);
+  Tensor b = Tensor::randn({4, n, 6}, rng);
+  for (auto _ : state) {
+    Tensor c = chamferDistance(a, b);
+    benchmark::DoNotOptimize(c.item());
+  }
+  state.SetItemsProcessed(state.iterations() * 4 * n * n);
+}
+BENCHMARK(BM_ChamferDistance)->Arg(128)->Arg(512);
+
+void BM_MmdImq(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(3);
+  Tensor x = Tensor::randn({n, 32}, rng);
+  Tensor y = Tensor::randn({n, 32}, rng);
+  for (auto _ : state) {
+    Tensor m = mmdInverseMultiquadratic(x, y);
+    benchmark::DoNotOptimize(m.item());
+  }
+}
+BENCHMARK(BM_MmdImq)->Arg(32)->Arg(128);
+
+void BM_EncoderForward(benchmark::State& state) {
+  Rng rng(4);
+  PointNetEncoder::Config cfg;
+  cfg.channels = {6, 16, 32, 64};
+  cfg.headHidden = 64;
+  cfg.latentDim = 64;
+  PointNetEncoder enc(cfg, rng);
+  Tensor x = Tensor::randn({8, 128, 6}, rng);
+  for (auto _ : state) {
+    auto m = enc.forward(x);
+    benchmark::DoNotOptimize(m.mu.data().data());
+  }
+}
+BENCHMARK(BM_EncoderForward);
+
+void BM_InnForwardInverse(benchmark::State& state) {
+  Rng rng(5);
+  Inn::Config cfg;
+  cfg.dim = 64;
+  cfg.blocks = 4;
+  cfg.hidden = {48, 48};
+  Inn inn(cfg, rng);
+  Tensor x = Tensor::randn({8, 64}, rng);
+  for (auto _ : state) {
+    Tensor y = inn.forward(x);
+    Tensor back = inn.inverse(y);
+    benchmark::DoNotOptimize(back.data().data());
+  }
+}
+BENCHMARK(BM_InnForwardInverse);
+
+void BM_BorisPush(benchmark::State& state) {
+  Vec3d u{0.1, 0.05, -0.02};
+  const Vec3d E{0.01, 0.0, 0.02}, B{0.0, 0.0, 1.0};
+  for (auto _ : state) {
+    u = pic::borisPush(u, E, B, -1.0, 0.05);
+    benchmark::DoNotOptimize(u);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BorisPush);
+
+void BM_EsirkepovDeposit(benchmark::State& state) {
+  pic::GridSpec g{16, 16, 16, 0.2, 0.2, 0.2};
+  pic::VectorField J(g);
+  Rng rng(6);
+  for (auto _ : state) {
+    const double x0 = rng.uniform(2, 14), y0 = rng.uniform(2, 14),
+                 z0 = rng.uniform(2, 14);
+    pic::depositCurrentEsirkepov(J, g, x0, y0, z0, x0 + 0.3, y0 - 0.2,
+                                 z0 + 0.1, -1.0, 0.1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EsirkepovDeposit);
+
+void BM_FieldGather(benchmark::State& state) {
+  pic::GridSpec g{32, 32, 32, 0.2, 0.2, 0.2};
+  pic::VectorField E(g);
+  E.x.fill(1.0);
+  Rng rng(7);
+  for (auto _ : state) {
+    const Vec3d e = pic::gatherE(E, rng.uniform(1, 31), rng.uniform(1, 31),
+                                 rng.uniform(1, 31));
+    benchmark::DoNotOptimize(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FieldGather);
+
+void BM_RadiationKernel(benchmark::State& state) {
+  const long particles = state.range(0);
+  radiation::DetectorConfig cfg;
+  cfg.directions = {Vec3d{1, 0, 0}};
+  cfg.frequencies = radiation::logFrequencyAxis(0.1, 100.0, 32);
+  radiation::SpectralAccumulator acc(cfg);
+  pic::GridSpec grid{16, 16, 16, 0.2, 0.2, 0.2};
+  pic::ParticleBuffer p({-1.0, 1.0, "e"});
+  Rng rng(8);
+  for (long i = 0; i < particles; ++i)
+    p.push({rng.uniform(0, 16), rng.uniform(0, 16), rng.uniform(0, 16)},
+           {rng.normal(0, 0.2), rng.normal(0, 0.2), 0}, 1.0);
+  std::vector<double> bd(p.size(), 0.01);
+  for (auto _ : state) {
+    acc.accumulate(p, bd, bd, bd, 1.0, 0.1, grid);
+  }
+  state.SetItemsProcessed(state.iterations() * particles * 32);
+}
+BENCHMARK(BM_RadiationKernel)->Arg(256)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

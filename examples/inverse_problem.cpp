@@ -1,0 +1,89 @@
+/// The scientific payload: train in-transit, checkpoint the model, reload
+/// it, and solve the ill-posed inverse problem — sample particle
+/// distributions that explain an observed radiation spectrum.
+///
+///   ./examples/inverse_problem [steps=60] [nrep=6] [ckpt=/tmp/artsci.ckpt]
+#include <cstdio>
+#include <thread>
+
+#include "common/config.hpp"
+#include "core/evaluate.hpp"
+#include "core/pipeline.hpp"
+#include "ml/serialize.hpp"
+
+int main(int argc, char** argv) {
+  using namespace artsci;
+  const Config cli = Config::fromArgs(argc, argv);
+  const std::string ckpt = cli.getString("ckpt", "/tmp/artsci_model.ckpt");
+
+  auto cfg = core::PipelineConfig::quickDemo();
+  cfg.producer.totalSteps = cli.getInt("steps", 60);
+  cfg.nRep = cli.getInt("nrep", 6);
+  cfg.trainer.baseLearningRate = cli.getDouble("lr", 4e-4);
+
+  std::printf("[1] in-transit training on a live KHI simulation...\n");
+  auto run = core::runPipeline(cfg);
+  std::printf("    %ld batches trained; loss %.4f -> %.4f\n\n",
+              run.result.train.iterations,
+              run.result.train.lossHistory.front(),
+              run.result.train.lossHistory.back());
+
+  // Checkpoint (the one deliberate file write in the workflow).
+  std::printf("[2] checkpointing model to %s\n", ckpt.c_str());
+  ml::saveParameters(ckpt, run.trainer->model().parameters());
+
+  // Reload into a fresh model to prove the checkpoint is complete.
+  Rng initRng(1);
+  core::ArtificialScientistModel restored(cfg.model, initRng);
+  auto params = restored.parameters();
+  ml::loadParameters(ckpt, params);
+  std::printf("    restored %ld parameters\n\n", restored.parameterCount());
+
+  // Fresh ground truth to invert.
+  std::printf("[3] generating held-out spectra from a fresh simulation...\n");
+  core::ProducerConfig pcfg = cfg.producer;
+  pcfg.seed = 31337;
+  pcfg.totalSteps = 10;
+  pcfg.streamEvery = 5;
+  auto pEng = std::make_shared<stream::SstEngine>(stream::SstParams{1, 1, 4});
+  auto rEng = std::make_shared<stream::SstEngine>(stream::SstParams{1, 1, 4});
+  core::KhiStreamProducer producer(pcfg, pEng, rEng);
+  std::thread producerThread([&] { producer.run(); });
+  openpmd::Series pRead("particles", openpmd::Access::kRead,
+                        openpmd::StreamBackend::forReader(pEng, 0));
+  openpmd::Series rRead("radiation", openpmd::Access::kRead,
+                        openpmd::StreamBackend::forReader(rEng, 0));
+  std::vector<core::Sample> samples;
+  for (;;) {
+    auto itP = pRead.readNextIteration();
+    auto itR = rRead.readNextIteration();
+    if (!itP || !itR) break;
+    for (int r = 0; r < 3; ++r) {
+      if (!itP->data.count(core::cloudPath(r))) continue;
+      core::Sample s;
+      s.cloud = itP->data.at(core::cloudPath(r));
+      s.spectrum = itR->data.at(core::spectrumPath(r));
+      s.region = r;
+      samples.push_back(std::move(s));
+    }
+  }
+  producerThread.join();
+  std::printf("    %zu (cloud, spectrum) pairs collected\n\n",
+              samples.size());
+
+  std::printf("[4] inverting spectra with the restored model...\n\n");
+  Rng rng(7);
+  core::EvaluationConfig ecfg;
+  ecfg.inversionDraws = 12;
+  const auto evals = core::evaluateInversion(
+      restored, cfg.producer.transform, samples, ecfg, rng);
+  for (const auto& e : evals) {
+    std::printf("  region %-12s  mean u_x: truth %+0.4f  predicted %+0.4f\n",
+                pic::khiRegionName(e.region), e.meanTruth, e.meanPred);
+  }
+  std::printf(
+      "\nThe ill-posedness is explicit: every inversion call draws new\n"
+      "posterior samples N~N(0,1); the distribution over draws (not a\n"
+      "single answer) is the model's reconstruction of the dynamics.\n");
+  return 0;
+}

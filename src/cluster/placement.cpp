@@ -1,0 +1,52 @@
+#include "cluster/placement.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace artsci::cluster {
+
+const char* placementName(Placement placement) {
+  switch (placement) {
+    case Placement::kIntraNode:
+      return "intra-node (shared nodes, 4+4 GCDs)";
+    case Placement::kInterNode:
+      return "inter-node (disjoint node sets)";
+  }
+  return "?";
+}
+
+PlacementCost placementCost(const ClusterSpec& cluster,
+                            const PlacementConfig& cfg,
+                            double bytesPerNode) {
+  ARTSCI_EXPECTS(bytesPerNode >= 0);
+  ARTSCI_EXPECTS(cfg.producerGcdsPerNode + cfg.consumerGcdsPerNode <=
+                 cluster.node.gcdsPerNode);
+  PlacementCost cost;
+  const double nicTotal = cluster.node.nicBandwidth *
+                          static_cast<double>(cluster.node.nicsPerNode);
+  switch (cfg.placement) {
+    case Placement::kIntraNode: {
+      cost.bytesIntraNode = bytesPerNode * cfg.localReadFraction;
+      cost.bytesOverNic = bytesPerNode * (1.0 - cfg.localReadFraction);
+      // Each consumer GCD pulls from its paired producer GCD over its own
+      // in-package link, so the local paths run in parallel.
+      const double localBw = cluster.node.intraNodeBandwidth *
+                             static_cast<double>(cfg.consumerGcdsPerNode);
+      const double tLocal = cost.bytesIntraNode / localBw;
+      const double tNic = cost.bytesOverNic / nicTotal;
+      // Local and remote traffic overlap; the slower path dominates.
+      cost.transferSeconds = std::max(tLocal, tNic);
+      break;
+    }
+    case Placement::kInterNode: {
+      cost.bytesOverNic = bytesPerNode;
+      cost.bytesIntraNode = 0;
+      cost.transferSeconds = bytesPerNode / nicTotal;
+      break;
+    }
+  }
+  return cost;
+}
+
+}  // namespace artsci::cluster

@@ -1,0 +1,36 @@
+/// \file placement.hpp
+/// Producer/consumer placement strategies (paper Fig 3c and §IV-D):
+/// intra-node shares every node between PIConGPU (4 GCDs) and the MLapp
+/// (4 GCDs) so streamed data rarely leaves the node; inter-node gives
+/// whole nodes to one application and all traffic crosses the fabric.
+#pragma once
+
+#include "cluster/topology.hpp"
+
+namespace artsci::cluster {
+
+enum class Placement { kIntraNode, kInterNode };
+
+struct PlacementConfig {
+  Placement placement = Placement::kIntraNode;  ///< the paper's choice
+  int producerGcdsPerNode = 4;  ///< intra-node split (paper: 4 + 4)
+  int consumerGcdsPerNode = 4;
+  /// Fraction of reads the reader schedules against local blocks when
+  /// co-located (openPMD/ADIOS readers choose which blocks to load).
+  double localReadFraction = 0.9;
+};
+
+struct PlacementCost {
+  double bytesOverNic = 0;     ///< per node-step
+  double bytesIntraNode = 0;   ///< per node-step
+  double transferSeconds = 0;  ///< per step (bottleneck path)
+};
+
+/// Estimate the per-step transfer cost of moving `bytesPerNode` from
+/// producer to consumer under a placement.
+PlacementCost placementCost(const ClusterSpec& cluster,
+                            const PlacementConfig& cfg, double bytesPerNode);
+
+const char* placementName(Placement placement);
+
+}  // namespace artsci::cluster

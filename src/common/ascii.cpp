@@ -1,0 +1,120 @@
+#include "common/ascii.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace artsci::ascii {
+
+namespace {
+double toAxis(double v, bool logScale) {
+  if (!logScale) return v;
+  return std::log10(std::max(v, 1e-300));
+}
+}  // namespace
+
+std::string plot(const std::vector<double>& x, const std::vector<Series>& ys,
+                 std::size_t width, std::size_t height, bool logX, bool logY,
+                 const std::string& title) {
+  ARTSCI_EXPECTS(!x.empty());
+  ARTSCI_EXPECTS(width >= 8 && height >= 4);
+  for (const auto& s : ys) ARTSCI_EXPECTS(s.y.size() == x.size());
+
+  double xmin = std::numeric_limits<double>::infinity(), xmax = -xmin;
+  double ymin = xmin, ymax = -xmin;
+  for (double v : x) {
+    const double a = toAxis(v, logX);
+    xmin = std::min(xmin, a);
+    xmax = std::max(xmax, a);
+  }
+  for (const auto& s : ys) {
+    for (double v : s.y) {
+      const double a = toAxis(v, logY);
+      ymin = std::min(ymin, a);
+      ymax = std::max(ymax, a);
+    }
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> canvas(height, std::string(width, ' '));
+  for (const auto& s : ys) {
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double ax = toAxis(x[i], logX);
+      const double ay = toAxis(s.y[i], logY);
+      auto cx = static_cast<std::size_t>((ax - xmin) / (xmax - xmin) *
+                                         static_cast<double>(width - 1));
+      auto cy = static_cast<std::size_t>((ay - ymin) / (ymax - ymin) *
+                                         static_cast<double>(height - 1));
+      canvas[height - 1 - cy][cx] = s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  if (!title.empty()) os << title << '\n';
+  os << std::setprecision(3);
+  for (std::size_t r = 0; r < height; ++r) {
+    const double yv = ymax - (ymax - ymin) * static_cast<double>(r) /
+                                 static_cast<double>(height - 1);
+    os << std::setw(10) << (logY ? std::pow(10.0, yv) : yv) << " |"
+       << canvas[r] << '\n';
+  }
+  os << std::string(12, ' ') << std::string(width, '-') << '\n';
+  os << std::string(12, ' ') << (logX ? std::pow(10.0, xmin) : xmin)
+     << "  ..  " << (logX ? std::pow(10.0, xmax) : xmax) << '\n';
+  for (const auto& s : ys) os << "    '" << s.glyph << "' = " << s.name << '\n';
+  return os.str();
+}
+
+std::string table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> w(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) w[c] = header[c].size();
+  for (const auto& row : rows) {
+    ARTSCI_EXPECTS(row.size() == header.size());
+    for (std::size_t c = 0; c < row.size(); ++c)
+      w[c] = std::max(w[c], row[c].size());
+  }
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "| ";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(w[c])) << cells[c]
+         << " | ";
+    }
+    os << '\n';
+  };
+  emit(header);
+  os << '|';
+  for (std::size_t c = 0; c < header.size(); ++c)
+    os << std::string(w[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows) emit(row);
+  return os.str();
+}
+
+std::string num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string eng(double v, int precision) {
+  static const char* suffix[] = {"", "k", "M", "G", "T", "P", "E"};
+  int idx = 0;
+  double a = std::abs(v);
+  while (a >= 1000.0 && idx < 6) {
+    a /= 1000.0;
+    v /= 1000.0;
+    ++idx;
+  }
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v << suffix[idx];
+  return os.str();
+}
+
+}  // namespace artsci::ascii

@@ -1,0 +1,35 @@
+/// \file ascii.hpp
+/// ASCII rendering helpers for the bench harnesses: x/y line plots on log
+/// axes (radiation spectra, Fig 9a), scaling curves (Figs 4/8) and aligned
+/// tables (Fig 6 / section IV-B numbers).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace artsci::ascii {
+
+/// Plot one or more series sharing an x axis. Each series is drawn with its
+/// own glyph. Log-scale options mimic the paper's log-log spectra plots.
+struct Series {
+  std::string name;
+  std::vector<double> y;
+  char glyph = '*';
+};
+
+std::string plot(const std::vector<double>& x, const std::vector<Series>& ys,
+                 std::size_t width = 72, std::size_t height = 20,
+                 bool logX = false, bool logY = false,
+                 const std::string& title = "");
+
+/// Simple fixed-width table printer. `rows` are already formatted cells.
+std::string table(const std::vector<std::string>& header,
+                  const std::vector<std::vector<std::string>>& rows);
+
+/// Format helper: fixed precision double to string.
+std::string num(double v, int precision = 2);
+
+/// Format helper: engineering suffixes (k, M, G, T) for big magnitudes.
+std::string eng(double v, int precision = 1);
+
+}  // namespace artsci::ascii

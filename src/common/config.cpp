@@ -1,0 +1,79 @@
+#include "common/config.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace artsci {
+
+Config Config::fromArgs(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos) {
+      cfg.positional_.push_back(tok);
+    } else {
+      cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+    }
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Config::getString(const std::string& key,
+                              const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+long Config::getInt(const std::string& key, long fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const long v = std::strtol(it->second.c_str(), &end, 10);
+  ARTSCI_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                   "config key '" << key << "' is not an integer: '"
+                                  << it->second << "'");
+  return v;
+}
+
+double Config::getDouble(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  ARTSCI_CHECK_MSG(end != it->second.c_str() && *end == '\0',
+                   "config key '" << key << "' is not a number: '"
+                                  << it->second << "'");
+  return v;
+}
+
+bool Config::getBool(const std::string& key, bool fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(), ::tolower);
+  if (v == "1" || v == "true" || v == "yes" || v == "on") return true;
+  if (v == "0" || v == "false" || v == "no" || v == "off") return false;
+  ARTSCI_CHECK_MSG(false, "config key '" << key << "' is not a bool: '"
+                                         << it->second << "'");
+  return fallback;
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace artsci

@@ -1,0 +1,42 @@
+/// \file config.hpp
+/// Tiny typed key-value configuration with "key=value" CLI parsing, used by
+/// the examples and bench binaries so runs are parameterizable without
+/// recompiling (grid sizes, ranks, n_rep, ...).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace artsci {
+
+class Config {
+ public:
+  Config() = default;
+
+  /// Parse "key=value" tokens; tokens without '=' are collected as
+  /// positional arguments.
+  static Config fromArgs(int argc, const char* const* argv);
+
+  void set(const std::string& key, const std::string& value);
+
+  bool has(const std::string& key) const;
+
+  std::string getString(const std::string& key,
+                        const std::string& fallback) const;
+  long getInt(const std::string& key, long fallback) const;
+  double getDouble(const std::string& key, double fallback) const;
+  bool getBool(const std::string& key, bool fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// All keys, for diagnostics.
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace artsci

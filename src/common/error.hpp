@@ -1,0 +1,77 @@
+/// \file error.hpp
+/// Checked-assertion macros in the spirit of the C++ Core Guidelines'
+/// Expects()/Ensures(). Violations throw (never UB), so tests can assert on
+/// contract failures and long-running pipelines fail loudly.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace artsci {
+
+/// Error thrown on contract violations (precondition/postcondition/invariant).
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Error thrown on runtime failures (I/O, stream shutdown, bad config...).
+class RuntimeError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contractFail(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw ContractError(os.str());
+}
+}  // namespace detail
+
+}  // namespace artsci
+
+/// Precondition check; use at function entry.
+#define ARTSCI_EXPECTS(cond)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::artsci::detail::contractFail("Precondition", #cond, __FILE__,      \
+                                     __LINE__, "");                        \
+    }                                                                      \
+  } while (false)
+
+/// Precondition check with context message (streamable expression).
+#define ARTSCI_EXPECTS_MSG(cond, msg)                                      \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::artsci::detail::contractFail("Precondition", #cond, __FILE__,      \
+                                     __LINE__, os_.str());                 \
+    }                                                                      \
+  } while (false)
+
+/// Invariant/consistency check anywhere in a function body.
+#define ARTSCI_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::artsci::detail::contractFail("Check", #cond, __FILE__, __LINE__,   \
+                                     "");                                  \
+    }                                                                      \
+  } while (false)
+
+#define ARTSCI_CHECK_MSG(cond, msg)                                        \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream os_;                                              \
+      os_ << msg;                                                          \
+      ::artsci::detail::contractFail("Check", #cond, __FILE__, __LINE__,   \
+                                     os_.str());                           \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,116 @@
+#include "common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace artsci {
+
+Histogram1D::Histogram1D(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  ARTSCI_EXPECTS(hi > lo);
+  ARTSCI_EXPECTS(bins > 0);
+}
+
+void Histogram1D::fill(double x, double weight) {
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(frac * static_cast<double>(bins()));
+  bin = std::min(bin, bins() - 1);
+  counts_[bin] += weight;
+}
+
+double Histogram1D::total() const {
+  double s = 0.0;
+  for (double c : counts_) s += c;
+  return s;
+}
+
+double Histogram1D::binCenter(std::size_t i) const {
+  ARTSCI_EXPECTS(i < bins());
+  const double w = (hi_ - lo_) / static_cast<double>(bins());
+  return lo_ + (static_cast<double>(i) + 0.5) * w;
+}
+
+Histogram1D Histogram1D::normalized() const {
+  Histogram1D out = *this;
+  const double t = total();
+  if (t > 0.0) {
+    for (double& c : out.counts_) c /= t;
+    out.underflow_ /= t;
+    out.overflow_ /= t;
+  }
+  return out;
+}
+
+double Histogram1D::meanValue() const {
+  const double t = total();
+  if (t <= 0.0) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < bins(); ++i) s += counts_[i] * binCenter(i);
+  return s / t;
+}
+
+double Histogram1D::stddevValue() const {
+  const double t = total();
+  if (t <= 0.0) return 0.0;
+  const double m = meanValue();
+  double s = 0.0;
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double d = binCenter(i) - m;
+    s += counts_[i] * d * d;
+  }
+  return std::sqrt(s / t);
+}
+
+std::vector<std::size_t> Histogram1D::findPeaks(
+    double threshold, std::size_t minSeparationBins) const {
+  std::vector<std::size_t> peaks;
+  const double maxCount = *std::max_element(counts_.begin(), counts_.end());
+  if (maxCount <= 0.0) return peaks;
+  const double cut = threshold * maxCount;
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double c = counts_[i];
+    if (c < cut) continue;
+    const double left = (i > 0) ? counts_[i - 1] : -1.0;
+    const double right = (i + 1 < bins()) ? counts_[i + 1] : -1.0;
+    if (c >= left && c > right) {
+      if (!peaks.empty() && i - peaks.back() < minSeparationBins) {
+        if (c > counts_[peaks.back()]) peaks.back() = i;
+      } else {
+        peaks.push_back(i);
+      }
+    }
+  }
+  return peaks;
+}
+
+std::string Histogram1D::renderAscii(std::size_t width, bool logScale,
+                                     const std::string& label) const {
+  std::ostringstream os;
+  if (!label.empty()) os << label << '\n';
+  const double maxCount = *std::max_element(counts_.begin(), counts_.end());
+  const double denom =
+      logScale ? std::log10(1.0 + maxCount) : std::max(maxCount, 1e-300);
+  for (std::size_t i = 0; i < bins(); ++i) {
+    const double v =
+        logScale ? std::log10(1.0 + counts_[i]) : counts_[i];
+    auto len = static_cast<std::size_t>(
+        denom > 0 ? (v / denom) * static_cast<double>(width) : 0);
+    os.precision(3);
+    os.width(10);
+    os << std::fixed << binCenter(i) << " |" << std::string(len, '#') << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace artsci

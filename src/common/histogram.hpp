@@ -1,0 +1,57 @@
+/// \file histogram.hpp
+/// 1D histograms (linear bins) with weighted fills. Fig 9(b,c) plots charge
+/// density vs momentum as log-scaled histograms; the ASCII renderer here is
+/// what the fig9 bench prints.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace artsci {
+
+class Histogram1D {
+ public:
+  /// Uniform binning of [lo, hi) into `bins` buckets.
+  Histogram1D(double lo, double hi, std::size_t bins);
+
+  /// Add a sample with the given weight; out-of-range samples go to
+  /// under/overflow counters.
+  void fill(double x, double weight = 1.0);
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  std::size_t bins() const { return counts_.size(); }
+  double count(std::size_t bin) const { return counts_.at(bin); }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const;
+  /// Center of bin i.
+  double binCenter(std::size_t i) const;
+  const std::vector<double>& counts() const { return counts_; }
+
+  /// Total weight-normalized copy (integral == 1 over in-range bins).
+  Histogram1D normalized() const;
+
+  /// Mean of the filled distribution (in-range part).
+  double meanValue() const;
+  /// Standard deviation of the filled distribution (in-range part).
+  double stddevValue() const;
+
+  /// Find local maxima above `threshold * max`, separated by at least
+  /// `minSeparationBins`; used to detect the two-population (bimodal)
+  /// vortex momentum distribution of Fig 9.
+  std::vector<std::size_t> findPeaks(double threshold = 0.2,
+                                     std::size_t minSeparationBins = 3) const;
+
+  /// ASCII rendering: one row per bin, bar length proportional to count
+  /// (log scale optional, as in Fig 9's log-y axes).
+  std::string renderAscii(std::size_t width = 60, bool logScale = true,
+                          const std::string& label = "") const;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0, overflow_ = 0.0;
+};
+
+}  // namespace artsci

@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace artsci::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kInfo};
+std::mutex& sinkMutex() {
+  static std::mutex m;
+  return m;
+}
+const char* levelName(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "debug";
+    case Level::kInfo:
+      return "info ";
+    case Level::kWarn:
+      return "warn ";
+    case Level::kError:
+      return "error";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void setLevel(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& tag, const std::string& message) {
+  std::lock_guard<std::mutex> lock(sinkMutex());
+  std::cerr << "[" << levelName(lvl) << "][" << tag << "] " << message
+            << '\n';
+}
+
+}  // namespace artsci::log

@@ -1,0 +1,52 @@
+/// \file log.hpp
+/// Minimal thread-safe logger. Intentionally tiny: the workflow components
+/// (producer, consumer, trainer) tag their messages so interleaved output
+/// from concurrent pipeline stages stays readable.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace artsci::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are dropped.
+void setLevel(Level level);
+Level level();
+
+/// Core sink: writes "[level][tag] message" to stderr under a mutex.
+void write(Level level, const std::string& tag, const std::string& message);
+
+namespace detail {
+template <typename... Args>
+std::string format(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return os.str();
+}
+}  // namespace detail
+
+template <typename... Args>
+void debug(const std::string& tag, Args&&... args) {
+  if (level() <= Level::kDebug)
+    write(Level::kDebug, tag, detail::format(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void info(const std::string& tag, Args&&... args) {
+  if (level() <= Level::kInfo)
+    write(Level::kInfo, tag, detail::format(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void warn(const std::string& tag, Args&&... args) {
+  if (level() <= Level::kWarn)
+    write(Level::kWarn, tag, detail::format(std::forward<Args>(args)...));
+}
+template <typename... Args>
+void error(const std::string& tag, Args&&... args) {
+  if (level() <= Level::kError)
+    write(Level::kError, tag, detail::format(std::forward<Args>(args)...));
+}
+
+}  // namespace artsci::log

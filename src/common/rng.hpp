@@ -1,0 +1,113 @@
+/// \file rng.hpp
+/// Deterministic, splittable random number generation (xoshiro256**).
+/// Every stochastic component of the stack (particle loading, buffer
+/// eviction, weight init, network jitter) takes an explicit Rng so runs are
+/// reproducible and rank-parallel streams are independent.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace artsci {
+
+/// SplitMix64: used to seed xoshiro and to derive child seeds.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna; satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x1234abcdULL) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Derive an independent child generator (for per-rank streams).
+  Rng split() {
+    std::uint64_t seed = (*this)();
+    return Rng(seed);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t uniformInt(std::uint64_t n) {
+    ARTSCI_EXPECTS(n > 0);
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < n) {
+      std::uint64_t t = (0 - n) % n;
+      while (l < t) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Standard normal via Box-Muller (cached second value).
+  double normal() {
+    if (hasCached_) {
+      hasCached_ = false;
+      return cached_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * kPi * u2;
+    cached_ = r * std::sin(theta);
+    hasCached_ = true;
+    return r * std::cos(theta);
+  }
+
+  double normal(double mean, double sigma) { return mean + sigma * normal(); }
+
+ private:
+  static constexpr double kPi = 3.14159265358979323846;
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+  double cached_ = 0.0;
+  bool hasCached_ = false;
+};
+
+}  // namespace artsci

@@ -1,0 +1,99 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace artsci::stats {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double quantile(std::vector<double> xs, double q) {
+  ARTSCI_EXPECTS(!xs.empty());
+  ARTSCI_EXPECTS(q >= 0.0 && q <= 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+  const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+BoxPlot boxplot(const std::vector<double>& xs) {
+  BoxPlot b;
+  if (xs.empty()) return b;
+  b.count = xs.size();
+  b.min = quantile(xs, 0.0);
+  b.q1 = quantile(xs, 0.25);
+  b.median = quantile(xs, 0.5);
+  b.q3 = quantile(xs, 0.75);
+  b.max = quantile(xs, 1.0);
+  b.mean = mean(xs);
+  return b;
+}
+
+std::vector<double> removeOutliers(std::vector<double> xs, double nSigma) {
+  ARTSCI_EXPECTS(nSigma > 0.0);
+  bool changed = true;
+  while (changed && xs.size() > 2) {
+    changed = false;
+    const double m = mean(xs);
+    const double s = stddev(xs);
+    if (s == 0.0) break;
+    std::vector<double> kept;
+    kept.reserve(xs.size());
+    for (double x : xs) {
+      if (std::abs(x - m) <= nSigma * s) {
+        kept.push_back(x);
+      } else {
+        changed = true;
+      }
+    }
+    xs.swap(kept);
+  }
+  return xs;
+}
+
+std::string formatBoxPlot(const BoxPlot& b, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  os << b.min << " | " << b.q1 << " [" << b.median << "] " << b.q3 << " | "
+     << b.max << "  (mean " << b.mean << ", n=" << b.count << ")";
+  return os.str();
+}
+
+LinearFit linearFit(const std::vector<double>& x,
+                    const std::vector<double>& y) {
+  ARTSCI_EXPECTS(x.size() == y.size());
+  ARTSCI_EXPECTS(x.size() >= 2);
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  ARTSCI_CHECK(sxx > 0.0);
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = my - f.slope * mx;
+  return f;
+}
+
+}  // namespace artsci::stats

@@ -1,0 +1,44 @@
+/// \file stats.hpp
+/// Summary statistics used by the benchmark harnesses: the paper reports
+/// boxplots (Fig 6), outlier-filtered means (Fig 8, > 4 sigma removal) and
+/// min-max ranges of throughput.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace artsci::stats {
+
+/// Mean of a sample (0 for empty input).
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation (0 for n < 2).
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated quantile, q in [0, 1].
+double quantile(std::vector<double> xs, double q);
+
+/// Five-number summary plus mean; the shape Fig 6's boxplots report.
+struct BoxPlot {
+  double min = 0, q1 = 0, median = 0, q3 = 0, max = 0, mean = 0;
+  std::size_t count = 0;
+};
+
+BoxPlot boxplot(const std::vector<double>& xs);
+
+/// Remove entries farther than `nSigma` standard deviations from the mean,
+/// as the paper does for Fig 8 ("removal of > 4 sigma outliers").
+/// Iterates until stable (a single huge outlier can hide smaller ones).
+std::vector<double> removeOutliers(std::vector<double> xs, double nSigma);
+
+/// Render "min q1 median q3 max (mean)" on one line.
+std::string formatBoxPlot(const BoxPlot& b, int precision = 2);
+
+/// Least-squares fit of y = a + b*x; returns {a, b}.
+struct LinearFit {
+  double intercept = 0;
+  double slope = 0;
+};
+LinearFit linearFit(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace artsci::stats

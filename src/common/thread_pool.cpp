@@ -1,0 +1,71 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+
+namespace artsci {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  ARTSCI_EXPECTS(threads > 0);
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] {
+      for (;;) {
+        std::function<void()> task;
+        {
+          std::unique_lock<std::mutex> lock(mutex_);
+          cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+          if (stopping_ && tasks_.empty()) return;
+          task = std::move(tasks_.front());
+          tasks_.pop();
+        }
+        task();
+      }
+    });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Barrier::arriveAndWait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == parties_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+}
+
+void runRankTeam(std::size_t ranks,
+                 const std::function<void(std::size_t)>& fn) {
+  ARTSCI_EXPECTS(ranks > 0);
+  std::vector<std::thread> team;
+  team.reserve(ranks);
+  std::mutex errMutex;
+  std::exception_ptr firstError;
+  for (std::size_t r = 0; r < ranks; ++r) {
+    team.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(errMutex);
+        if (!firstError) firstError = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : team) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace artsci

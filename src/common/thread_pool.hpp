@@ -1,0 +1,79 @@
+/// \file thread_pool.hpp
+/// A fixed-size thread pool plus a rank-team abstraction.
+///
+/// Two distinct parallel idioms appear in the paper's stack:
+///  * data-parallel loops inside one "GPU" (we use OpenMP for those), and
+///  * SPMD rank teams (PIConGPU MPI ranks, PyTorch DDP ranks) — modeled
+///    here as RankTeam: N threads running the same function with a rank id,
+///    with a reusable barrier for collective phases.
+#pragma once
+
+#include <condition_variable>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace artsci {
+
+/// Fixed-size FIFO thread pool.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns a future for its result.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ARTSCI_CHECK_MSG(!stopping_, "submit() on stopped ThreadPool");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Reusable cyclic barrier for SPMD teams.
+class Barrier {
+ public:
+  explicit Barrier(std::size_t parties) : parties_(parties) {
+    ARTSCI_EXPECTS(parties > 0);
+  }
+
+  /// Block until all parties arrive; reusable across generations.
+  void arriveAndWait();
+
+ private:
+  std::size_t parties_;
+  std::size_t waiting_ = 0;
+  std::uint64_t generation_ = 0;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Run `fn(rank)` on `ranks` concurrent threads (SPMD); rethrows the first
+/// exception after all threads joined.
+void runRankTeam(std::size_t ranks, const std::function<void(std::size_t)>& fn);
+
+}  // namespace artsci

@@ -1,0 +1,25 @@
+/// \file timer.hpp
+/// Wall-clock stopwatch for the measured benchmark paths.
+#pragma once
+
+#include <chrono>
+
+namespace artsci {
+
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace artsci

@@ -1,0 +1,70 @@
+/// \file vec3.hpp
+/// Small 3-vector used across the PIC and radiation modules.
+#pragma once
+
+#include <cmath>
+#include <ostream>
+
+namespace artsci {
+
+template <typename T>
+struct Vec3 {
+  T x{}, y{}, z{};
+
+  constexpr Vec3() = default;
+  constexpr Vec3(T xx, T yy, T zz) : x(xx), y(yy), z(zz) {}
+
+  constexpr Vec3 operator+(const Vec3& o) const {
+    return {x + o.x, y + o.y, z + o.z};
+  }
+  constexpr Vec3 operator-(const Vec3& o) const {
+    return {x - o.x, y - o.y, z - o.z};
+  }
+  constexpr Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+  constexpr Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+  constexpr Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  constexpr Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  constexpr Vec3& operator*=(T s) {
+    x *= s;
+    y *= s;
+    z *= s;
+    return *this;
+  }
+  constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+
+  constexpr T dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr Vec3 cross(const Vec3& o) const {
+    return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+  }
+  T norm2() const { return dot(*this); }
+  T norm() const { return std::sqrt(norm2()); }
+  Vec3 normalized() const {
+    const T n = norm();
+    return n > T(0) ? (*this) / n : Vec3{};
+  }
+};
+
+template <typename T>
+constexpr Vec3<T> operator*(T s, const Vec3<T>& v) {
+  return v * s;
+}
+
+template <typename T>
+std::ostream& operator<<(std::ostream& os, const Vec3<T>& v) {
+  return os << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+using Vec3d = Vec3<double>;
+using Vec3f = Vec3<float>;
+
+}  // namespace artsci

@@ -1,0 +1,114 @@
+#include "core/evaluate.hpp"
+
+#include <cmath>
+#include <map>
+
+namespace artsci::core {
+
+std::vector<RegionEvaluation> evaluateInversion(
+    const ArtificialScientistModel& model, const TransformConfig& transform,
+    const std::vector<Sample>& groundTruth, const EvaluationConfig& cfg,
+    Rng& rng) {
+  // Group samples by region.
+  std::map<int, std::vector<const Sample*>> byRegion;
+  for (const auto& s : groundTruth) byRegion[s.region].push_back(&s);
+
+  std::vector<RegionEvaluation> out;
+  for (const auto& [regionIdx, samples] : byRegion) {
+    RegionEvaluation eval{
+        static_cast<pic::KhiRegion>(regionIdx),
+        {},
+        {},
+        Histogram1D(cfg.momentumLo, cfg.momentumHi, cfg.bins),
+        Histogram1D(cfg.momentumLo, cfg.momentumHi, cfg.bins)};
+
+    const long P = static_cast<long>(samples.front()->cloud.size()) / 6;
+    const long S = static_cast<long>(samples.front()->spectrum.size());
+
+    // Ground-truth histogram + mean spectrum over samples.
+    std::vector<double> specAccum(static_cast<std::size_t>(S), 0.0);
+    for (const Sample* s : samples) {
+      for (long p = 0; p < P; ++p)
+        eval.momentumTruth.fill(
+            cloudMomentumX(s->cloud, static_cast<std::size_t>(p), transform));
+      for (long f = 0; f < S; ++f)
+        specAccum[static_cast<std::size_t>(f)] +=
+            s->spectrum[static_cast<std::size_t>(f)];
+    }
+    for (double& v : specAccum) v /= static_cast<double>(samples.size());
+    eval.spectrumTruth = specAccum;
+
+    // Forward surrogate: predict the spectrum from the first GT cloud.
+    {
+      ml::Tensor clouds = batchClouds({*samples.front()}, P);
+      ml::Tensor pred = model.predictSpectra(clouds);
+      eval.spectrumPred.assign(pred.data().begin(), pred.data().end());
+    }
+
+    // Inversion: repeated posterior draws from each sample's spectrum.
+    for (const Sample* s : samples) {
+      for (int draw = 0; draw < cfg.inversionDraws; ++draw) {
+        ml::Tensor spectra = batchSpectra({*s}, S);
+        ml::Tensor clouds = model.invertSpectra(spectra, rng);
+        const long outPoints = clouds.dim(1);
+        for (long p = 0; p < outPoints; ++p) {
+          const double ux =
+              clouds.data()[static_cast<std::size_t>(p * 6 + 3)] *
+              transform.momentumScale;
+          eval.momentumPred.fill(ux);
+        }
+      }
+    }
+    eval.meanTruth = eval.momentumTruth.meanValue();
+    eval.meanPred = eval.momentumPred.meanValue();
+    out.push_back(std::move(eval));
+  }
+  return out;
+}
+
+double latentRegionClassificationAccuracy(
+    const ArtificialScientistModel& model, const std::vector<Sample>& train,
+    const std::vector<Sample>& test) {
+  ARTSCI_EXPECTS(!train.empty() && !test.empty());
+  const long P = static_cast<long>(train.front().cloud.size()) / 6;
+  const long latent = model.config().encoder.latentDim;
+
+  // Centroid per region from the training samples.
+  std::map<int, std::vector<double>> centroids;
+  std::map<int, long> counts;
+  for (const auto& s : train) {
+    ml::Tensor mu = model.encodeMean(batchClouds({s}, P));
+    auto& c = centroids[s.region];
+    c.resize(static_cast<std::size_t>(latent), 0.0);
+    for (long i = 0; i < latent; ++i)
+      c[static_cast<std::size_t>(i)] +=
+          mu.data()[static_cast<std::size_t>(i)];
+    counts[s.region]++;
+  }
+  for (auto& [region, c] : centroids)
+    for (double& v : c) v /= static_cast<double>(counts[region]);
+
+  long correct = 0;
+  for (const auto& s : test) {
+    ml::Tensor mu = model.encodeMean(batchClouds({s}, P));
+    int best = -1;
+    double bestDist = 1e300;
+    for (const auto& [region, c] : centroids) {
+      double d = 0;
+      for (long i = 0; i < latent; ++i) {
+        const double diff =
+            mu.data()[static_cast<std::size_t>(i)] -
+            c[static_cast<std::size_t>(i)];
+        d += diff * diff;
+      }
+      if (d < bestDist) {
+        bestDist = d;
+        best = region;
+      }
+    }
+    correct += (best == s.region);
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+}  // namespace artsci::core

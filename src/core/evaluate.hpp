@@ -1,0 +1,46 @@
+/// \file evaluate.hpp
+/// Fig 9 evaluation: invert region spectra back to momentum distributions
+/// and compare against the PIC ground truth; quantify how well the latent
+/// space separates the physical regions (the paper's "simple, almost
+/// linear classifier" argument).
+#pragma once
+
+#include "common/histogram.hpp"
+#include "core/model.hpp"
+#include "core/transforms.hpp"
+#include "pic/simulation.hpp"
+#include "radiation/plugin.hpp"
+
+namespace artsci::core {
+
+struct RegionEvaluation {
+  pic::KhiRegion region;
+  std::vector<double> spectrumTruth;  ///< normalized, from the detector
+  std::vector<double> spectrumPred;   ///< INN forward from the GT cloud
+  Histogram1D momentumTruth;          ///< u_x ground truth (Fig 9b)
+  Histogram1D momentumPred;           ///< u_x from inverted clouds (Fig 9c)
+  double meanTruth = 0, meanPred = 0;
+};
+
+struct EvaluationConfig {
+  int inversionDraws = 16;  ///< posterior samples per spectrum
+  double momentumLo = -0.35, momentumHi = 0.35;
+  std::size_t bins = 40;
+};
+
+/// Evaluate a trained model against fresh samples: per region, GT cloud +
+/// GT spectrum pairs (as produced by the transforms). The histograms pool
+/// all draws, mirroring Fig 9's charge-density panels.
+std::vector<RegionEvaluation> evaluateInversion(
+    const ArtificialScientistModel& model, const TransformConfig& transform,
+    const std::vector<Sample>& groundTruth, const EvaluationConfig& cfg,
+    Rng& rng);
+
+/// Nearest-centroid region classification in the latent space: fraction
+/// of held-out samples assigned to their true region. Random chance for
+/// three regions is 1/3.
+double latentRegionClassificationAccuracy(
+    const ArtificialScientistModel& model, const std::vector<Sample>& train,
+    const std::vector<Sample>& test);
+
+}  // namespace artsci::core

@@ -1,0 +1,91 @@
+#include "core/pipeline.hpp"
+
+#include <thread>
+
+#include "common/log.hpp"
+#include "common/timer.hpp"
+
+namespace artsci::core {
+
+PipelineConfig PipelineConfig::quickDemo() {
+  PipelineConfig cfg;
+  cfg.producer.khi.grid = pic::GridSpec{16, 32, 4, 0.25, 0.25, 0.25};
+  cfg.producer.khi.dt = 0.1;
+  cfg.producer.khi.particlesPerCell = 4;
+  cfg.producer.warmupSteps = 5;
+  cfg.producer.totalSteps = 30;
+  cfg.producer.streamEvery = 2;
+  cfg.producer.transform.cloudPoints = 128;
+  cfg.producer.frequencyCount = 32;
+  cfg.trainer.ranks = 2;
+  cfg.model = ArtificialScientistModel::Config::reduced();
+  cfg.nRep = 4;
+  return cfg;
+}
+
+PipelineResult runPipeline(const PipelineConfig& cfg,
+                           InTransitTrainer& trainer) {
+  ARTSCI_EXPECTS_MSG(
+      static_cast<long>(cfg.producer.frequencyCount) ==
+          cfg.model.spectrumDim,
+      "producer frequencyCount must equal the model's spectrumDim");
+
+  Timer wall;
+  auto particleEngine = std::make_shared<stream::SstEngine>(
+      stream::SstParams{1, 1, cfg.queueLimit});
+  auto radiationEngine = std::make_shared<stream::SstEngine>(
+      stream::SstParams{1, 1, cfg.queueLimit});
+
+  KhiStreamProducer producer(cfg.producer, particleEngine, radiationEngine);
+  std::thread producerThread([&] { producer.run(); });
+
+  openpmd::Series particleRead(
+      "particles", openpmd::Access::kRead,
+      openpmd::StreamBackend::forReader(particleEngine, 0));
+  openpmd::Series radiationRead(
+      "radiation", openpmd::Access::kRead,
+      openpmd::StreamBackend::forReader(radiationEngine, 0));
+
+  PipelineResult result;
+  for (;;) {
+    auto itP = particleRead.readNextIteration();
+    auto itR = radiationRead.readNextIteration();
+    if (!itP || !itR) break;
+    ARTSCI_CHECK_MSG(itP->index == itR->index,
+                     "particle / radiation streams out of sync");
+    for (int r = 0; r < 3; ++r) {
+      const auto pIt = itP->data.find(cloudPath(r));
+      const auto sIt = itR->data.find(spectrumPath(r));
+      if (pIt == itP->data.end() || sIt == itR->data.end()) continue;
+      Sample sample;
+      sample.cloud = pIt->second;
+      sample.spectrum = sIt->second;
+      sample.region = r;
+      sample.step = itP->index;
+      trainer.buffer().push(std::move(sample));
+      ++result.samplesReceived;
+    }
+    ++result.iterationsStreamed;
+    // n_rep training iterations per streamed step (the training-buffer
+    // decoupling of §IV-C).
+    trainer.trainIterations(cfg.nRep);
+  }
+  producerThread.join();
+
+  result.train = trainer.stats();
+  result.bytesStreamed =
+      particleEngine->bytesPublished() + radiationEngine->bytesPublished();
+  result.producerStallSeconds = particleEngine->writerStallSeconds() +
+                                radiationEngine->writerStallSeconds();
+  result.wallSeconds = wall.seconds();
+  return result;
+}
+
+PipelineRun runPipeline(const PipelineConfig& cfg) {
+  PipelineRun run;
+  run.trainer = std::make_unique<InTransitTrainer>(cfg.model, cfg.trainer);
+  run.result = runPipeline(cfg, *run.trainer);
+  return run;
+}
+
+}  // namespace artsci::core

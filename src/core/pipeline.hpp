@@ -1,0 +1,49 @@
+/// \file pipeline.hpp
+/// The complete Artificial Scientist orchestration (paper Fig 3 / §III-B):
+/// a PIC producer streams particle + radiation data through two in-memory
+/// openPMD/nanoSST channels into a consumer that feeds the experience-
+/// replay buffer and drives n_rep data-parallel training iterations per
+/// streamed step. Back-pressure from the bounded step queue stalls the
+/// simulation when training lags — "some leeway to stall the running
+/// simulation if need be".
+#pragma once
+
+#include "core/producer.hpp"
+#include "core/trainer.hpp"
+
+namespace artsci::core {
+
+struct PipelineConfig {
+  ProducerConfig producer;
+  TrainerConfig trainer;
+  ArtificialScientistModel::Config model =
+      ArtificialScientistModel::Config::reduced();
+  long nRep = 4;               ///< training iterations per streamed step
+  std::size_t queueLimit = 2;  ///< SST step queue (back-pressure depth)
+
+  /// Consistency-checked defaults for a quick run.
+  static PipelineConfig quickDemo();
+};
+
+struct PipelineResult {
+  TrainStats train;
+  long iterationsStreamed = 0;
+  std::size_t samplesReceived = 0;
+  std::size_t bytesStreamed = 0;
+  double wallSeconds = 0;
+  double producerStallSeconds = 0;  ///< back-pressure on the simulation
+};
+
+/// Run the full in-transit pipeline; returns metrics and leaves the
+/// trained model accessible through the trainer.
+PipelineResult runPipeline(const PipelineConfig& cfg,
+                           InTransitTrainer& trainer);
+
+/// Convenience: construct the trainer internally and return it.
+struct PipelineRun {
+  std::unique_ptr<InTransitTrainer> trainer;
+  PipelineResult result;
+};
+PipelineRun runPipeline(const PipelineConfig& cfg);
+
+}  // namespace artsci::core

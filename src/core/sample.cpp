@@ -1,0 +1,37 @@
+#include "core/sample.hpp"
+
+#include "common/error.hpp"
+
+namespace artsci::core {
+
+ml::Tensor batchClouds(const std::vector<Sample>& batch, long points) {
+  ARTSCI_EXPECTS(!batch.empty());
+  const long B = static_cast<long>(batch.size());
+  std::vector<ml::Real> data;
+  data.reserve(static_cast<std::size_t>(B * points * 6));
+  for (const auto& s : batch) {
+    ARTSCI_CHECK_MSG(
+        s.cloud.size() == static_cast<std::size_t>(points * 6),
+        "sample cloud has " << s.cloud.size() << " values, expected "
+                            << points * 6);
+    data.insert(data.end(), s.cloud.begin(), s.cloud.end());
+  }
+  return ml::Tensor::fromVector({B, points, 6}, std::move(data));
+}
+
+ml::Tensor batchSpectra(const std::vector<Sample>& batch, long specDim) {
+  ARTSCI_EXPECTS(!batch.empty());
+  const long B = static_cast<long>(batch.size());
+  std::vector<ml::Real> data;
+  data.reserve(static_cast<std::size_t>(B * specDim));
+  for (const auto& s : batch) {
+    ARTSCI_CHECK_MSG(
+        s.spectrum.size() == static_cast<std::size_t>(specDim),
+        "sample spectrum has " << s.spectrum.size() << " values, expected "
+                               << specDim);
+    data.insert(data.end(), s.spectrum.begin(), s.spectrum.end());
+  }
+  return ml::Tensor::fromVector({B, specDim}, std::move(data));
+}
+
+}  // namespace artsci::core

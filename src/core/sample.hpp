@@ -1,0 +1,27 @@
+/// \file sample.hpp
+/// The training-sample type flowing from the PIC simulation to the MLapp:
+/// one sub-volume's particle phase-space point cloud paired with "its"
+/// radiation spectrum, plus batch-assembly helpers.
+#pragma once
+
+#include <vector>
+
+#include "ml/tensor.hpp"
+#include "pic/khi.hpp"
+
+namespace artsci::core {
+
+struct Sample {
+  std::vector<double> cloud;     ///< flattened [points x 6] (x,y,z,ux,uy,uz)
+  std::vector<double> spectrum;  ///< normalized intensity per frequency
+  int region = 0;                ///< pic::KhiRegion as int
+  long step = 0;                 ///< simulation step of origin
+};
+
+/// Stack per-sample clouds into a [B, P, 6] tensor.
+ml::Tensor batchClouds(const std::vector<Sample>& batch, long points);
+
+/// Stack spectra into a [B, S] tensor.
+ml::Tensor batchSpectra(const std::vector<Sample>& batch, long specDim);
+
+}  // namespace artsci::core

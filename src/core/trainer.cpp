@@ -1,0 +1,93 @@
+#include "core/trainer.hpp"
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+
+namespace artsci::core {
+
+InTransitTrainer::InTransitTrainer(ArtificialScientistModel::Config modelCfg,
+                                   TrainerConfig cfg)
+    : cfg_(cfg), modelCfg_(modelCfg), buffer_(cfg.buffer, cfg.seed),
+      comm_(cfg.ranks) {
+  ARTSCI_EXPECTS(cfg_.ranks >= 1);
+  Rng seeder(cfg_.seed);
+  for (std::size_t r = 0; r < cfg_.ranks; ++r) {
+    // Identical init on every rank (DDP replicas): same init RNG seed.
+    Rng initRng(cfg_.seed + 1);
+    replicas_.push_back(
+        std::make_unique<ArtificialScientistModel>(modelCfg_, initRng));
+    rankRngs_.push_back(seeder.split());
+
+    const long totalBatch =
+        static_cast<long>(cfg_.ranks) *
+        static_cast<long>(cfg_.buffer.nowPerBatch + cfg_.buffer.epPerBatch);
+    const ml::Real scale =
+        cfg_.sqrtLrScaling
+            ? ml::sqrtScaledLearningRate(1.0, totalBatch, cfg_.baseBatch)
+            : ml::Real(1);
+    std::vector<ml::ParamGroup> groups;
+    groups.push_back({replicas_.back()->vaeParameters(),
+                      cfg_.baseLearningRate * cfg_.vaeLearningRateFactor *
+                          scale});
+    groups.push_back(
+        {replicas_.back()->innParameters(), cfg_.baseLearningRate * scale});
+    optimizers_.push_back(
+        std::make_unique<ml::Adam>(std::move(groups), cfg_.adam));
+  }
+}
+
+std::pair<ml::Real, ml::Real> InTransitTrainer::learningRates() const {
+  return {optimizers_[0]->learningRate(0), optimizers_[0]->learningRate(1)};
+}
+
+const ArtificialScientistModel& InTransitTrainer::model(
+    std::size_t rank) const {
+  ARTSCI_EXPECTS(rank < replicas_.size());
+  return *replicas_[rank];
+}
+
+void InTransitTrainer::trainIterations(long iterations) {
+  if (!buffer_.ready()) return;
+  Timer timer;
+  const long points = cfg_.buffer.nowPerBatch > 0
+                          ? static_cast<long>(buffer_.nowSnapshot()
+                                                  .front()
+                                                  .cloud.size()) /
+                                6
+                          : 0;
+  const long specDim = modelCfg_.spectrumDim;
+
+  std::vector<std::vector<double>> lossPerRank(cfg_.ranks);
+  std::vector<ml::LossTerms> lastTerms(cfg_.ranks);
+
+  runRankTeam(cfg_.ranks, [&](std::size_t rank) {
+    auto& model = *replicas_[rank];
+    auto& opt = *optimizers_[rank];
+    auto& rng = rankRngs_[rank];
+    for (long it = 0; it < iterations; ++it) {
+      const auto batch = buffer_.sampleBatch();
+      ml::Tensor clouds = batchClouds(batch, points);
+      ml::Tensor spectra = batchSpectra(batch, specDim);
+      opt.zeroGrad();
+      const auto terms = model.lossTerms(clouds, spectra, rng);
+      ml::Tensor total = ml::totalLoss(terms, modelCfg_.weights);
+      total.backward();
+      ml::allReduceGradients(comm_, rank, model.parameters());
+      opt.step();
+      if (rank == 0) {
+        lossPerRank[0].push_back(total.item());
+        lastTerms[0] = terms;
+        stats_.chamferHistory.push_back(terms.chamfer.item());
+        stats_.mseHistory.push_back(terms.mse.item());
+        stats_.mmdLatentHistory.push_back(terms.mmdLatent.item());
+      }
+    }
+  });
+
+  for (double l : lossPerRank[0]) stats_.lossHistory.push_back(l);
+  stats_.iterations += iterations;
+  stats_.trainSeconds += timer.seconds();
+  stats_.commSeconds = comm_.communicationSeconds(0);
+}
+
+}  // namespace artsci::core

@@ -1,0 +1,124 @@
+#include "ml/ddp.hpp"
+
+#include "common/timer.hpp"
+
+namespace artsci::ml {
+
+Communicator::Communicator(std::size_t ranks)
+    : ranks_(ranks), barrier_(ranks), commSeconds_(ranks, 0.0) {
+  ARTSCI_EXPECTS(ranks > 0);
+  gatherSlots_.resize(ranks, nullptr);
+}
+
+void Communicator::allReduceMean(std::size_t rank,
+                                 std::vector<Real>& buffer) {
+  ARTSCI_EXPECTS(rank < ranks_);
+  Timer timer;
+  if (ranks_ == 1) {
+    commSeconds_[rank] += timer.seconds();
+    return;
+  }
+  // Phase 1: rank 0 prepares the accumulator.
+  if (rank == 0) {
+    reduceBuffer_.assign(buffer.size(), Real(0));
+    reduceLength_ = buffer.size();
+  }
+  barrier_.arriveAndWait();
+  ARTSCI_CHECK_MSG(buffer.size() == reduceLength_,
+                   "allReduceMean length mismatch on rank " << rank);
+  // Phase 2: everyone adds its contribution.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t i = 0; i < buffer.size(); ++i)
+      reduceBuffer_[i] += buffer[i];
+  }
+  barrier_.arriveAndWait();
+  // Phase 3: read back the mean.
+  const Real scale = Real(1) / static_cast<Real>(ranks_);
+  for (std::size_t i = 0; i < buffer.size(); ++i)
+    buffer[i] = reduceBuffer_[i] * scale;
+  barrier_.arriveAndWait();
+  commSeconds_[rank] += timer.seconds();
+}
+
+std::vector<Real> Communicator::allGather(std::size_t rank,
+                                          const std::vector<Real>& local) {
+  ARTSCI_EXPECTS(rank < ranks_);
+  Timer timer;
+  if (ranks_ == 1) {
+    commSeconds_[rank] += timer.seconds();
+    return local;
+  }
+  gatherSlots_[rank] = &local;
+  barrier_.arriveAndWait();
+  std::vector<Real> out;
+  std::size_t total = 0;
+  for (const auto* slot : gatherSlots_) total += slot->size();
+  out.reserve(total);
+  for (const auto* slot : gatherSlots_)
+    out.insert(out.end(), slot->begin(), slot->end());
+  barrier_.arriveAndWait();
+  gatherSlots_[rank] = nullptr;
+  barrier_.arriveAndWait();
+  commSeconds_[rank] += timer.seconds();
+  return out;
+}
+
+double Communicator::communicationSeconds(std::size_t rank) const {
+  ARTSCI_EXPECTS(rank < ranks_);
+  return commSeconds_[rank];
+}
+
+void Communicator::resetTimers() {
+  for (auto& s : commSeconds_) s = 0.0;
+}
+
+void allReduceGradients(Communicator& comm, std::size_t rank,
+                        const std::vector<Tensor>& params) {
+  // Flatten all gradients into one bucket (DDP-style) to amortize the
+  // collective's synchronization cost.
+  std::size_t total = 0;
+  for (const auto& p : params) total += p.data().size();
+  std::vector<Real> bucket;
+  bucket.reserve(total);
+  for (const auto& p : params) {
+    auto* impl = p.impl();
+    impl->ensureGrad();
+    bucket.insert(bucket.end(), impl->grad.begin(), impl->grad.end());
+  }
+  comm.allReduceMean(rank, bucket);
+  std::size_t offset = 0;
+  for (const auto& p : params) {
+    auto& grad = p.impl()->grad;
+    std::copy(bucket.begin() + static_cast<long>(offset),
+              bucket.begin() + static_cast<long>(offset + grad.size()),
+              grad.begin());
+    offset += grad.size();
+  }
+}
+
+void broadcastParameters(Communicator& comm, std::size_t rank,
+                         const std::vector<Tensor>& params) {
+  // Implemented as an all-reduce of rank-0's values: ranks != 0 contribute
+  // zeros, then everyone multiplies by the rank count.
+  std::vector<Real> bucket;
+  for (const auto& p : params) {
+    const auto& d = p.data();
+    if (rank == 0) {
+      bucket.insert(bucket.end(), d.begin(), d.end());
+    } else {
+      bucket.insert(bucket.end(), d.size(), Real(0));
+    }
+  }
+  comm.allReduceMean(rank, bucket);
+  const Real scale = static_cast<Real>(comm.ranks());
+  std::size_t offset = 0;
+  for (const auto& p : params) {
+    auto& d = const_cast<std::vector<Real>&>(p.data());
+    for (std::size_t i = 0; i < d.size(); ++i)
+      d[i] = bucket[offset + i] * scale;
+    offset += d.size();
+  }
+}
+
+}  // namespace artsci::ml

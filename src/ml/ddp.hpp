@@ -1,0 +1,64 @@
+/// \file ddp.hpp
+/// Distributed-data-parallel training support, the stand-in for PyTorch DDP
+/// with the N/RCCL backend. Ranks are threads; the Communicator implements
+/// the collectives the paper's training uses:
+///   * all-reduce (gradient averaging after each backward pass), and
+///   * all-gather (the MMD loss terms "amount to matrix dot products with
+///     data distributed across all ranks"; the paper gathers activations
+///     with torch.distributed.all_gather_into_tensor, which breaks the
+///     autograd graph — our allGather likewise returns detached data).
+/// Collective wall-times are accumulated per rank so the Fig 8 bench can
+/// attribute the efficiency deficit to communication.
+#pragma once
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "ml/tensor.hpp"
+
+namespace artsci::ml {
+
+class Communicator {
+ public:
+  explicit Communicator(std::size_t ranks);
+
+  std::size_t ranks() const { return ranks_; }
+
+  /// In-place mean all-reduce across ranks. Every rank must call with a
+  /// buffer of identical length. Chunked tree reduction over shared memory.
+  void allReduceMean(std::size_t rank, std::vector<Real>& buffer);
+
+  /// Gather each rank's buffer; returns the concatenation in rank order.
+  /// Buffers may differ in length. Result is plain data (no autograd).
+  std::vector<Real> allGather(std::size_t rank,
+                              const std::vector<Real>& local);
+
+  void barrier() { barrier_.arriveAndWait(); }
+
+  /// Cumulative seconds each rank spent inside collectives.
+  double communicationSeconds(std::size_t rank) const;
+  void resetTimers();
+
+ private:
+  std::size_t ranks_;
+  Barrier barrier_;
+  std::mutex mutex_;
+  std::vector<Real> reduceBuffer_;
+  std::size_t reduceLength_ = 0;
+  std::vector<const std::vector<Real>*> gatherSlots_;
+  std::vector<double> commSeconds_;
+};
+
+/// Average the gradients of `params` across all ranks (flattens all grads
+/// into one buffer per call, like DDP's gradient buckets).
+void allReduceGradients(Communicator& comm, std::size_t rank,
+                        const std::vector<Tensor>& params);
+
+/// Broadcast rank-0 parameter *values* to all ranks so replicas start
+/// identical (DDP does this at construction).
+void broadcastParameters(Communicator& comm, std::size_t rank,
+                         const std::vector<Tensor>& params);
+
+}  // namespace artsci::ml

@@ -1,0 +1,27 @@
+/// \file gradcheck.hpp
+/// Finite-difference gradient verification used throughout tests/ml.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace artsci::ml {
+
+struct GradCheckResult {
+  Real maxAbsError = Real(0);
+  Real maxRelError = Real(0);
+  bool ok = true;
+};
+
+/// Verify d(fn)/d(inputs) by central differences.
+/// `fn` must build a fresh graph from the inputs and return a scalar.
+/// Checks every element when the input has <= `maxElements` entries,
+/// otherwise a deterministic stride-sampled subset.
+GradCheckResult gradCheck(
+    const std::function<Tensor(const std::vector<Tensor>&)>& fn,
+    std::vector<Tensor> inputs, Real epsilon = Real(1e-5),
+    Real tolerance = Real(1e-6), long maxElements = 512);
+
+}  // namespace artsci::ml

@@ -1,0 +1,218 @@
+#include "ml/losses.hpp"
+
+#include <cmath>
+
+namespace artsci::ml {
+
+Tensor mseLoss(const Tensor& prediction, const Tensor& target) {
+  ARTSCI_EXPECTS_MSG(prediction.shape() == target.shape(),
+                     "mseLoss shape mismatch: "
+                         << shapeToString(prediction.shape()) << " vs "
+                         << shapeToString(target.shape()));
+  return meanAll(square(sub(prediction, target)));
+}
+
+Tensor klStandardNormal(const Tensor& mu, const Tensor& logvar) {
+  ARTSCI_EXPECTS(mu.shape() == logvar.shape());
+  // -1/2 * mean(1 + logvar - mu^2 - exp(logvar))
+  Tensor inner =
+      sub(sub(addScalar(logvar, Real(1)), square(mu)), expT(logvar));
+  return mulScalar(meanAll(inner), Real(-0.5));
+}
+
+Tensor mmdInverseMultiquadratic(const Tensor& x, const Tensor& y,
+                                const std::vector<Real>& scales) {
+  ARTSCI_EXPECTS(x.ndim() == 2 && y.ndim() == 2);
+  ARTSCI_EXPECTS(x.dim(1) == y.dim(1));
+  ARTSCI_EXPECTS(!scales.empty());
+  Tensor dxx = pairwiseSquaredDistances(x, x);
+  Tensor dyy = pairwiseSquaredDistances(y, y);
+  Tensor dxy = pairwiseSquaredDistances(x, y);
+  auto kernelMean = [&scales](const Tensor& d2) {
+    Tensor acc;
+    for (Real s : scales) {
+      // s / (s + d^2)
+      Tensor k = mulScalar(reciprocal(addScalar(d2, s)), s);
+      acc = acc.defined() ? add(acc, k) : k;
+    }
+    return meanAll(acc);
+  };
+  Tensor mmd = sub(add(kernelMean(dxx), kernelMean(dyy)),
+                   mulScalar(kernelMean(dxy), Real(2)));
+  // Clip tiny negatives from the biased estimator.
+  return relu(mmd);
+}
+
+namespace {
+
+/// Sinkhorn on one batch item: returns transport plan P (size N*M) between
+/// uniform marginals, for cost matrix c2 (squared distances).
+void sinkhornPlan(const Real* c2, long N, long M, Real epsilon, int iters,
+                  std::vector<Real>& plan) {
+  // Scale epsilon by the mean cost so the regularization strength is
+  // resolution-independent.
+  Real meanCost = Real(0);
+  for (long i = 0; i < N * M; ++i) meanCost += c2[i];
+  meanCost /= static_cast<Real>(N * M);
+  const Real eps = std::max(epsilon * std::max(meanCost, Real(1e-12)),
+                            Real(1e-12));
+
+  std::vector<Real> K(static_cast<std::size_t>(N * M));
+  for (long i = 0; i < N * M; ++i) K[static_cast<std::size_t>(i)] =
+      std::exp(-c2[i] / eps);
+  std::vector<Real> u(static_cast<std::size_t>(N), Real(1));
+  std::vector<Real> v(static_cast<std::size_t>(M), Real(1));
+  const Real ra = Real(1) / static_cast<Real>(N);
+  const Real rb = Real(1) / static_cast<Real>(M);
+  for (int it = 0; it < iters; ++it) {
+    for (long i = 0; i < N; ++i) {
+      Real s = Real(0);
+      const Real* row = K.data() + i * M;
+      for (long j = 0; j < M; ++j) s += row[j] * v[static_cast<std::size_t>(j)];
+      u[static_cast<std::size_t>(i)] = ra / std::max(s, Real(1e-300));
+    }
+    for (long j = 0; j < M; ++j) {
+      Real s = Real(0);
+      for (long i = 0; i < N; ++i)
+        s += K[static_cast<std::size_t>(i * M + j)] *
+             u[static_cast<std::size_t>(i)];
+      v[static_cast<std::size_t>(j)] = rb / std::max(s, Real(1e-300));
+    }
+  }
+  plan.resize(static_cast<std::size_t>(N * M));
+  for (long i = 0; i < N; ++i)
+    for (long j = 0; j < M; ++j)
+      plan[static_cast<std::size_t>(i * M + j)] =
+          u[static_cast<std::size_t>(i)] * K[static_cast<std::size_t>(i * M + j)] *
+          v[static_cast<std::size_t>(j)];
+}
+
+}  // namespace
+
+namespace {
+
+/// Entropy-regularized OT cost between uniform clouds x:[N,D], y:[M,D] for
+/// one batch item; the converged plan is returned for gradients.
+Real otCost(const Real* x, long N, const Real* y, long M, long D,
+            const SinkhornParams& params, std::vector<Real>& plan) {
+  std::vector<Real> c2(static_cast<std::size_t>(N * M));
+  for (long i = 0; i < N; ++i) {
+    for (long j = 0; j < M; ++j) {
+      Real d2 = Real(0);
+      for (long d = 0; d < D; ++d) {
+        const Real diff = x[i * D + d] - y[j * D + d];
+        d2 += diff * diff;
+      }
+      c2[static_cast<std::size_t>(i * M + j)] = d2;
+    }
+  }
+  sinkhornPlan(c2.data(), N, M, params.epsilon, params.iterations, plan);
+  Real cost = Real(0);
+  for (long i = 0; i < N * M; ++i)
+    cost += plan[static_cast<std::size_t>(i)] * c2[static_cast<std::size_t>(i)];
+  return cost;
+}
+
+}  // namespace
+
+Tensor emdSinkhorn(const Tensor& a, const Tensor& b,
+                   const SinkhornParams& params) {
+  ARTSCI_EXPECTS(a.ndim() == 3 && b.ndim() == 3);
+  const long B = a.dim(0), N = a.dim(1), D = a.dim(2), M = b.dim(1);
+  ARTSCI_EXPECTS(b.dim(0) == B && b.dim(2) == D);
+  Tensor out = makeResult({1}, {a, b}, "emdSinkhorn");
+
+  const Real* A = a.data().data();
+  const Real* Bd = b.data().data();
+  // Debiased Sinkhorn divergence (geomloss): S = OT(a,b) - OT(a,a)/2
+  // - OT(b,b)/2, which removes the entropic bias so S(a,a) == 0.
+  std::vector<std::vector<Real>> planAB(static_cast<std::size_t>(B));
+  std::vector<std::vector<Real>> planAA(static_cast<std::size_t>(B));
+  std::vector<std::vector<Real>> planBB(static_cast<std::size_t>(B));
+  Real total = Real(0);
+
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (long bi = 0; bi < B; ++bi) {
+    const Real* ab = A + bi * N * D;
+    const Real* bb = Bd + bi * M * D;
+    const auto s = static_cast<std::size_t>(bi);
+    const Real cab = otCost(ab, N, bb, M, D, params, planAB[s]);
+    const Real caa = otCost(ab, N, ab, N, D, params, planAA[s]);
+    const Real cbb = otCost(bb, M, bb, M, D, params, planBB[s]);
+    total += cab - Real(0.5) * caa - Real(0.5) * cbb;
+  }
+  out.data()[0] = std::max(total / static_cast<Real>(B), Real(0));
+
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    auto pb = b.impl_;
+    out.impl_->backwardFn = [pa, pb, planAB = std::move(planAB),
+                             planAA = std::move(planAA),
+                             planBB = std::move(planBB), B, N, M,
+                             D](TensorImpl& self) {
+      // Envelope theorem: at the converged plans the cost gradient w.r.t.
+      // the points keeps the plans fixed.
+      const Real g = self.grad[0] / static_cast<Real>(B);
+      const Real* A2 = pa->data.data();
+      const Real* B2 = pb->data.data();
+      std::vector<Real>* ga = nullptr;
+      std::vector<Real>* gb = nullptr;
+      if (pa->requiresGrad) {
+        pa->ensureGrad();
+        ga = &pa->grad;
+      }
+      if (pb->requiresGrad) {
+        pb->ensureGrad();
+        gb = &pb->grad;
+      }
+      // d/dx sum_ij P_ij ||x_i - y_j||^2 = sum_j 2 P_ij (x_i - y_j),
+      // and symmetrically for y. `sign` scales the term's weight.
+      auto accumulate = [g, D](const std::vector<Real>& plan, const Real* x,
+                               long n, std::vector<Real>* gx, long xBase,
+                               const Real* y, long m, std::vector<Real>* gy,
+                               long yBase, Real sign) {
+        if (!gx && !gy) return;
+        for (long i = 0; i < n; ++i) {
+          for (long j = 0; j < m; ++j) {
+            const Real p = plan[static_cast<std::size_t>(i * m + j)];
+            if (p == Real(0)) continue;
+            for (long d = 0; d < D; ++d) {
+              const Real diff =
+                  Real(2) * p * (x[i * D + d] - y[j * D + d]);
+              if (gx)
+                (*gx)[static_cast<std::size_t>(xBase + i * D + d)] +=
+                    sign * g * diff;
+              if (gy)
+                (*gy)[static_cast<std::size_t>(yBase + j * D + d)] -=
+                    sign * g * diff;
+            }
+          }
+        }
+      };
+      for (long bi = 0; bi < B; ++bi) {
+        const auto s = static_cast<std::size_t>(bi);
+        const Real* ab = A2 + bi * N * D;
+        const Real* bb = B2 + bi * M * D;
+        const long aBase = bi * N * D;
+        const long bBase = bi * M * D;
+        accumulate(planAB[s], ab, N, ga, aBase, bb, M, gb, bBase, Real(1));
+        accumulate(planAA[s], ab, N, ga, aBase, ab, N, ga, aBase,
+                   Real(-0.5));
+        accumulate(planBB[s], bb, M, gb, bBase, bb, M, gb, bBase,
+                   Real(-0.5));
+      }
+    };
+  }
+  return out;
+}
+
+Tensor totalLoss(const LossTerms& terms, const LossWeights& weights) {
+  Tensor total = mulScalar(terms.chamfer, weights.chamfer);
+  total = add(total, mulScalar(terms.kl, weights.kl));
+  total = add(total, mulScalar(terms.mse, weights.mse));
+  total = add(total, mulScalar(terms.mmdLatent, weights.mmdLatent));
+  total = add(total, mulScalar(terms.mmdPosterior, weights.mmdPosterior));
+  return total;
+}
+
+}  // namespace artsci::ml

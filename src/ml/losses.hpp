@@ -1,0 +1,64 @@
+/// \file losses.hpp
+/// The five loss terms of the paper's Eq. (1) plus the EMD alternative the
+/// authors could not run on Frontier (no HIP KeOps) — we provide it for the
+/// cost-ratio ablation.
+#pragma once
+
+#include "ml/ops.hpp"
+#include "ml/tensor.hpp"
+
+namespace artsci::ml {
+
+/// Mean squared error over all elements (L_MSE for the predicted spectrum).
+Tensor mseLoss(const Tensor& prediction, const Tensor& target);
+
+/// KL divergence of N(mu, exp(logvar)) against the standard normal,
+/// averaged over the batch and latent dimensions (L_KL of the VAE):
+///   KL = -1/2 * mean(1 + logvar - mu^2 - exp(logvar)).
+Tensor klStandardNormal(const Tensor& mu, const Tensor& logvar);
+
+/// Maximum mean discrepancy with an inverse multi-quadratic kernel
+/// k(x,y) = sum_s s / (s + ||x-y||^2), the kernel recommended for INNs by
+/// Ardizzone et al. x:[N,D], y:[M,D]; biased V-statistic estimator.
+Tensor mmdInverseMultiquadratic(
+    const Tensor& x, const Tensor& y,
+    const std::vector<Real>& scales = {Real(0.2), Real(1), Real(5)});
+
+/// Earth mover's (2-Wasserstein^2) distance between batched point clouds
+/// a:[B,N,D], b:[B,M,D], computed via entropy-regularized Sinkhorn
+/// iterations on the pairwise squared distances. The gradient uses the
+/// converged transport plan (envelope theorem), matching geomloss's
+/// practical behaviour at small epsilon. ~4x the cost of Chamfer at equal
+/// sizes (ablation A2).
+struct SinkhornParams {
+  Real epsilon = Real(0.05);  ///< entropic regularization (relative to
+                              ///< mean pairwise distance)
+  int iterations = 30;
+};
+Tensor emdSinkhorn(const Tensor& a, const Tensor& b,
+                   const SinkhornParams& params = {});
+
+/// Weighted total of Eq. (1):
+///   L = L_CD + 0.001 L_KL + 0.3 L_MSE + 40 L_MMD(z,z') + 0.03 L_MMD(N,N').
+struct LossWeights {
+  Real chamfer = Real(1);
+  Real kl = Real(0.001);
+  Real mse = Real(0.3);
+  Real mmdLatent = Real(40);    ///< L_MMD(z, z')
+  Real mmdPosterior = Real(0.03);  ///< L_MMD(N, N')
+};
+
+/// Individual terms, kept separate for logging (the paper reports the
+/// convergence of the VAE and INN terms separately in §V-A.1).
+struct LossTerms {
+  Tensor chamfer;
+  Tensor kl;
+  Tensor mse;
+  Tensor mmdLatent;
+  Tensor mmdPosterior;
+};
+
+/// Combine terms with weights into the scalar training loss.
+Tensor totalLoss(const LossTerms& terms, const LossWeights& weights);
+
+}  // namespace artsci::ml

@@ -1,0 +1,746 @@
+#include "ml/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace artsci::ml {
+
+namespace {
+
+/// Row-major strides of a shape.
+std::vector<long> stridesOf(const Shape& s) {
+  std::vector<long> st(s.size(), 1);
+  for (int i = static_cast<int>(s.size()) - 2; i >= 0; --i)
+    st[static_cast<std::size_t>(i)] =
+        st[static_cast<std::size_t>(i) + 1] * s[static_cast<std::size_t>(i) + 1];
+  return st;
+}
+
+/// Map a flat index in `outShape` to the flat index in `inShape`, where
+/// inShape broadcasts to outShape (right-aligned).
+long mapBroadcastIndex(long flat, const Shape& outShape,
+                       const std::vector<long>& outStrides,
+                       const Shape& inShape,
+                       const std::vector<long>& inStrides) {
+  const int offset = static_cast<int>(outShape.size() - inShape.size());
+  long idx = 0;
+  for (std::size_t d = 0; d < outShape.size(); ++d) {
+    const long coord = (flat / outStrides[d]) % outShape[d];
+    const int din = static_cast<int>(d) - offset;
+    if (din >= 0) {
+      const long dim = inShape[static_cast<std::size_t>(din)];
+      idx += (dim == 1 ? 0 : coord) * inStrides[static_cast<std::size_t>(din)];
+    }
+  }
+  return idx;
+}
+
+bool sameShape(const Shape& a, const Shape& b) { return a == b; }
+
+/// True if b's shape is an exact suffix of a's shape (fast bias-add path).
+bool isSuffix(const Shape& a, const Shape& b) {
+  if (b.size() > a.size()) return false;
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    if (b[b.size() - 1 - i] != a[a.size() - 1 - i]) return false;
+  }
+  return true;
+}
+
+/// ensureGrad + return pointer, or nullptr if the parent doesn't need grad.
+std::vector<Real>* gradOf(const std::shared_ptr<TensorImpl>& p) {
+  if (!p->requiresGrad) return nullptr;
+  p->ensureGrad();
+  return &p->grad;
+}
+
+template <typename FwdOp, typename DA, typename DB>
+Tensor binaryOp(const Tensor& a, const Tensor& b, const char* name, FwdOp fwd,
+                DA dfdA, DB dfdB) {
+  const Shape outShape = broadcastShapes(a.shape(), b.shape());
+  Tensor out = makeResult(outShape, {a, b}, name);
+  const long n = out.numel();
+  const auto& ad = a.data();
+  const auto& bd = b.data();
+  auto& od = out.data();
+
+  if (sameShape(a.shape(), outShape) && sameShape(b.shape(), outShape)) {
+#pragma omp parallel for schedule(static) if (n > (1L << 14))
+    for (long i = 0; i < n; ++i)
+      od[static_cast<std::size_t>(i)] = fwd(ad[static_cast<std::size_t>(i)],
+                                            bd[static_cast<std::size_t>(i)]);
+  } else if (sameShape(a.shape(), outShape) && isSuffix(outShape, b.shape())) {
+    const long bn = b.numel();
+#pragma omp parallel for schedule(static) if (n > (1L << 14))
+    for (long i = 0; i < n; ++i)
+      od[static_cast<std::size_t>(i)] = fwd(
+          ad[static_cast<std::size_t>(i)], bd[static_cast<std::size_t>(i % bn)]);
+  } else {
+    const auto outStrides = stridesOf(outShape);
+    const auto aStrides = stridesOf(a.shape());
+    const auto bStrides = stridesOf(b.shape());
+    const Shape aShape = a.shape(), bShape = b.shape();
+    for (long i = 0; i < n; ++i) {
+      const long ia =
+          mapBroadcastIndex(i, outShape, outStrides, aShape, aStrides);
+      const long ib =
+          mapBroadcastIndex(i, outShape, outStrides, bShape, bStrides);
+      od[static_cast<std::size_t>(i)] = fwd(ad[static_cast<std::size_t>(ia)],
+                                            bd[static_cast<std::size_t>(ib)]);
+    }
+  }
+
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    auto pb = b.impl_;
+    out.impl_->backwardFn = [pa, pb, outShape, dfdA, dfdB](TensorImpl& self) {
+      const long n2 = self.numel();
+      const auto outStrides = stridesOf(outShape);
+      const auto aStrides = stridesOf(pa->shape);
+      const auto bStrides = stridesOf(pb->shape);
+      auto* ga = gradOf(pa);
+      auto* gb = gradOf(pb);
+      for (long i = 0; i < n2; ++i) {
+        const long ia =
+            mapBroadcastIndex(i, outShape, outStrides, pa->shape, aStrides);
+        const long ib =
+            mapBroadcastIndex(i, outShape, outStrides, pb->shape, bStrides);
+        const Real av = pa->data[static_cast<std::size_t>(ia)];
+        const Real bv = pb->data[static_cast<std::size_t>(ib)];
+        const Real g = self.grad[static_cast<std::size_t>(i)];
+        if (ga) (*ga)[static_cast<std::size_t>(ia)] += g * dfdA(av, bv);
+        if (gb) (*gb)[static_cast<std::size_t>(ib)] += g * dfdB(av, bv);
+      }
+    };
+  }
+  return out;
+}
+
+template <typename FwdOp, typename DOp>
+Tensor unaryOp(const Tensor& a, const char* name, FwdOp fwd, DOp dfd) {
+  Tensor out = makeResult(a.shape(), {a}, name);
+  const long n = out.numel();
+  const auto& ad = a.data();
+  auto& od = out.data();
+#pragma omp parallel for schedule(static) if (n > (1L << 14))
+  for (long i = 0; i < n; ++i)
+    od[static_cast<std::size_t>(i)] = fwd(ad[static_cast<std::size_t>(i)]);
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa, dfd](TensorImpl& self) {
+      auto* ga = gradOf(pa);
+      if (!ga) return;
+      const long n2 = self.numel();
+      for (long i = 0; i < n2; ++i) {
+        (*ga)[static_cast<std::size_t>(i)] +=
+            self.grad[static_cast<std::size_t>(i)] *
+            dfd(pa->data[static_cast<std::size_t>(i)],
+                self.data[static_cast<std::size_t>(i)]);
+      }
+    };
+  }
+  return out;
+}
+
+}  // namespace
+
+Shape broadcastShapes(const Shape& a, const Shape& b) {
+  const std::size_t nd = std::max(a.size(), b.size());
+  Shape out(nd, 1);
+  for (std::size_t i = 0; i < nd; ++i) {
+    const long da = i < a.size() ? a[a.size() - 1 - i] : 1;
+    const long db = i < b.size() ? b[b.size() - 1 - i] : 1;
+    ARTSCI_CHECK_MSG(da == db || da == 1 || db == 1,
+                     "cannot broadcast " << shapeToString(a) << " with "
+                                         << shapeToString(b));
+    out[nd - 1 - i] = std::max(da, db);
+  }
+  return out;
+}
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binaryOp(
+      a, b, "add", [](Real x, Real y) { return x + y; },
+      [](Real, Real) { return Real(1); }, [](Real, Real) { return Real(1); });
+}
+
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binaryOp(
+      a, b, "sub", [](Real x, Real y) { return x - y; },
+      [](Real, Real) { return Real(1); }, [](Real, Real) { return Real(-1); });
+}
+
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binaryOp(
+      a, b, "mul", [](Real x, Real y) { return x * y; },
+      [](Real, Real y) { return y; }, [](Real x, Real) { return x; });
+}
+
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binaryOp(
+      a, b, "div", [](Real x, Real y) { return x / y; },
+      [](Real, Real y) { return Real(1) / y; },
+      [](Real x, Real y) { return -x / (y * y); });
+}
+
+Tensor addScalar(const Tensor& a, Real s) {
+  return unaryOp(
+      a, "addScalar", [s](Real x) { return x + s; },
+      [](Real, Real) { return Real(1); });
+}
+
+Tensor mulScalar(const Tensor& a, Real s) {
+  return unaryOp(
+      a, "mulScalar", [s](Real x) { return x * s; },
+      [s](Real, Real) { return s; });
+}
+
+Tensor neg(const Tensor& a) { return mulScalar(a, Real(-1)); }
+
+Tensor relu(const Tensor& a) {
+  return unaryOp(
+      a, "relu", [](Real x) { return x > 0 ? x : Real(0); },
+      [](Real x, Real) { return x > 0 ? Real(1) : Real(0); });
+}
+
+Tensor leakyRelu(const Tensor& a, Real slope) {
+  return unaryOp(
+      a, "leakyRelu", [slope](Real x) { return x > 0 ? x : slope * x; },
+      [slope](Real x, Real) { return x > 0 ? Real(1) : slope; });
+}
+
+Tensor tanhT(const Tensor& a) {
+  return unaryOp(
+      a, "tanh", [](Real x) { return std::tanh(x); },
+      [](Real, Real y) { return Real(1) - y * y; });
+}
+
+Tensor sigmoid(const Tensor& a) {
+  return unaryOp(
+      a, "sigmoid", [](Real x) { return Real(1) / (Real(1) + std::exp(-x)); },
+      [](Real, Real y) { return y * (Real(1) - y); });
+}
+
+Tensor expT(const Tensor& a) {
+  return unaryOp(
+      a, "exp", [](Real x) { return std::exp(x); },
+      [](Real, Real y) { return y; });
+}
+
+Tensor logT(const Tensor& a) {
+  // Validate outside the (OpenMP) elementwise loop: exceptions must not
+  // escape a parallel region.
+  for (Real x : a.data())
+    ARTSCI_CHECK_MSG(x > Real(0), "log of non-positive value " << x);
+  return unaryOp(
+      a, "log", [](Real x) { return std::log(x); },
+      [](Real x, Real) { return Real(1) / x; });
+}
+
+Tensor sqrtT(const Tensor& a) {
+  for (Real x : a.data())
+    ARTSCI_CHECK_MSG(x >= Real(0), "sqrt of negative value " << x);
+  return unaryOp(
+      a, "sqrt", [](Real x) { return std::sqrt(x); },
+      [](Real, Real y) { return Real(0.5) / std::max(y, Real(1e-12)); });
+}
+
+Tensor square(const Tensor& a) {
+  return unaryOp(
+      a, "square", [](Real x) { return x * x; },
+      [](Real x, Real) { return Real(2) * x; });
+}
+
+Tensor reciprocal(const Tensor& a) {
+  return unaryOp(
+      a, "reciprocal", [](Real x) { return Real(1) / x; },
+      [](Real x, Real) { return Real(-1) / (x * x); });
+}
+
+Tensor softplus(const Tensor& a) {
+  return unaryOp(
+      a, "softplus",
+      [](Real x) {
+        // numerically stable log(1 + e^x)
+        return x > Real(20) ? x : std::log1p(std::exp(x));
+      },
+      [](Real x, Real) { return Real(1) / (Real(1) + std::exp(-x)); });
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  ARTSCI_EXPECTS_MSG(a.ndim() == 2 && b.ndim() == 2,
+                     "matmul expects 2D tensors, got "
+                         << shapeToString(a.shape()) << " x "
+                         << shapeToString(b.shape()));
+  const long M = a.dim(0), K = a.dim(1), K2 = b.dim(0), N = b.dim(1);
+  ARTSCI_EXPECTS_MSG(K == K2, "matmul inner dims mismatch: "
+                                  << shapeToString(a.shape()) << " x "
+                                  << shapeToString(b.shape()));
+  Tensor out = makeResult({M, N}, {a, b}, "matmul");
+  const Real* A = a.data().data();
+  const Real* B = b.data().data();
+  Real* C = out.data().data();
+#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
+  for (long i = 0; i < M; ++i) {
+    Real* crow = C + i * N;
+    std::fill(crow, crow + N, Real(0));
+    for (long k = 0; k < K; ++k) {
+      const Real aik = A[i * K + k];
+      const Real* brow = B + k * N;
+      for (long j = 0; j < N; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    auto pb = b.impl_;
+    out.impl_->backwardFn = [pa, pb, M, K, N](TensorImpl& self) {
+      const Real* G = self.grad.data();
+      // dA = G * B^T
+      if (auto* ga = gradOf(pa)) {
+        const Real* B2 = pb->data.data();
+        Real* GA = ga->data();
+#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
+        for (long i = 0; i < M; ++i) {
+          for (long k = 0; k < K; ++k) {
+            Real s = Real(0);
+            const Real* grow = G + i * N;
+            const Real* brow = B2 + k * N;
+            for (long j = 0; j < N; ++j) s += grow[j] * brow[j];
+            GA[i * K + k] += s;
+          }
+        }
+      }
+      // dB = A^T * G
+      if (auto* gb = gradOf(pb)) {
+        const Real* A2 = pa->data.data();
+        Real* GB = gb->data();
+#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
+        for (long k = 0; k < K; ++k) {
+          Real* gbrow = GB + k * N;
+          for (long i = 0; i < M; ++i) {
+            const Real aik = A2[i * K + k];
+            const Real* grow = G + i * N;
+            for (long j = 0; j < N; ++j) gbrow[j] += aik * grow[j];
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor transpose2d(const Tensor& a) {
+  ARTSCI_EXPECTS(a.ndim() == 2);
+  const long M = a.dim(0), N = a.dim(1);
+  Tensor out = makeResult({N, M}, {a}, "transpose2d");
+  const auto& ad = a.data();
+  auto& od = out.data();
+  for (long i = 0; i < M; ++i)
+    for (long j = 0; j < N; ++j)
+      od[static_cast<std::size_t>(j * M + i)] =
+          ad[static_cast<std::size_t>(i * N + j)];
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa, M, N](TensorImpl& self) {
+      auto* ga = gradOf(pa);
+      if (!ga) return;
+      for (long i = 0; i < M; ++i)
+        for (long j = 0; j < N; ++j)
+          (*ga)[static_cast<std::size_t>(i * N + j)] +=
+              self.grad[static_cast<std::size_t>(j * M + i)];
+    };
+  }
+  return out;
+}
+
+Tensor sumAll(const Tensor& a) {
+  Tensor out = makeResult({1}, {a}, "sumAll");
+  Real s = Real(0);
+  for (Real v : a.data()) s += v;
+  out.data()[0] = s;
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa](TensorImpl& self) {
+      auto* ga = gradOf(pa);
+      if (!ga) return;
+      const Real g = self.grad[0];
+      for (Real& v : *ga) v += g;
+    };
+  }
+  return out;
+}
+
+Tensor meanAll(const Tensor& a) {
+  return mulScalar(sumAll(a), Real(1) / static_cast<Real>(a.numel()));
+}
+
+namespace {
+/// Decompose shape around `axis`: outer (product before), len (axis), inner
+/// (product after). Works for any rank >= 1.
+void axisSplit(const Shape& s, int axis, long& outer, long& len,
+               long& inner) {
+  outer = 1;
+  inner = 1;
+  for (int i = 0; i < axis; ++i) outer *= s[static_cast<std::size_t>(i)];
+  len = s[static_cast<std::size_t>(axis)];
+  for (std::size_t i = static_cast<std::size_t>(axis) + 1; i < s.size(); ++i)
+    inner *= s[i];
+}
+
+Shape dropAxis(const Shape& s, int axis, bool keepdim) {
+  Shape out = s;
+  if (keepdim) {
+    out[static_cast<std::size_t>(axis)] = 1;
+  } else {
+    out.erase(out.begin() + axis);
+    if (out.empty()) out = {1};
+  }
+  return out;
+}
+}  // namespace
+
+Tensor sumAxis(const Tensor& a, int axis, bool keepdim) {
+  if (axis < 0) axis += a.ndim();
+  ARTSCI_EXPECTS(axis >= 0 && axis < a.ndim());
+  long outer = 0, len = 0, inner = 0;
+  axisSplit(a.shape(), axis, outer, len, inner);
+  Tensor out = makeResult(dropAxis(a.shape(), axis, keepdim), {a}, "sumAxis");
+  const auto& ad = a.data();
+  auto& od = out.data();
+  for (long o = 0; o < outer; ++o) {
+    for (long i = 0; i < inner; ++i) {
+      Real s = Real(0);
+      for (long l = 0; l < len; ++l)
+        s += ad[static_cast<std::size_t>((o * len + l) * inner + i)];
+      od[static_cast<std::size_t>(o * inner + i)] = s;
+    }
+  }
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa, outer, len, inner](TensorImpl& self) {
+      auto* ga = gradOf(pa);
+      if (!ga) return;
+      for (long o = 0; o < outer; ++o)
+        for (long l = 0; l < len; ++l)
+          for (long i = 0; i < inner; ++i)
+            (*ga)[static_cast<std::size_t>((o * len + l) * inner + i)] +=
+                self.grad[static_cast<std::size_t>(o * inner + i)];
+    };
+  }
+  return out;
+}
+
+Tensor meanAxis(const Tensor& a, int axis, bool keepdim) {
+  if (axis < 0) axis += a.ndim();
+  const Real scale =
+      Real(1) / static_cast<Real>(a.dim(axis));
+  return mulScalar(sumAxis(a, axis, keepdim), scale);
+}
+
+Tensor maxAxis(const Tensor& a, int axis, bool keepdim) {
+  if (axis < 0) axis += a.ndim();
+  ARTSCI_EXPECTS(axis >= 0 && axis < a.ndim());
+  long outer = 0, len = 0, inner = 0;
+  axisSplit(a.shape(), axis, outer, len, inner);
+  Tensor out = makeResult(dropAxis(a.shape(), axis, keepdim), {a}, "maxAxis");
+  std::vector<long> argmax(static_cast<std::size_t>(outer * inner), 0);
+  const auto& ad = a.data();
+  auto& od = out.data();
+#pragma omp parallel for schedule(static) if (outer * inner > (1L << 12))
+  for (long oi = 0; oi < outer * inner; ++oi) {
+    const long o = oi / inner;
+    const long i = oi % inner;
+    Real best = ad[static_cast<std::size_t>(o * len * inner + i)];
+    long bestL = 0;
+    for (long l = 1; l < len; ++l) {
+      const Real v = ad[static_cast<std::size_t>((o * len + l) * inner + i)];
+      if (v > best) {
+        best = v;
+        bestL = l;
+      }
+    }
+    od[static_cast<std::size_t>(oi)] = best;
+    argmax[static_cast<std::size_t>(oi)] = bestL;
+  }
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa, argmax = std::move(argmax), inner,
+                             len](TensorImpl& self) {
+      auto* ga = gradOf(pa);
+      if (!ga) return;
+      const long total = self.numel();
+      for (long oi = 0; oi < total; ++oi) {
+        const long o = oi / inner;
+        const long i = oi % inner;
+        const long l = argmax[static_cast<std::size_t>(oi)];
+        (*ga)[static_cast<std::size_t>((o * len + l) * inner + i)] +=
+            self.grad[static_cast<std::size_t>(oi)];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor reshape(const Tensor& a, Shape newShape) {
+  ARTSCI_EXPECTS_MSG(numelOf(newShape) == a.numel(),
+                     "reshape " << shapeToString(a.shape()) << " -> "
+                                << shapeToString(newShape)
+                                << " changes element count");
+  Tensor out = makeResult(std::move(newShape), {a}, "reshape");
+  out.data() = a.data();
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa](TensorImpl& self) {
+      auto* ga = gradOf(pa);
+      if (!ga) return;
+      for (std::size_t i = 0; i < self.grad.size(); ++i)
+        (*ga)[i] += self.grad[i];
+    };
+  }
+  return out;
+}
+
+Tensor cat(const std::vector<Tensor>& parts, int axis) {
+  ARTSCI_EXPECTS(!parts.empty());
+  const int nd = parts[0].ndim();
+  if (axis < 0) axis += nd;
+  ARTSCI_EXPECTS(axis >= 0 && axis < nd);
+  Shape outShape = parts[0].shape();
+  long axisTotal = 0;
+  for (const auto& p : parts) {
+    ARTSCI_EXPECTS(p.ndim() == nd);
+    for (int d = 0; d < nd; ++d) {
+      if (d != axis)
+        ARTSCI_EXPECTS_MSG(p.dim(d) == outShape[static_cast<std::size_t>(d)],
+                           "cat: incompatible shapes");
+    }
+    axisTotal += p.dim(axis);
+  }
+  outShape[static_cast<std::size_t>(axis)] = axisTotal;
+
+  std::vector<Tensor> parents(parts.begin(), parts.end());
+  Tensor out = makeResult(outShape, parents, "cat");
+
+  long outer = 0, lenOut = 0, inner = 0;
+  axisSplit(outShape, axis, outer, lenOut, inner);
+  auto& od = out.data();
+  long axisOffset = 0;
+  for (const auto& p : parts) {
+    const long len = p.dim(axis);
+    const auto& pd = p.data();
+    for (long o = 0; o < outer; ++o) {
+      const Real* src = pd.data() + o * len * inner;
+      Real* dst = od.data() + (o * lenOut + axisOffset) * inner;
+      std::memcpy(dst, src, sizeof(Real) * static_cast<std::size_t>(len * inner));
+    }
+    axisOffset += len;
+  }
+  if (out.requiresGrad()) {
+    std::vector<std::shared_ptr<TensorImpl>> impls;
+    std::vector<long> lens;
+    for (const auto& p : parts) {
+      impls.push_back(p.impl_);
+      lens.push_back(p.dim(axis));
+    }
+    out.impl_->backwardFn = [impls, lens, outer, lenOut,
+                             inner](TensorImpl& self) {
+      long axisOffset2 = 0;
+      for (std::size_t pi = 0; pi < impls.size(); ++pi) {
+        const long len = lens[pi];
+        if (auto* ga = gradOf(impls[pi])) {
+          for (long o = 0; o < outer; ++o) {
+            const Real* src =
+                self.grad.data() + (o * lenOut + axisOffset2) * inner;
+            Real* dst = ga->data() + o * len * inner;
+            for (long i = 0; i < len * inner; ++i) dst[i] += src[i];
+          }
+        }
+        axisOffset2 += len;
+      }
+    };
+  }
+  return out;
+}
+
+Tensor slice(const Tensor& a, int axis, long start, long end) {
+  const int nd = a.ndim();
+  if (axis < 0) axis += nd;
+  ARTSCI_EXPECTS(axis >= 0 && axis < nd);
+  ARTSCI_EXPECTS_MSG(start >= 0 && end <= a.dim(axis) && start < end,
+                     "slice range [" << start << ", " << end
+                                     << ") out of bounds for axis size "
+                                     << a.dim(axis));
+  Shape outShape = a.shape();
+  outShape[static_cast<std::size_t>(axis)] = end - start;
+  Tensor out = makeResult(outShape, {a}, "slice");
+  long outer = 0, lenIn = 0, inner = 0;
+  axisSplit(a.shape(), axis, outer, lenIn, inner);
+  const long lenOut = end - start;
+  const auto& ad = a.data();
+  auto& od = out.data();
+  for (long o = 0; o < outer; ++o) {
+    const Real* src = ad.data() + (o * lenIn + start) * inner;
+    Real* dst = od.data() + o * lenOut * inner;
+    std::memcpy(dst, src, sizeof(Real) * static_cast<std::size_t>(lenOut * inner));
+  }
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa, outer, lenIn, lenOut, inner,
+                             start](TensorImpl& self) {
+      auto* ga = gradOf(pa);
+      if (!ga) return;
+      for (long o = 0; o < outer; ++o) {
+        const Real* src = self.grad.data() + o * lenOut * inner;
+        Real* dst = ga->data() + (o * lenIn + start) * inner;
+        for (long i = 0; i < lenOut * inner; ++i) dst[i] += src[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor permuteLast(const Tensor& a, const std::vector<long>& perm) {
+  const long L = a.dim(-1);
+  ARTSCI_EXPECTS_MSG(static_cast<long>(perm.size()) == L,
+                     "permuteLast: perm size " << perm.size()
+                                               << " != last dim " << L);
+  Tensor out = makeResult(a.shape(), {a}, "permuteLast");
+  const long rows = a.numel() / L;
+  const auto& ad = a.data();
+  auto& od = out.data();
+#pragma omp parallel for schedule(static) if (rows * L > (1L << 14))
+  for (long r = 0; r < rows; ++r) {
+    const Real* src = ad.data() + r * L;
+    Real* dst = od.data() + r * L;
+    for (long i = 0; i < L; ++i) dst[i] = src[perm[static_cast<std::size_t>(i)]];
+  }
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa, perm, rows, L](TensorImpl& self) {
+      auto* ga = gradOf(pa);
+      if (!ga) return;
+      for (long r = 0; r < rows; ++r) {
+        const Real* src = self.grad.data() + r * L;
+        Real* dst = ga->data() + r * L;
+        for (long i = 0; i < L; ++i)
+          dst[perm[static_cast<std::size_t>(i)]] += src[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor chamferDistance(const Tensor& a, const Tensor& b) {
+  ARTSCI_EXPECTS_MSG(a.ndim() == 3 && b.ndim() == 3,
+                     "chamferDistance expects [B,N,D] x [B,M,D]");
+  const long B = a.dim(0), N = a.dim(1), D = a.dim(2);
+  const long M = b.dim(1);
+  ARTSCI_EXPECTS(b.dim(0) == B && b.dim(2) == D);
+  Tensor out = makeResult({1}, {a, b}, "chamfer");
+
+  // nearest-neighbour indices: for each a-point its closest b-point, and
+  // vice versa. Stored for the backward pass.
+  std::vector<long> nnAB(static_cast<std::size_t>(B * N));
+  std::vector<long> nnBA(static_cast<std::size_t>(B * M));
+  const Real* A = a.data().data();
+  const Real* Bd = b.data().data();
+  Real total = Real(0);
+
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (long bi = 0; bi < B; ++bi) {
+    const Real* ab = A + bi * N * D;
+    const Real* bb = Bd + bi * M * D;
+    Real sumA = Real(0);
+    for (long i = 0; i < N; ++i) {
+      Real best = Real(1e300);
+      long bestJ = 0;
+      for (long j = 0; j < M; ++j) {
+        Real d2 = Real(0);
+        for (long d = 0; d < D; ++d) {
+          const Real diff = ab[i * D + d] - bb[j * D + d];
+          d2 += diff * diff;
+        }
+        if (d2 < best) {
+          best = d2;
+          bestJ = j;
+        }
+      }
+      nnAB[static_cast<std::size_t>(bi * N + i)] = bestJ;
+      sumA += best;
+    }
+    Real sumB = Real(0);
+    for (long j = 0; j < M; ++j) {
+      Real best = Real(1e300);
+      long bestI = 0;
+      for (long i = 0; i < N; ++i) {
+        Real d2 = Real(0);
+        for (long d = 0; d < D; ++d) {
+          const Real diff = ab[i * D + d] - bb[j * D + d];
+          d2 += diff * diff;
+        }
+        if (d2 < best) {
+          best = d2;
+          bestI = i;
+        }
+      }
+      nnBA[static_cast<std::size_t>(bi * M + j)] = bestI;
+      sumB += best;
+    }
+    total += sumA / static_cast<Real>(N) + sumB / static_cast<Real>(M);
+  }
+  out.data()[0] = total / static_cast<Real>(B);
+
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    auto pb = b.impl_;
+    out.impl_->backwardFn = [pa, pb, nnAB = std::move(nnAB),
+                             nnBA = std::move(nnBA), B, N, M,
+                             D](TensorImpl& self) {
+      const Real g = self.grad[0] / static_cast<Real>(B);
+      auto* ga = gradOf(pa);
+      auto* gb = gradOf(pb);
+      const Real* A2 = pa->data.data();
+      const Real* B2 = pb->data.data();
+      const Real wA = g / static_cast<Real>(N);
+      const Real wB = g / static_cast<Real>(M);
+      for (long bi = 0; bi < B; ++bi) {
+        for (long i = 0; i < N; ++i) {
+          const long j = nnAB[static_cast<std::size_t>(bi * N + i)];
+          for (long d = 0; d < D; ++d) {
+            const std::size_t ia = static_cast<std::size_t>((bi * N + i) * D + d);
+            const std::size_t ib = static_cast<std::size_t>((bi * M + j) * D + d);
+            const Real diff = Real(2) * (A2[ia] - B2[ib]);
+            if (ga) (*ga)[ia] += wA * diff;
+            if (gb) (*gb)[ib] -= wA * diff;
+          }
+        }
+        for (long j = 0; j < M; ++j) {
+          const long i = nnBA[static_cast<std::size_t>(bi * M + j)];
+          for (long d = 0; d < D; ++d) {
+            const std::size_t ia = static_cast<std::size_t>((bi * N + i) * D + d);
+            const std::size_t ib = static_cast<std::size_t>((bi * M + j) * D + d);
+            const Real diff = Real(2) * (B2[ib] - A2[ia]);
+            if (gb) (*gb)[ib] += wB * diff;
+            if (ga) (*ga)[ia] -= wB * diff;
+          }
+        }
+      }
+    };
+  }
+  return out;
+}
+
+Tensor pairwiseSquaredDistances(const Tensor& x, const Tensor& y) {
+  ARTSCI_EXPECTS(x.ndim() == 2 && y.ndim() == 2);
+  ARTSCI_EXPECTS(x.dim(1) == y.dim(1));
+  // ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y — fully differentiable
+  // composition, so no dedicated backward needed.
+  Tensor xx = sumAxis(square(x), 1, /*keepdim=*/true);      // [N,1]
+  Tensor yy = sumAxis(square(y), 1, /*keepdim=*/false);     // [M]
+  Tensor cross = matmul(x, transpose2d(y));                 // [N,M]
+  Tensor d2 = add(sub(xx, mulScalar(cross, Real(2))), yy);  // broadcasts
+  // Numerical guard: tiny negatives from cancellation clip to zero.
+  return relu(d2);
+}
+
+}  // namespace artsci::ml

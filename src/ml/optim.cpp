@@ -1,0 +1,66 @@
+#include "ml/optim.hpp"
+
+#include <cmath>
+
+namespace artsci::ml {
+
+Adam::Adam(std::vector<ParamGroup> groups, AdamConfig cfg)
+    : groups_(std::move(groups)), cfg_(cfg) {
+  state_.resize(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    state_[g].resize(groups_[g].params.size());
+    for (std::size_t p = 0; p < groups_[g].params.size(); ++p) {
+      const auto n = groups_[g].params[p].data().size();
+      state_[g][p].m.assign(n, Real(0));
+      state_[g][p].v.assign(n, Real(0));
+    }
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const Real b1t = Real(1) - std::pow(cfg_.beta1, static_cast<Real>(t_));
+  const Real b2t = Real(1) - std::pow(cfg_.beta2, static_cast<Real>(t_));
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const Real lr = groups_[g].lr;
+    for (std::size_t pi = 0; pi < groups_[g].params.size(); ++pi) {
+      Tensor& p = groups_[g].params[pi];
+      if (p.grad().size() != p.data().size()) continue;  // never touched
+      auto& st = state_[g][pi];
+      auto& w = p.data();
+      auto& grad = p.grad();
+      for (std::size_t i = 0; i < w.size(); ++i) {
+        // Classic (coupled) Adam weight decay: g += lambda * w.
+        const Real gi = grad[i] + cfg_.weightDecay * w[i];
+        st.m[i] = cfg_.beta1 * st.m[i] + (Real(1) - cfg_.beta1) * gi;
+        st.v[i] = cfg_.beta2 * st.v[i] + (Real(1) - cfg_.beta2) * gi * gi;
+        const Real mhat = st.m[i] / b1t;
+        const Real vhat = st.v[i] / b2t;
+        w[i] -= lr * mhat / (std::sqrt(vhat) + cfg_.eps);
+      }
+    }
+  }
+}
+
+void Adam::zeroGrad() {
+  for (auto& g : groups_)
+    for (auto& p : g.params) p.zeroGrad();
+}
+
+void Adam::setLearningRate(std::size_t group, Real lr) {
+  ARTSCI_EXPECTS(group < groups_.size());
+  groups_[group].lr = lr;
+}
+
+Real Adam::learningRate(std::size_t group) const {
+  ARTSCI_EXPECTS(group < groups_.size());
+  return groups_[group].lr;
+}
+
+Real sqrtScaledLearningRate(Real baseLr, long totalBatch, long baseBatch) {
+  ARTSCI_EXPECTS(totalBatch > 0 && baseBatch > 0);
+  return baseLr * std::sqrt(static_cast<Real>(totalBatch) /
+                            static_cast<Real>(baseBatch));
+}
+
+}  // namespace artsci::ml

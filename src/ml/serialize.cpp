@@ -1,0 +1,58 @@
+#include "ml/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+namespace artsci::ml {
+
+namespace {
+constexpr std::uint64_t kMagic = 0x41525453'43495031ULL;  // "ARTSCIP1"
+}
+
+void saveParameters(const std::string& path,
+                    const std::vector<Tensor>& params) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  ARTSCI_CHECK_MSG(os.good(), "cannot open '" << path << "' for writing");
+  auto writeU64 = [&os](std::uint64_t v) {
+    os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  writeU64(kMagic);
+  writeU64(params.size());
+  for (const auto& p : params) {
+    writeU64(p.shape().size());
+    for (long d : p.shape()) writeU64(static_cast<std::uint64_t>(d));
+    os.write(reinterpret_cast<const char*>(p.data().data()),
+             static_cast<std::streamsize>(p.data().size() * sizeof(Real)));
+  }
+  ARTSCI_CHECK_MSG(os.good(), "write to '" << path << "' failed");
+}
+
+void loadParameters(const std::string& path, std::vector<Tensor>& params) {
+  std::ifstream is(path, std::ios::binary);
+  ARTSCI_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
+  auto readU64 = [&is]() {
+    std::uint64_t v = 0;
+    is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  ARTSCI_CHECK_MSG(readU64() == kMagic,
+                   "'" << path << "' is not an artsci checkpoint");
+  const std::uint64_t count = readU64();
+  ARTSCI_CHECK_MSG(count == params.size(),
+                   "checkpoint has " << count << " tensors, expected "
+                                     << params.size());
+  for (auto& p : params) {
+    const std::uint64_t nd = readU64();
+    Shape shape(nd);
+    for (auto& d : shape) d = static_cast<long>(readU64());
+    ARTSCI_CHECK_MSG(shape == p.shape(),
+                     "checkpoint shape " << shapeToString(shape)
+                                         << " != parameter shape "
+                                         << shapeToString(p.shape()));
+    is.read(reinterpret_cast<char*>(p.data().data()),
+            static_cast<std::streamsize>(p.data().size() * sizeof(Real)));
+  }
+  ARTSCI_CHECK_MSG(is.good(), "read from '" << path << "' failed");
+}
+
+}  // namespace artsci::ml

@@ -1,0 +1,21 @@
+/// \file serialize.hpp
+/// Binary checkpointing of parameter lists. The paper's workflow keeps all
+/// *data* in memory, but model checkpoints are the one artifact written to
+/// disk on demand ("File I/O can certainly be initiated when desired").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace artsci::ml {
+
+/// Write tensors (shapes + data) to `path`. Overwrites existing files.
+void saveParameters(const std::string& path,
+                    const std::vector<Tensor>& params);
+
+/// Load tensors saved by saveParameters into `params` (shapes must match).
+void loadParameters(const std::string& path, std::vector<Tensor>& params);
+
+}  // namespace artsci::ml

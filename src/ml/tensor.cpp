@@ -1,0 +1,152 @@
+#include "ml/tensor.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace artsci::ml {
+
+long numelOf(const Shape& shape) {
+  long n = 1;
+  for (long d : shape) {
+    ARTSCI_EXPECTS_MSG(d > 0, "non-positive dimension in shape "
+                                  << shapeToString(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shapeToString(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::zeros(Shape shape, bool requiresGrad) {
+  return full(std::move(shape), Real(0), requiresGrad);
+}
+
+Tensor Tensor::full(Shape shape, Real value, bool requiresGrad) {
+  Tensor t;
+  t.impl_ = std::make_shared<TensorImpl>();
+  t.impl_->data.assign(static_cast<std::size_t>(numelOf(shape)), value);
+  t.impl_->shape = std::move(shape);
+  t.impl_->requiresGrad = requiresGrad;
+  return t;
+}
+
+Tensor Tensor::fromVector(Shape shape, std::vector<Real> values,
+                          bool requiresGrad) {
+  ARTSCI_EXPECTS_MSG(
+      numelOf(shape) == static_cast<long>(values.size()),
+      "fromVector: shape " << shapeToString(shape) << " needs "
+                           << numelOf(shape) << " values, got "
+                           << values.size());
+  Tensor t;
+  t.impl_ = std::make_shared<TensorImpl>();
+  t.impl_->shape = std::move(shape);
+  t.impl_->data = std::move(values);
+  t.impl_->requiresGrad = requiresGrad;
+  return t;
+}
+
+Tensor Tensor::randn(Shape shape, Rng& rng, Real stddev, bool requiresGrad) {
+  Tensor t = zeros(std::move(shape), requiresGrad);
+  for (Real& v : t.data()) v = static_cast<Real>(rng.normal()) * stddev;
+  return t;
+}
+
+Tensor Tensor::scalar(Real value, bool requiresGrad) {
+  return full({1}, value, requiresGrad);
+}
+
+long Tensor::dim(int i) const {
+  const auto& s = shape();
+  if (i < 0) i += static_cast<int>(s.size());
+  ARTSCI_EXPECTS(i >= 0 && i < static_cast<int>(s.size()));
+  return s[static_cast<std::size_t>(i)];
+}
+
+Real Tensor::item() const {
+  ARTSCI_EXPECTS_MSG(numel() == 1, "item() on tensor of shape "
+                                       << shapeToString(shape()));
+  return data()[0];
+}
+
+Real Tensor::at(long flatIndex) const {
+  ARTSCI_EXPECTS(flatIndex >= 0 && flatIndex < numel());
+  return data()[static_cast<std::size_t>(flatIndex)];
+}
+
+void Tensor::setAt(long flatIndex, Real value) {
+  ARTSCI_EXPECTS(flatIndex >= 0 && flatIndex < numel());
+  data()[static_cast<std::size_t>(flatIndex)] = value;
+}
+
+void Tensor::zeroGrad() {
+  impl()->grad.assign(impl()->data.size(), Real(0));
+}
+
+Tensor Tensor::detach() const {
+  Tensor t;
+  t.impl_ = std::make_shared<TensorImpl>();
+  t.impl_->shape = shape();
+  t.impl_->data = data();
+  t.impl_->requiresGrad = false;
+  return t;
+}
+
+void Tensor::backward() {
+  ARTSCI_EXPECTS_MSG(numel() == 1, "backward() requires a scalar loss");
+  // Iterative post-order DFS to get a topological order.
+  std::vector<TensorImpl*> topo;
+  std::unordered_set<TensorImpl*> visited;
+  struct Frame {
+    TensorImpl* node;
+    std::size_t nextParent;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({impl(), 0});
+  visited.insert(impl());
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    if (f.nextParent < f.node->parents.size()) {
+      TensorImpl* p = f.node->parents[f.nextParent++].get();
+      if (visited.insert(p).second) stack.push_back({p, 0});
+    } else {
+      topo.push_back(f.node);
+      stack.pop_back();
+    }
+  }
+  // Seed and propagate in reverse topological order.
+  impl()->ensureGrad();
+  impl()->grad[0] = Real(1);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    TensorImpl* node = *it;
+    if (node->backwardFn && node->requiresGrad) {
+      node->ensureGrad();
+      node->backwardFn(*node);
+    }
+  }
+}
+
+Tensor makeResult(Shape shape, std::vector<Tensor> parents,
+                  const char* opName) {
+  Tensor t = Tensor::zeros(std::move(shape));
+  bool needsGrad = false;
+  t.impl_->parents.reserve(parents.size());
+  for (auto& p : parents) {
+    needsGrad = needsGrad || p.requiresGrad();
+    t.impl_->parents.push_back(p.impl_);
+  }
+  t.impl_->requiresGrad = needsGrad;
+  t.impl_->opName = opName;
+  return t;
+}
+
+}  // namespace artsci::ml

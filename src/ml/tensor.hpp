@@ -1,0 +1,111 @@
+/// \file tensor.hpp
+/// Dense row-major tensor with reverse-mode automatic differentiation.
+///
+/// This is the substrate standing in for PyTorch in the paper's MLapp.
+/// Design: a value-semantic `Tensor` handle over a shared `TensorImpl`
+/// node. Operations (ml/ops.hpp) build a dynamic graph; `backward()` on a
+/// scalar result topologically sorts the graph and accumulates gradients.
+/// Scalars are double: CPU throughput is not the bottleneck at the scales
+/// we train, and double precision makes finite-difference gradient checks
+/// in the test-suite exact to ~1e-8.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace artsci::ml {
+
+using Real = double;
+using Shape = std::vector<long>;
+
+/// Product of dimensions (1 for rank-0/empty shape).
+long numelOf(const Shape& shape);
+
+/// "[2, 3, 4]" — for error messages.
+std::string shapeToString(const Shape& shape);
+
+struct TensorImpl {
+  Shape shape;
+  std::vector<Real> data;
+  std::vector<Real> grad;  ///< same length as data once backward touched it
+  bool requiresGrad = false;
+  std::vector<std::shared_ptr<TensorImpl>> parents;
+  /// Propagates this node's grad into its parents' grads. The node itself
+  /// is passed as argument to avoid a shared_ptr self-capture cycle.
+  std::function<void(TensorImpl&)> backwardFn;
+  const char* opName = "leaf";
+
+  long numel() const { return static_cast<long>(data.size()); }
+  /// Allocate + zero the gradient buffer if absent.
+  void ensureGrad() {
+    if (grad.size() != data.size()) grad.assign(data.size(), Real(0));
+  }
+};
+
+class Tensor {
+ public:
+  Tensor() = default;  ///< undefined tensor
+
+  /// Leaf constructors ---------------------------------------------------
+  static Tensor zeros(Shape shape, bool requiresGrad = false);
+  static Tensor full(Shape shape, Real value, bool requiresGrad = false);
+  static Tensor fromVector(Shape shape, std::vector<Real> values,
+                           bool requiresGrad = false);
+  /// i.i.d. N(0, stddev^2) entries.
+  static Tensor randn(Shape shape, Rng& rng, Real stddev = Real(1),
+                      bool requiresGrad = false);
+  /// Scalar (rank-0 represented as shape {1}).
+  static Tensor scalar(Real value, bool requiresGrad = false);
+
+  bool defined() const { return impl_ != nullptr; }
+  const Shape& shape() const { return impl()->shape; }
+  int ndim() const { return static_cast<int>(shape().size()); }
+  long dim(int i) const;
+  long numel() const { return impl()->numel(); }
+
+  std::vector<Real>& data() { return impl()->data; }
+  const std::vector<Real>& data() const { return impl()->data; }
+  std::vector<Real>& grad() { return impl()->grad; }
+  const std::vector<Real>& grad() const { return impl()->grad; }
+
+  bool requiresGrad() const { return impl()->requiresGrad; }
+  Tensor& setRequiresGrad(bool value) {
+    impl()->requiresGrad = value;
+    return *this;
+  }
+
+  /// Value of a single-element tensor.
+  Real item() const;
+
+  /// Element access by flat index (bounds-checked).
+  Real at(long flatIndex) const;
+  void setAt(long flatIndex, Real value);
+
+  /// Run reverse-mode AD from this scalar; accumulates into .grad() of all
+  /// reachable tensors with requiresGrad.
+  void backward();
+
+  /// Zero this tensor's gradient buffer (allocating it if needed).
+  void zeroGrad();
+
+  /// A leaf copy sharing no graph history (fresh buffer).
+  Tensor detach() const;
+
+  std::shared_ptr<TensorImpl> impl_;
+
+  TensorImpl* impl() const {
+    ARTSCI_EXPECTS_MSG(impl_ != nullptr, "use of undefined Tensor");
+    return impl_.get();
+  }
+};
+
+/// Construct a non-leaf result node. Parents keep the graph alive.
+Tensor makeResult(Shape shape, std::vector<Tensor> parents,
+                  const char* opName);
+
+}  // namespace artsci::ml

@@ -1,0 +1,38 @@
+/// \file deposit.hpp
+/// Charge-conserving current deposition (Esirkepov 2001) with CIC shapes,
+/// and CIC charge-density deposition for diagnostics.
+///
+/// Esirkepov's scheme guarantees the *discrete* continuity equation
+///   (rho^{n+1} - rho^n)/dt + div J = 0
+/// to machine precision on the Yee grid, so Gauss's law never drifts —
+/// the property PIConGPU relies on (no Poisson cleaning step).
+#pragma once
+
+#include "pic/grid.hpp"
+#include "pic/particles.hpp"
+
+namespace artsci::pic {
+
+/// Deposit the current of one particle that moved from (x0,y0,z0) to
+/// (x1,y1,z1) in cell units *without periodic wrapping* (|x1-x0| < 1 cell
+/// per axis, guaranteed by CFL). `chargeWeight` is q * w.
+/// Thread-safe via atomic adds.
+void depositCurrentEsirkepov(VectorField& J, const GridSpec& grid,
+                             double x0, double y0, double z0, double x1,
+                             double y1, double z1, double chargeWeight,
+                             double dt);
+
+/// Deposit current for all particles given their pre-move positions.
+/// Positions in `buffer` must already be the *new* (unwrapped) positions;
+/// `oldX/oldY/oldZ` hold the pre-move positions.
+void depositCurrent(VectorField& J, const GridSpec& grid,
+                    const ParticleBuffer& buffer,
+                    const std::vector<double>& oldX,
+                    const std::vector<double>& oldY,
+                    const std::vector<double>& oldZ, double dt);
+
+/// CIC deposit of charge density rho (units e n0) at grid nodes.
+void depositCharge(Field3& rho, const GridSpec& grid,
+                   const ParticleBuffer& buffer);
+
+}  // namespace artsci::pic

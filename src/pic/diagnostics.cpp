@@ -1,0 +1,61 @@
+#include "pic/diagnostics.hpp"
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace artsci::pic {
+
+EnergyReport energyReport(const Simulation& sim) {
+  EnergyReport r;
+  r.electric = sim.solver().electricEnergy(sim.fieldE());
+  r.magnetic = sim.solver().magneticEnergy(sim.fieldB());
+  for (std::size_t s = 0; s < sim.speciesCount(); ++s)
+    r.kinetic += sim.species(s).kineticEnergy();
+  return r;
+}
+
+double fitGrowthRate(const std::vector<double>& magneticEnergies,
+                     double dtSample, std::size_t fitBegin,
+                     std::size_t fitEnd) {
+  ARTSCI_EXPECTS(fitEnd <= magneticEnergies.size());
+  ARTSCI_EXPECTS(fitBegin + 2 <= fitEnd);
+  std::vector<double> t, logE;
+  for (std::size_t i = fitBegin; i < fitEnd; ++i) {
+    ARTSCI_EXPECTS_MSG(magneticEnergies[i] > 0,
+                       "magnetic energy must be positive to fit growth");
+    t.push_back(static_cast<double>(i) * dtSample);
+    logE.push_back(std::log(magneticEnergies[i]));
+  }
+  // E_B ~ exp(2 Gamma t) since energy is quadratic in B.
+  return 0.5 * stats::linearFit(t, logE).slope;
+}
+
+Histogram1D momentumHistogram(
+    const ParticleBuffer& particles, int component, double lo, double hi,
+    std::size_t bins, const std::function<bool(std::size_t)>& predicate) {
+  ARTSCI_EXPECTS(component >= 0 && component < 3);
+  Histogram1D h(lo, hi, bins);
+  const std::vector<double>* u = component == 0   ? &particles.ux
+                                 : component == 1 ? &particles.uy
+                                                  : &particles.uz;
+  for (std::size_t i = 0; i < particles.size(); ++i) {
+    if (predicate && !predicate(i)) continue;
+    h.fill((*u)[i], particles.w[i]);
+  }
+  return h;
+}
+
+Histogram1D khiRegionMomentumHistogram(const ParticleBuffer& particles,
+                                       long ny, KhiRegion region,
+                                       double vortexHalfWidthCells,
+                                       int component, double lo, double hi,
+                                       std::size_t bins) {
+  return momentumHistogram(
+      particles, component, lo, hi, bins, [&](std::size_t i) {
+        return classifyKhiRegion(particles.y[i], ny, vortexHalfWidthCells) ==
+               region;
+      });
+}
+
+}  // namespace artsci::pic

@@ -1,0 +1,185 @@
+#include "pic/domain.hpp"
+
+#include <cmath>
+
+#include "pic/interpolate.hpp"
+#include "pic/pusher.hpp"
+
+namespace artsci::pic {
+
+DistributedSimulation::DistributedSimulation(Config cfg)
+    : cfg_(cfg), solver_(cfg.grid), E_(cfg.grid), B_(cfg.grid), J_(cfg.grid) {
+  ARTSCI_EXPECTS(cfg.ranks >= 1);
+  ARTSCI_EXPECTS_MSG(cfg.grid.nx >= static_cast<long>(cfg.ranks),
+                     "fewer x-cells than ranks");
+  ARTSCI_EXPECTS(solver_.cflNumber(cfg.dt) < 1.0);
+  particles_.resize(cfg.ranks);
+  inbox_.resize(cfg.ranks);
+  for (std::size_t r = 0; r < cfg.ranks; ++r)
+    inboxMutex_.push_back(std::make_unique<std::mutex>());
+}
+
+std::size_t DistributedSimulation::addSpecies(const SpeciesInfo& info) {
+  speciesInfo_.push_back(info);
+  staging_.emplace_back(info);
+  for (std::size_t r = 0; r < cfg_.ranks; ++r) {
+    particles_[r].emplace_back(info);
+    inbox_[r].emplace_back();
+  }
+  return speciesInfo_.size() - 1;
+}
+
+ParticleBuffer& DistributedSimulation::staging(std::size_t speciesIdx) {
+  ARTSCI_EXPECTS(speciesIdx < staging_.size());
+  return staging_[speciesIdx];
+}
+
+std::pair<long, long> DistributedSimulation::slabOf(std::size_t rank) const {
+  ARTSCI_EXPECTS(rank < cfg_.ranks);
+  const long nx = cfg_.grid.nx;
+  const long base = nx / static_cast<long>(cfg_.ranks);
+  const long rem = nx % static_cast<long>(cfg_.ranks);
+  const long r = static_cast<long>(rank);
+  const long begin = r * base + std::min(r, rem);
+  const long end = begin + base + (r < rem ? 1 : 0);
+  return {begin, end};
+}
+
+std::size_t DistributedSimulation::ownerOf(double xCell) const {
+  // Inverse of slabOf for uniform-ish slabs; linear scan is fine since
+  // migration only ever moves to the adjacent slab.
+  for (std::size_t r = 0; r < cfg_.ranks; ++r) {
+    const auto [b, e] = slabOf(r);
+    if (xCell >= static_cast<double>(b) && xCell < static_cast<double>(e))
+      return r;
+  }
+  return cfg_.ranks - 1;
+}
+
+void DistributedSimulation::distribute() {
+  for (std::size_t s = 0; s < staging_.size(); ++s) {
+    ParticleBuffer& src = staging_[s];
+    for (std::size_t i = 0; i < src.size(); ++i) {
+      const std::size_t owner = ownerOf(src.x[i]);
+      particles_[owner][s].push({src.x[i], src.y[i], src.z[i]},
+                                {src.ux[i], src.uy[i], src.uz[i]}, src.w[i]);
+    }
+    src.clear();
+  }
+}
+
+ParticleBuffer DistributedSimulation::gatherSpecies(
+    std::size_t speciesIdx) const {
+  ARTSCI_EXPECTS(speciesIdx < speciesInfo_.size());
+  ParticleBuffer out(speciesInfo_[speciesIdx]);
+  for (std::size_t r = 0; r < cfg_.ranks; ++r)
+    out.append(particles_[r][speciesIdx]);
+  return out;
+}
+
+void DistributedSimulation::stepRank(std::size_t rank, Barrier& barrier) {
+  const GridSpec& g = cfg_.grid;
+  const auto [x0, x1] = slabOf(rank);
+  const double dt = cfg_.dt;
+
+  // Phase 1: zero this rank's J slab.
+  for (long i = x0; i < x1; ++i) {
+    for (long j = 0; j < g.ny; ++j) {
+      for (long k = 0; k < g.nz; ++k) {
+        const long idx = J_.x.index(i, j, k);
+        J_.x.flat(idx) = 0.0;
+        J_.y.flat(idx) = 0.0;
+        J_.z.flat(idx) = 0.0;
+      }
+    }
+  }
+  barrier.arriveAndWait();
+
+  // Phase 2: push + deposit own particles; queue migrants.
+  for (std::size_t s = 0; s < speciesInfo_.size(); ++s) {
+    ParticleBuffer& p = particles_[rank][s];
+    const double qOverM = p.info().charge / p.info().mass;
+    const double q = p.info().charge;
+    std::vector<std::size_t> leaving;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const Vec3d Ep = gatherE(E_, p.x[i], p.y[i], p.z[i]);
+      const Vec3d Bp = gatherB(B_, p.x[i], p.y[i], p.z[i]);
+      const Vec3d uNew =
+          borisPush({p.ux[i], p.uy[i], p.uz[i]}, Ep, Bp, qOverM, dt);
+      const double gNew = std::sqrt(1.0 + uNew.dot(uNew));
+      p.ux[i] = uNew.x;
+      p.uy[i] = uNew.y;
+      p.uz[i] = uNew.z;
+      const double ox = p.x[i], oy = p.y[i], oz = p.z[i];
+      p.x[i] += uNew.x / gNew * dt / g.dx;
+      p.y[i] += uNew.y / gNew * dt / g.dy;
+      p.z[i] += uNew.z / gNew * dt / g.dz;
+      depositCurrentEsirkepov(J_, g, ox, oy, oz, p.x[i], p.y[i], p.z[i],
+                              q * p.w[i], dt);
+      // Periodic wrap.
+      const double lx = static_cast<double>(g.nx);
+      const double ly = static_cast<double>(g.ny);
+      const double lz = static_cast<double>(g.nz);
+      if (p.x[i] < 0) p.x[i] += lx;
+      if (p.x[i] >= lx) p.x[i] -= lx;
+      if (p.y[i] < 0) p.y[i] += ly;
+      if (p.y[i] >= ly) p.y[i] -= ly;
+      if (p.z[i] < 0) p.z[i] += lz;
+      if (p.z[i] >= lz) p.z[i] -= lz;
+      if (p.x[i] < static_cast<double>(x0) ||
+          p.x[i] >= static_cast<double>(x1))
+        leaving.push_back(i);
+    }
+    // Hand migrants to their new owners (adjacent slab or periodic wrap).
+    for (auto it = leaving.rbegin(); it != leaving.rend(); ++it) {
+      const std::size_t i = *it;
+      const std::size_t owner = ownerOf(p.x[i]);
+      {
+        std::lock_guard<std::mutex> lock(*inboxMutex_[owner]);
+        inbox_[owner][s].push_back(Migrant{{p.x[i], p.y[i], p.z[i]},
+                                           {p.ux[i], p.uy[i], p.uz[i]},
+                                           p.w[i]});
+      }
+      p.swapRemove(i);
+    }
+  }
+  barrier.arriveAndWait();
+
+  // Phase 3: absorb inbox.
+  for (std::size_t s = 0; s < speciesInfo_.size(); ++s) {
+    auto& box = inbox_[rank][s];
+    for (const Migrant& m : box)
+      particles_[rank][s].push(m.pos, m.u, m.w);
+    box.clear();
+  }
+  barrier.arriveAndWait();
+
+  // Phase 4: field update on own slab, globally synchronized between
+  // sub-steps so halo reads see completed neighbour updates.
+  solver_.updateBHalf(B_, E_, dt, x0, x1);
+  barrier.arriveAndWait();
+  solver_.updateE(E_, B_, J_, dt, x0, x1);
+  barrier.arriveAndWait();
+  solver_.updateBHalf(B_, E_, dt, x0, x1);
+  barrier.arriveAndWait();
+}
+
+void DistributedSimulation::run(long steps) {
+  ARTSCI_EXPECTS(steps >= 0);
+  Barrier barrier(cfg_.ranks);
+  Timer timer;
+  runRankTeam(cfg_.ranks, [&](std::size_t rank) {
+    for (long s = 0; s < steps; ++s) stepRank(rank, barrier);
+  });
+  // Work accounting for the FOM.
+  double particles = 0;
+  for (std::size_t r = 0; r < cfg_.ranks; ++r)
+    for (const auto& p : particles_[r]) particles += static_cast<double>(p.size());
+  fom_.particleUpdates += particles * static_cast<double>(steps);
+  fom_.cellUpdates +=
+      static_cast<double>(cfg_.grid.cellCount() * steps);
+  fom_.seconds += timer.seconds();
+  step_ += steps;
+}
+
+}  // namespace artsci::pic

@@ -1,0 +1,42 @@
+/// \file fields.hpp
+/// FDTD Maxwell solver on the Yee grid (normalized units, c = 1):
+///   dB/dt = -curl E        dE/dt = curl B - J
+/// advanced as half-B, full-E, half-B so E and B are both synchronized at
+/// integer steps for the particle gather.
+#pragma once
+
+#include "pic/grid.hpp"
+
+namespace artsci::pic {
+
+class FieldSolver {
+ public:
+  explicit FieldSolver(const GridSpec& grid);
+
+  /// CFL number dt * c * sqrt(1/dx^2 + 1/dy^2 + 1/dz^2); must be < 1.
+  double cflNumber(double dt) const;
+
+  /// B -= dt/2 * curl E. Optional [iBegin, iEnd) restricts the update to an
+  /// x-slab (used by the rank-decomposed simulation); default whole grid.
+  void updateBHalf(VectorField& B, const VectorField& E, double dt,
+                   long iBegin = 0, long iEnd = -1) const;
+
+  /// E += dt * (curl B - J), optionally restricted to an x-slab.
+  void updateE(VectorField& E, const VectorField& B, const VectorField& J,
+               double dt, long iBegin = 0, long iEnd = -1) const;
+
+  /// Divergence of B at cell corners (should stay 0 to machine precision).
+  double maxDivB(const VectorField& B) const;
+
+  /// Total electromagnetic field energy (plasma units).
+  double fieldEnergy(const VectorField& E, const VectorField& B) const;
+  double electricEnergy(const VectorField& E) const;
+  double magneticEnergy(const VectorField& B) const;
+
+  const GridSpec& grid() const { return grid_; }
+
+ private:
+  GridSpec grid_;
+};
+
+}  // namespace artsci::pic

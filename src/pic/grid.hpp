@@ -1,0 +1,107 @@
+/// \file grid.hpp
+/// Yee-staggered grid containers for the PIC substrate (the stand-in for
+/// PIConGPU). All fields live in "plasma units": lengths in c/omega_pe,
+/// times in 1/omega_pe, E and B in m_e c omega_pe / e, charge density in
+/// e n_0, current density in e n_0 c.
+///
+/// Staggering (standard Yee):
+///   Ex at (i+1/2, j, k)   Bx at (i, j+1/2, k+1/2)
+///   Ey at (i, j+1/2, k)   By at (i+1/2, j, k+1/2)
+///   Ez at (i, j, k+1/2)   Bz at (i+1/2, j+1/2, k)
+/// Periodic boundaries in all directions (the KHI box is periodic).
+#pragma once
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/vec3.hpp"
+
+namespace artsci::pic {
+
+/// Grid extent in cells plus the (uniform) cell size in plasma units.
+struct GridSpec {
+  long nx = 16, ny = 16, nz = 16;
+  double dx = 0.2, dy = 0.2, dz = 0.2;
+
+  long cellCount() const { return nx * ny * nz; }
+  double cellVolume() const { return dx * dy * dz; }
+  Vec3d extent() const { return {nx * dx, ny * dy, nz * dz}; }
+};
+
+/// One scalar field on the grid, row-major (z fastest), periodic indexing.
+class Field3 {
+ public:
+  Field3() = default;
+  Field3(long nx, long ny, long nz)
+      : nx_(nx), ny_(ny), nz_(nz),
+        data_(static_cast<std::size_t>(nx * ny * nz), 0.0) {
+    ARTSCI_EXPECTS(nx > 0 && ny > 0 && nz > 0);
+  }
+
+  long nx() const { return nx_; }
+  long ny() const { return ny_; }
+  long nz() const { return nz_; }
+  long size() const { return nx_ * ny_ * nz_; }
+
+  /// Unchecked flat access for hot loops (indices must be in range).
+  double& flat(long idx) { return data_[static_cast<std::size_t>(idx)]; }
+  double flat(long idx) const { return data_[static_cast<std::size_t>(idx)]; }
+
+  /// Periodic (wrapping) element access.
+  double& at(long i, long j, long k) {
+    return data_[static_cast<std::size_t>(index(i, j, k))];
+  }
+  double at(long i, long j, long k) const {
+    return data_[static_cast<std::size_t>(index(i, j, k))];
+  }
+
+  /// Flat index with periodic wrapping of each coordinate.
+  long index(long i, long j, long k) const {
+    i = wrap(i, nx_);
+    j = wrap(j, ny_);
+    k = wrap(k, nz_);
+    return (i * ny_ + j) * nz_ + k;
+  }
+
+  void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+
+  std::vector<double>& raw() { return data_; }
+  const std::vector<double>& raw() const { return data_; }
+
+  /// Sum of squares (for field-energy diagnostics).
+  double sumSquares() const {
+    double s = 0.0;
+    for (double v : data_) s += v * v;
+    return s;
+  }
+
+  static long wrap(long i, long n) {
+    i %= n;
+    return i < 0 ? i + n : i;
+  }
+
+ private:
+  long nx_ = 0, ny_ = 0, nz_ = 0;
+  std::vector<double> data_;
+};
+
+/// A vector field: three staggered components.
+struct VectorField {
+  Field3 x, y, z;
+
+  VectorField() = default;
+  explicit VectorField(const GridSpec& g)
+      : x(g.nx, g.ny, g.nz), y(g.nx, g.ny, g.nz), z(g.nx, g.ny, g.nz) {}
+
+  void fill(double v) {
+    x.fill(v);
+    y.fill(v);
+    z.fill(v);
+  }
+  double energy() const {
+    // 1/2 integral of |F|^2, caller multiplies by cell volume.
+    return 0.5 * (x.sumSquares() + y.sumSquares() + z.sumSquares());
+  }
+};
+
+}  // namespace artsci::pic

@@ -1,0 +1,165 @@
+#include "pic/particles.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace artsci::pic {
+
+void ParticleBuffer::reserve(std::size_t n) {
+  x.reserve(n);
+  y.reserve(n);
+  z.reserve(n);
+  ux.reserve(n);
+  uy.reserve(n);
+  uz.reserve(n);
+  w.reserve(n);
+}
+
+void ParticleBuffer::clear() {
+  x.clear();
+  y.clear();
+  z.clear();
+  ux.clear();
+  uy.clear();
+  uz.clear();
+  w.clear();
+}
+
+void ParticleBuffer::push(const Vec3d& position, const Vec3d& momentum,
+                          double weight) {
+  x.push_back(position.x);
+  y.push_back(position.y);
+  z.push_back(position.z);
+  ux.push_back(momentum.x);
+  uy.push_back(momentum.y);
+  uz.push_back(momentum.z);
+  w.push_back(weight);
+}
+
+void ParticleBuffer::append(const ParticleBuffer& other) {
+  x.insert(x.end(), other.x.begin(), other.x.end());
+  y.insert(y.end(), other.y.begin(), other.y.end());
+  z.insert(z.end(), other.z.begin(), other.z.end());
+  ux.insert(ux.end(), other.ux.begin(), other.ux.end());
+  uy.insert(uy.end(), other.uy.begin(), other.uy.end());
+  uz.insert(uz.end(), other.uz.begin(), other.uz.end());
+  w.insert(w.end(), other.w.begin(), other.w.end());
+}
+
+void ParticleBuffer::swapRemove(std::size_t i) {
+  ARTSCI_EXPECTS(i < size());
+  const std::size_t last = size() - 1;
+  x[i] = x[last];
+  y[i] = y[last];
+  z[i] = z[last];
+  ux[i] = ux[last];
+  uy[i] = uy[last];
+  uz[i] = uz[last];
+  w[i] = w[last];
+  x.pop_back();
+  y.pop_back();
+  z.pop_back();
+  ux.pop_back();
+  uy.pop_back();
+  uz.pop_back();
+  w.pop_back();
+}
+
+double ParticleBuffer::gamma(std::size_t i) const {
+  const double u2 = ux[i] * ux[i] + uy[i] * uy[i] + uz[i] * uz[i];
+  return std::sqrt(1.0 + u2);
+}
+
+Vec3d ParticleBuffer::velocity(std::size_t i) const {
+  const double g = gamma(i);
+  return {ux[i] / g, uy[i] / g, uz[i] / g};
+}
+
+double ParticleBuffer::kineticEnergy() const {
+  double e = 0.0;
+  for (std::size_t i = 0; i < size(); ++i)
+    e += w[i] * (gamma(i) - 1.0) * info_.mass;
+  return e;
+}
+
+Vec3d ParticleBuffer::totalMomentum() const {
+  Vec3d p{};
+  for (std::size_t i = 0; i < size(); ++i) {
+    p.x += w[i] * ux[i] * info_.mass;
+    p.y += w[i] * uy[i] * info_.mass;
+    p.z += w[i] * uz[i] * info_.mass;
+  }
+  return p;
+}
+
+SupercellIndex::SupercellIndex(const GridSpec& grid, long tileEdge)
+    : tileEdge_(tileEdge), grid_(grid) {
+  ARTSCI_EXPECTS(tileEdge >= 1);
+  tilesX_ = (grid.nx + tileEdge - 1) / tileEdge;
+  tilesY_ = (grid.ny + tileEdge - 1) / tileEdge;
+  tilesZ_ = (grid.nz + tileEdge - 1) / tileEdge;
+}
+
+long SupercellIndex::tileOf(double xCell, double yCell, double zCell) const {
+  long ti = static_cast<long>(std::floor(xCell)) / tileEdge_;
+  long tj = static_cast<long>(std::floor(yCell)) / tileEdge_;
+  long tk = static_cast<long>(std::floor(zCell)) / tileEdge_;
+  ti = std::clamp(ti, 0L, tilesX_ - 1);
+  tj = std::clamp(tj, 0L, tilesY_ - 1);
+  tk = std::clamp(tk, 0L, tilesZ_ - 1);
+  return (ti * tilesY_ + tj) * tilesZ_ + tk;
+}
+
+Vec3d SupercellIndex::tileCenter(long tile) const {
+  ARTSCI_EXPECTS(tile >= 0 && tile < tileCount());
+  const long tk = tile % tilesZ_;
+  const long tj = (tile / tilesZ_) % tilesY_;
+  const long ti = tile / (tilesY_ * tilesZ_);
+  const double e = static_cast<double>(tileEdge_);
+  return {(static_cast<double>(ti) + 0.5) * e,
+          (static_cast<double>(tj) + 0.5) * e,
+          (static_cast<double>(tk) + 0.5) * e};
+}
+
+void SupercellIndex::sort(ParticleBuffer& buffer) {
+  const std::size_t n = buffer.size();
+  const long tiles = tileCount();
+  std::vector<long> tileIds(n);
+  std::vector<std::size_t> counts(static_cast<std::size_t>(tiles) + 1, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    tileIds[i] = tileOf(buffer.x[i], buffer.y[i], buffer.z[i]);
+    counts[static_cast<std::size_t>(tileIds[i]) + 1]++;
+  }
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+
+  ranges_.assign(static_cast<std::size_t>(tiles), Range{});
+  for (long t = 0; t < tiles; ++t) {
+    ranges_[static_cast<std::size_t>(t)] = {counts[static_cast<std::size_t>(t)],
+                                            counts[static_cast<std::size_t>(t) + 1]};
+  }
+
+  // Scatter into a fresh buffer (counting sort, stable).
+  ParticleBuffer sorted(buffer.info());
+  sorted.x.resize(n);
+  sorted.y.resize(n);
+  sorted.z.resize(n);
+  sorted.ux.resize(n);
+  sorted.uy.resize(n);
+  sorted.uz.resize(n);
+  sorted.w.resize(n);
+  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t dst = cursor[static_cast<std::size_t>(tileIds[i])]++;
+    sorted.x[dst] = buffer.x[i];
+    sorted.y[dst] = buffer.y[i];
+    sorted.z[dst] = buffer.z[i];
+    sorted.ux[dst] = buffer.ux[i];
+    sorted.uy[dst] = buffer.uy[i];
+    sorted.uz[dst] = buffer.uz[i];
+    sorted.w[dst] = buffer.w[i];
+  }
+  buffer = std::move(sorted);
+}
+
+}  // namespace artsci::pic

@@ -1,0 +1,108 @@
+/// \file particles.hpp
+/// Structure-of-arrays particle storage with supercell tiling.
+///
+/// PIConGPU's key data structure is the supercell: particles are kept
+/// grouped by small tiles of cells so neighbouring particles are adjacent
+/// in memory [Hoenig et al. 2010]. We reproduce that with a counting-sort
+/// based reordering into supercell bins; the radiation plugin and the
+/// ML region extraction iterate tiles for locality.
+///
+/// Positions are stored in *cell units* (continuous, x in [0, nx)),
+/// momenta as u = gamma*beta in units of m c.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/vec3.hpp"
+#include "pic/grid.hpp"
+
+namespace artsci::pic {
+
+/// Physical species parameters in normalized units (electron: q=-1, m=1).
+struct SpeciesInfo {
+  double charge = -1.0;
+  double mass = 1.0;
+  const char* name = "e";
+};
+
+/// SoA particle container.
+class ParticleBuffer {
+ public:
+  ParticleBuffer() = default;
+  explicit ParticleBuffer(SpeciesInfo info) : info_(info) {}
+
+  std::size_t size() const { return x.size(); }
+  bool empty() const { return x.empty(); }
+
+  void reserve(std::size_t n);
+  void clear();
+
+  /// Append one particle; position in cell units, momentum u = gamma beta.
+  void push(const Vec3d& position, const Vec3d& momentum, double weight);
+
+  /// Append all of `other`'s particles (used for rank migration).
+  void append(const ParticleBuffer& other);
+
+  /// Remove particle i by swapping with the last (O(1), order not kept).
+  void swapRemove(std::size_t i);
+
+  const SpeciesInfo& info() const { return info_; }
+
+  /// gamma = sqrt(1 + u^2) of particle i.
+  double gamma(std::size_t i) const;
+  /// velocity beta = u/gamma of particle i.
+  Vec3d velocity(std::size_t i) const;
+  /// Total kinetic energy sum w * (gamma - 1) * m (plasma units).
+  double kineticEnergy() const;
+  /// Total momentum sum w * u * m.
+  Vec3d totalMomentum() const;
+
+  // SoA columns; kept public for hot loops (pusher/deposit/radiation).
+  std::vector<double> x, y, z;     ///< cell units
+  std::vector<double> ux, uy, uz;  ///< gamma*beta
+  std::vector<double> w;           ///< macroparticle weight (n/n0 * V_cell/ppc)
+
+ private:
+  SpeciesInfo info_;
+};
+
+/// Supercell index: after sort(), particles are ordered by tile and
+/// tileRange() gives each tile's contiguous [begin, end) range.
+class SupercellIndex {
+ public:
+  /// Tile edge in cells (PIConGPU typically uses 8x8x4; we default 4^3).
+  SupercellIndex(const GridSpec& grid, long tileEdge = 4);
+
+  long tileCount() const { return tilesX_ * tilesY_ * tilesZ_; }
+  long tileOf(double xCell, double yCell, double zCell) const;
+
+  /// Counting-sort the buffer by tile id; O(N). Returns per-tile ranges.
+  void sort(ParticleBuffer& buffer);
+
+  struct Range {
+    std::size_t begin = 0, end = 0;
+  };
+  Range tileRange(long tile) const {
+    ARTSCI_EXPECTS(tile >= 0 && tile < tileCount());
+    return ranges_[static_cast<std::size_t>(tile)];
+  }
+
+  long tilesX() const { return tilesX_; }
+  long tilesY() const { return tilesY_; }
+  long tilesZ() const { return tilesZ_; }
+  long tileEdge() const { return tileEdge_; }
+
+  /// Center of a tile in cell units.
+  Vec3d tileCenter(long tile) const;
+
+ private:
+  long tileEdge_;
+  long tilesX_, tilesY_, tilesZ_;
+  GridSpec grid_;
+  std::vector<Range> ranges_;
+};
+
+}  // namespace artsci::pic

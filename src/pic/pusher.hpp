@@ -1,0 +1,29 @@
+/// \file pusher.hpp
+/// Relativistic Boris particle pusher [Boris 1970] in normalized units:
+/// du/dt = (q/m) (E + beta x B), u = gamma beta in units of m c.
+#pragma once
+
+#include "common/vec3.hpp"
+
+namespace artsci::pic {
+
+/// Advance the momentum u by one time step under fields (E, B).
+/// Returns the new momentum; the classic half-E, rotate-B, half-E scheme
+/// preserves gyration exactly for E = 0 and is time-reversible.
+inline Vec3d borisPush(const Vec3d& u, const Vec3d& E, const Vec3d& B,
+                       double chargeOverMass, double dt) {
+  const double h = 0.5 * chargeOverMass * dt;
+  // Half electric kick.
+  Vec3d uMinus = u + E * h;
+  // Magnetic rotation.
+  const double gammaMinus =
+      std::sqrt(1.0 + uMinus.dot(uMinus));
+  const Vec3d t = B * (h / gammaMinus);
+  const Vec3d uPrime = uMinus + uMinus.cross(t);
+  const Vec3d s = t * (2.0 / (1.0 + t.dot(t)));
+  const Vec3d uPlus = uMinus + uPrime.cross(s);
+  // Second half electric kick.
+  return uPlus + E * h;
+}
+
+}  // namespace artsci::pic

@@ -1,0 +1,140 @@
+#include "pic/simulation.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "pic/interpolate.hpp"
+#include "pic/pusher.hpp"
+
+namespace artsci::pic {
+
+Simulation::Simulation(SimulationConfig cfg)
+    : cfg_(cfg), solver_(cfg.grid), E_(cfg.grid), B_(cfg.grid), J_(cfg.grid) {
+  const double cfl = solver_.cflNumber(cfg_.dt);
+  ARTSCI_EXPECTS_MSG(cfl < 1.0, "CFL violation: dt=" << cfg_.dt
+                                                     << " gives CFL " << cfl);
+}
+
+std::size_t Simulation::addSpecies(const SpeciesInfo& info) {
+  species_.emplace_back(info);
+  scratch_.emplace_back();
+  return species_.size() - 1;
+}
+
+ParticleBuffer& Simulation::species(std::size_t i) {
+  ARTSCI_EXPECTS(i < species_.size());
+  return species_[i];
+}
+
+const ParticleBuffer& Simulation::species(std::size_t i) const {
+  ARTSCI_EXPECTS(i < species_.size());
+  return species_[i];
+}
+
+void Simulation::addPlugin(std::shared_ptr<Plugin> plugin) {
+  ARTSCI_EXPECTS(plugin != nullptr);
+  plugins_.push_back(std::move(plugin));
+}
+
+std::size_t Simulation::particleCount() const {
+  std::size_t n = 0;
+  for (const auto& s : species_) n += s.size();
+  return n;
+}
+
+const std::vector<double>& Simulation::betaDotX(std::size_t s) const {
+  ARTSCI_EXPECTS(s < scratch_.size());
+  return scratch_[s].bdx;
+}
+const std::vector<double>& Simulation::betaDotY(std::size_t s) const {
+  ARTSCI_EXPECTS(s < scratch_.size());
+  return scratch_[s].bdy;
+}
+const std::vector<double>& Simulation::betaDotZ(std::size_t s) const {
+  ARTSCI_EXPECTS(s < scratch_.size());
+  return scratch_[s].bdz;
+}
+
+void Simulation::pushAndDeposit(std::size_t speciesIdx) {
+  ParticleBuffer& p = species_[speciesIdx];
+  Scratch& scr = scratch_[speciesIdx];
+  const long n = static_cast<long>(p.size());
+  if (n == 0) return;
+
+  scr.oldX.assign(p.x.begin(), p.x.end());
+  scr.oldY.assign(p.y.begin(), p.y.end());
+  scr.oldZ.assign(p.z.begin(), p.z.end());
+  if (cfg_.recordBetaDot) {
+    scr.bdx.resize(p.size());
+    scr.bdy.resize(p.size());
+    scr.bdz.resize(p.size());
+  }
+
+  const double qOverM = p.info().charge / p.info().mass;
+  const double dt = cfg_.dt;
+  const GridSpec& g = cfg_.grid;
+
+#pragma omp parallel for schedule(static)
+  for (long ip = 0; ip < n; ++ip) {
+    const auto i = static_cast<std::size_t>(ip);
+    const Vec3d Ep = gatherE(E_, p.x[i], p.y[i], p.z[i]);
+    const Vec3d Bp = gatherB(B_, p.x[i], p.y[i], p.z[i]);
+    const Vec3d uOld{p.ux[i], p.uy[i], p.uz[i]};
+    const double gOld = std::sqrt(1.0 + uOld.dot(uOld));
+    const Vec3d uNew = borisPush(uOld, Ep, Bp, qOverM, dt);
+    const double gNew = std::sqrt(1.0 + uNew.dot(uNew));
+    p.ux[i] = uNew.x;
+    p.uy[i] = uNew.y;
+    p.uz[i] = uNew.z;
+    if (cfg_.recordBetaDot) {
+      scr.bdx[i] = (uNew.x / gNew - uOld.x / gOld) / dt;
+      scr.bdy[i] = (uNew.y / gNew - uOld.y / gOld) / dt;
+      scr.bdz[i] = (uNew.z / gNew - uOld.z / gOld) / dt;
+    }
+    // Move (positions in cell units).
+    p.x[i] += uNew.x / gNew * dt / g.dx;
+    p.y[i] += uNew.y / gNew * dt / g.dy;
+    p.z[i] += uNew.z / gNew * dt / g.dz;
+  }
+
+  // Charge-conserving deposit from the *unwrapped* displacement.
+  depositCurrent(J_, g, p, scr.oldX, scr.oldY, scr.oldZ, dt);
+
+  // Periodic wrap after the deposit.
+  const double lx = static_cast<double>(g.nx);
+  const double ly = static_cast<double>(g.ny);
+  const double lz = static_cast<double>(g.nz);
+#pragma omp parallel for schedule(static)
+  for (long ip = 0; ip < n; ++ip) {
+    const auto i = static_cast<std::size_t>(ip);
+    if (p.x[i] < 0) p.x[i] += lx;
+    if (p.x[i] >= lx) p.x[i] -= lx;
+    if (p.y[i] < 0) p.y[i] += ly;
+    if (p.y[i] >= ly) p.y[i] -= ly;
+    if (p.z[i] < 0) p.z[i] += lz;
+    if (p.z[i] >= lz) p.z[i] -= lz;
+  }
+}
+
+void Simulation::step() {
+  Timer timer;
+  J_.fill(0.0);
+  for (std::size_t s = 0; s < species_.size(); ++s) pushAndDeposit(s);
+  solver_.updateBHalf(B_, E_, cfg_.dt);
+  solver_.updateE(E_, B_, J_, cfg_.dt);
+  solver_.updateBHalf(B_, E_, cfg_.dt);
+  ++step_;
+
+  fom_.particleUpdates += static_cast<double>(particleCount());
+  fom_.cellUpdates += static_cast<double>(cfg_.grid.cellCount());
+  fom_.seconds += timer.seconds();
+
+  for (const auto& plugin : plugins_) plugin->onStepEnd(*this);
+}
+
+void Simulation::run(long steps) {
+  ARTSCI_EXPECTS(steps >= 0);
+  for (long s = 0; s < steps; ++s) step();
+}
+
+}  // namespace artsci::pic

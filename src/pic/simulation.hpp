@@ -1,0 +1,111 @@
+/// \file simulation.hpp
+/// The single-rank PIC simulation driver: one full PIC cycle per step()
+/// (gather -> Boris push -> move -> Esirkepov deposit -> FDTD update), a
+/// PIConGPU-style plugin interface, and the Figure-of-Merit counters used
+/// by the Fig 4 scaling benchmark (FOM = 0.9 * particle-updates/s + 0.1 *
+/// cell-updates/s, the paper's weighting).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "pic/deposit.hpp"
+#include "pic/fields.hpp"
+#include "pic/particles.hpp"
+
+namespace artsci::pic {
+
+class Simulation;
+
+/// Output/analysis plugin, invoked after every completed step — the
+/// pattern PIConGPU uses for the radiation plugin and openPMD output.
+class Plugin {
+ public:
+  virtual ~Plugin() = default;
+  virtual const char* name() const = 0;
+  virtual void onStepEnd(Simulation& sim) = 0;
+};
+
+struct SimulationConfig {
+  GridSpec grid;
+  double dt = 0.05;  ///< 1/omega_pe units; must satisfy CFL
+  /// Record per-particle acceleration (d beta / dt) during the push; the
+  /// far-field radiation plugin needs it (costs 3 extra arrays/species).
+  bool recordBetaDot = false;
+};
+
+/// Accumulated work counters for the FOM (paper Fig 4).
+struct FomCounters {
+  double particleUpdates = 0;
+  double cellUpdates = 0;
+  double seconds = 0;
+
+  /// Weighted FOM in updates/s: 90% particle + 10% cell updates.
+  double fom() const {
+    return seconds > 0
+               ? (0.9 * particleUpdates + 0.1 * cellUpdates) / seconds
+               : 0.0;
+  }
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationConfig cfg);
+
+  /// Register a species; returns its index. Particles are added through
+  /// species(i).push(...).
+  std::size_t addSpecies(const SpeciesInfo& info);
+  std::size_t speciesCount() const { return species_.size(); }
+  ParticleBuffer& species(std::size_t i);
+  const ParticleBuffer& species(std::size_t i) const;
+
+  VectorField& fieldE() { return E_; }
+  const VectorField& fieldE() const { return E_; }
+  VectorField& fieldB() { return B_; }
+  const VectorField& fieldB() const { return B_; }
+  const VectorField& currentJ() const { return J_; }
+
+  const GridSpec& grid() const { return cfg_.grid; }
+  const FieldSolver& solver() const { return solver_; }
+  double dt() const { return cfg_.dt; }
+  long stepIndex() const { return step_; }
+  double time() const { return static_cast<double>(step_) * cfg_.dt; }
+
+  void addPlugin(std::shared_ptr<Plugin> plugin);
+
+  /// One full PIC cycle; updates FOM counters and fires plugins.
+  void step();
+  void run(long steps);
+
+  const FomCounters& fom() const { return fom_; }
+  void resetFom() { fom_ = {}; }
+
+  /// Per-particle acceleration recorded in the last step (empty unless
+  /// cfg.recordBetaDot). Index parallel to species(i)'s SoA columns.
+  const std::vector<double>& betaDotX(std::size_t speciesIdx) const;
+  const std::vector<double>& betaDotY(std::size_t speciesIdx) const;
+  const std::vector<double>& betaDotZ(std::size_t speciesIdx) const;
+
+  /// Total particle count across species.
+  std::size_t particleCount() const;
+
+ private:
+  void pushAndDeposit(std::size_t speciesIdx);
+
+  SimulationConfig cfg_;
+  FieldSolver solver_;
+  VectorField E_, B_, J_;
+  std::vector<ParticleBuffer> species_;
+  std::vector<std::shared_ptr<Plugin>> plugins_;
+  long step_ = 0;
+  FomCounters fom_;
+  // scratch (per species): pre-move positions, recorded accelerations
+  struct Scratch {
+    std::vector<double> oldX, oldY, oldZ;
+    std::vector<double> bdx, bdy, bdz;
+  };
+  std::vector<Scratch> scratch_;
+};
+
+}  // namespace artsci::pic

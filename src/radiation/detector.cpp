@@ -1,0 +1,125 @@
+#include "radiation/detector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace artsci::radiation {
+
+std::vector<double> logFrequencyAxis(double omegaMin, double omegaMax,
+                                     std::size_t count) {
+  ARTSCI_EXPECTS(omegaMin > 0 && omegaMax > omegaMin && count >= 2);
+  std::vector<double> out(count);
+  const double logMin = std::log10(omegaMin);
+  const double step = (std::log10(omegaMax) - logMin) /
+                      static_cast<double>(count - 1);
+  for (std::size_t i = 0; i < count; ++i)
+    out[i] = std::pow(10.0, logMin + step * static_cast<double>(i));
+  return out;
+}
+
+DetectorConfig DetectorConfig::defaultKhi(std::size_t frequencyCount) {
+  DetectorConfig cfg;
+  // One detector on the +x axis: the +beta stream approaches it, the
+  // -beta stream recedes (Fig 1's "approaching"/"receding" arrows).
+  cfg.directions = {Vec3d{1.0, 0.0, 0.0}};
+  cfg.frequencies = logFrequencyAxis(0.1, 100.0, frequencyCount);
+  return cfg;
+}
+
+SpectralAccumulator::SpectralAccumulator(DetectorConfig cfg)
+    : cfg_(std::move(cfg)) {
+  ARTSCI_EXPECTS(!cfg_.directions.empty());
+  ARTSCI_EXPECTS(!cfg_.frequencies.empty());
+  for (const auto& n : cfg_.directions)
+    ARTSCI_EXPECTS_MSG(std::abs(n.norm() - 1.0) < 1e-9,
+                       "detector directions must be unit vectors");
+  amp_.assign(cfg_.directions.size() * cfg_.frequencies.size() * 3,
+              std::complex<double>(0.0, 0.0));
+}
+
+void SpectralAccumulator::reset() {
+  std::fill(amp_.begin(), amp_.end(), std::complex<double>(0.0, 0.0));
+}
+
+void SpectralAccumulator::accumulate(
+    const pic::ParticleBuffer& particles, const std::vector<double>& bdx,
+    const std::vector<double>& bdy, const std::vector<double>& bdz,
+    double time, double dt, const pic::GridSpec& grid,
+    const std::vector<std::size_t>* subset) {
+  ARTSCI_EXPECTS_MSG(bdx.size() == particles.size(),
+                     "betaDot arrays missing — build the Simulation with "
+                     "recordBetaDot=true");
+  const std::size_t count = subset ? subset->size() : particles.size();
+  const std::size_t nDir = cfg_.directions.size();
+  const std::size_t nFreq = cfg_.frequencies.size();
+
+  // Parallelize over (direction, frequency) slots: each thread owns its
+  // accumulator slots, so no atomics are needed.
+#pragma omp parallel for collapse(2) schedule(static)
+  for (std::size_t d = 0; d < nDir; ++d) {
+    for (std::size_t f = 0; f < nFreq; ++f) {
+      const Vec3d n = cfg_.directions[d];
+      const double omega = cfg_.frequencies[f];
+      // Macro-particle form factor (Gaussian cloud of the given radius).
+      double ff = 1.0;
+      if (cfg_.formFactorRadius > 0.0) {
+        const double x = omega * cfg_.formFactorRadius;
+        ff = std::exp(-0.5 * x * x);
+      }
+      std::complex<double> ax{}, ay{}, az{};
+      for (std::size_t s = 0; s < count; ++s) {
+        const std::size_t i = subset ? (*subset)[s] : s;
+        const double g = particles.gamma(i);
+        const Vec3d beta{particles.ux[i] / g, particles.uy[i] / g,
+                         particles.uz[i] / g};
+        const Vec3d betaDot{bdx[i], bdy[i], bdz[i]};
+        const double oneMinusNBeta = 1.0 - n.dot(beta);
+        // Far-field kernel n x ((n - beta) x betaDot) / (1 - n.beta)^2.
+        const Vec3d inner = (n - beta).cross(betaDot);
+        const Vec3d kernel =
+            n.cross(inner) * (1.0 / (oneMinusNBeta * oneMinusNBeta));
+        const Vec3d r{particles.x[i] * grid.dx, particles.y[i] * grid.dy,
+                      particles.z[i] * grid.dz};
+        const double phase = omega * (time - n.dot(r));
+        const std::complex<double> rot{std::cos(phase), std::sin(phase)};
+        const double wff = particles.w[i] * ff * dt;
+        ax += kernel.x * wff * rot;
+        ay += kernel.y * wff * rot;
+        az += kernel.z * wff * rot;
+      }
+      amp_[slot(d, f, 0)] += ax;
+      amp_[slot(d, f, 1)] += ay;
+      amp_[slot(d, f, 2)] += az;
+    }
+  }
+}
+
+std::vector<double> SpectralAccumulator::intensity(
+    std::size_t directionIdx) const {
+  ARTSCI_EXPECTS(directionIdx < cfg_.directions.size());
+  std::vector<double> out(cfg_.frequencies.size());
+  for (std::size_t f = 0; f < out.size(); ++f) {
+    double s = 0.0;
+    for (std::size_t c = 0; c < 3; ++c)
+      s += std::norm(amp_[slot(directionIdx, f, c)]);
+    out[f] = s;
+  }
+  return out;
+}
+
+std::array<std::complex<double>, 3> SpectralAccumulator::amplitude(
+    std::size_t directionIdx, std::size_t freqIdx) const {
+  ARTSCI_EXPECTS(directionIdx < cfg_.directions.size());
+  ARTSCI_EXPECTS(freqIdx < cfg_.frequencies.size());
+  return {amp_[slot(directionIdx, freqIdx, 0)],
+          amp_[slot(directionIdx, freqIdx, 1)],
+          amp_[slot(directionIdx, freqIdx, 2)]};
+}
+
+double expectedDopplerUpshift(double betaTowardDetector) {
+  return units::dopplerFactor(betaTowardDetector);
+}
+
+}  // namespace artsci::radiation

@@ -1,0 +1,130 @@
+/// \file training_buffer.hpp
+/// The continual-learning training buffer of §IV-C: experience replay
+/// [Chaudhry et al. 2019] adapted to in-transit streaming.
+///
+/// Two internal buffers:
+///  * now-buffer — the N_now = 10 latest streamed samples; new arrivals
+///    prepend, displaced samples move into the EP buffer;
+///  * EP-buffer — at most N_EP = 20 samples; when full, a randomly chosen
+///    element is evicted.
+/// A training batch draws n_now = 4 random samples from the now-buffer
+/// and n_EP = 4 from the EP buffer (batch 8). The component sits between
+/// the streaming receiver and the training loop and is thread-safe, so
+/// the receiver can push while trainers sample; n_rep batches are drawn
+/// per streamed step.
+#pragma once
+
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace artsci::replay {
+
+struct TrainingBufferConfig {
+  std::size_t nowCapacity = 10;  ///< N_now
+  std::size_t epCapacity = 20;   ///< N_EP
+  std::size_t nowPerBatch = 4;   ///< n_now
+  std::size_t epPerBatch = 4;    ///< n_EP
+};
+
+/// Sample payload is a template parameter; the core module instantiates it
+/// with (point cloud, spectrum) training pairs.
+template <typename SampleT>
+class TrainingBuffer {
+ public:
+  explicit TrainingBuffer(TrainingBufferConfig cfg, std::uint64_t seed = 99)
+      : cfg_(cfg), rng_(seed) {
+    ARTSCI_EXPECTS(cfg.nowCapacity >= 1);
+    ARTSCI_EXPECTS(cfg.epCapacity >= 1);
+    ARTSCI_EXPECTS(cfg.nowPerBatch >= 1);
+  }
+
+  /// Receive one streamed sample (prepend to the now-buffer; spill the
+  /// displaced sample into the EP buffer with random eviction).
+  void push(SampleT sample) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_.push_front(std::move(sample));
+    ++received_;
+    if (now_.size() > cfg_.nowCapacity) {
+      SampleT displaced = std::move(now_.back());
+      now_.pop_back();
+      if (ep_.size() >= cfg_.epCapacity) {
+        const std::size_t victim =
+            static_cast<std::size_t>(rng_.uniformInt(ep_.size()));
+        ep_[victim] = std::move(displaced);
+      } else {
+        ep_.push_back(std::move(displaced));
+      }
+    }
+  }
+
+  /// True once a full batch can be drawn (both buffers non-empty enough;
+  /// before the EP buffer has content, batches draw only from the
+  /// now-buffer).
+  bool ready() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_.size() >= cfg_.nowPerBatch;
+  }
+
+  /// Draw a training batch: n_now random now-samples + n_EP random
+  /// EP-samples (fewer if the EP buffer has not filled yet).
+  std::vector<SampleT> sampleBatch() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ARTSCI_CHECK_MSG(now_.size() >= cfg_.nowPerBatch,
+                     "sampleBatch before buffer ready");
+    std::vector<SampleT> batch;
+    batch.reserve(cfg_.nowPerBatch + cfg_.epPerBatch);
+    for (std::size_t i = 0; i < cfg_.nowPerBatch; ++i)
+      batch.push_back(
+          now_[static_cast<std::size_t>(rng_.uniformInt(now_.size()))]);
+    if (!ep_.empty()) {
+      for (std::size_t i = 0; i < cfg_.epPerBatch; ++i)
+        batch.push_back(
+            ep_[static_cast<std::size_t>(rng_.uniformInt(ep_.size()))]);
+    }
+    ++batchesSampled_;
+    return batch;
+  }
+
+  std::size_t nowSize() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return now_.size();
+  }
+  std::size_t epSize() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ep_.size();
+  }
+  std::size_t received() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return received_;
+  }
+  std::size_t batchesSampled() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return batchesSampled_;
+  }
+  const TrainingBufferConfig& config() const { return cfg_; }
+
+  /// Snapshot of buffer contents (tests / diagnostics).
+  std::vector<SampleT> nowSnapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {now_.begin(), now_.end()};
+  }
+  std::vector<SampleT> epSnapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {ep_.begin(), ep_.end()};
+  }
+
+ private:
+  TrainingBufferConfig cfg_;
+  mutable std::mutex mutex_;
+  std::deque<SampleT> now_;
+  std::vector<SampleT> ep_;
+  Rng rng_;
+  std::size_t received_ = 0;
+  std::size_t batchesSampled_ = 0;
+};
+
+}  // namespace artsci::replay

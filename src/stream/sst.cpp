@@ -1,0 +1,235 @@
+#include "stream/sst.hpp"
+
+#include <cstring>
+
+#include "common/timer.hpp"
+
+namespace artsci::stream {
+
+std::size_t StepData::totalBytes() const {
+  std::size_t total = 0;
+  for (const auto& [name, blocks] : variables)
+    for (const auto& b : blocks) total += b.bytes();
+  return total;
+}
+
+std::vector<double> StepData::assemble(const std::string& name) const {
+  auto varIt = variables.find(name);
+  ARTSCI_CHECK_MSG(varIt != variables.end(),
+                   "unknown stream variable '" << name << "'");
+  auto extIt = globalExtents.find(name);
+  ARTSCI_CHECK(extIt != globalExtents.end());
+  const auto& global = extIt->second;
+  long total = 1;
+  for (long d : global) total *= d;
+  std::vector<double> out(static_cast<std::size_t>(total), 0.0);
+
+  // Strides of the global extent.
+  std::vector<long> strides(global.size(), 1);
+  for (int d = static_cast<int>(global.size()) - 2; d >= 0; --d)
+    strides[static_cast<std::size_t>(d)] =
+        strides[static_cast<std::size_t>(d) + 1] *
+        global[static_cast<std::size_t>(d) + 1];
+
+  for (const auto& b : varIt->second) {
+    ARTSCI_CHECK(b.offset.size() == global.size());
+    // Copy the block row by row (innermost dimension contiguous).
+    const long inner = b.extent.empty() ? 1 : b.extent.back();
+    long rows = 1;
+    for (std::size_t d = 0; d + 1 < b.extent.size(); ++d)
+      rows *= b.extent[d];
+    for (long r = 0; r < rows; ++r) {
+      // Decompose row index into the leading block coordinates.
+      long rem = r;
+      long dstIdx = 0;
+      for (std::size_t d = 0; d + 1 < b.extent.size(); ++d) {
+        long blockStride = 1;
+        for (std::size_t dd = d + 1; dd + 1 < b.extent.size(); ++dd)
+          blockStride *= b.extent[dd];
+        const long coord = rem / blockStride;
+        rem %= blockStride;
+        dstIdx += (coord + b.offset[d]) * strides[d];
+      }
+      dstIdx += b.offset.back();
+      std::memcpy(out.data() + dstIdx,
+                  b.payload.data() + r * inner,
+                  static_cast<std::size_t>(inner) * sizeof(double));
+    }
+  }
+  return out;
+}
+
+SstEngine::SstEngine(SstParams params) : params_(params) {
+  ARTSCI_EXPECTS(params.writerRanks >= 1);
+  ARTSCI_EXPECTS(params.readerRanks >= 1);
+  ARTSCI_EXPECTS(params.queueLimit >= 1);
+}
+
+long SstEngine::stepsPublished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stepsPublished_;
+}
+
+std::size_t SstEngine::bytesPublished() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytesPublished_;
+}
+
+double SstEngine::writerStallSeconds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stallSeconds_;
+}
+
+std::size_t SstEngine::queueDepth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+// --- Writer ---------------------------------------------------------------
+
+SstEngine::Writer::Writer(SstEngine& engine, std::size_t rank)
+    : engine_(engine), rank_(rank) {
+  ARTSCI_EXPECTS(rank < engine.params_.writerRanks);
+}
+
+void SstEngine::Writer::beginStep() {
+  ARTSCI_CHECK_MSG(!inStep_, "writer rank already in a step");
+  std::unique_lock<std::mutex> lock(engine_.mutex_);
+  ARTSCI_CHECK_MSG(!engine_.closed_, "beginStep on closed stream");
+  if (!engine_.assembling_) {
+    engine_.assembling_ = std::make_unique<StepData>();
+    engine_.assembling_->step = engine_.nextStep_;
+  }
+  ++engine_.writersBegun_;
+  inStep_ = true;
+}
+
+void SstEngine::Writer::put(const std::string& variable, Block block,
+                            std::vector<long> globalExtent) {
+  ARTSCI_CHECK_MSG(inStep_, "put outside beginStep/endStep");
+  ARTSCI_EXPECTS(block.offset.size() == globalExtent.size());
+  ARTSCI_EXPECTS(block.extent.size() == globalExtent.size());
+  block.writerRank = rank_;
+  std::lock_guard<std::mutex> lock(engine_.mutex_);
+  auto& step = *engine_.assembling_;
+  auto [it, inserted] = step.globalExtents.emplace(variable, globalExtent);
+  if (!inserted) {
+    ARTSCI_CHECK_MSG(it->second == globalExtent,
+                     "global extent mismatch for '" << variable << "'");
+  }
+  step.variables[variable].push_back(std::move(block));
+}
+
+void SstEngine::Writer::setAttribute(const std::string& name, double value) {
+  ARTSCI_CHECK_MSG(inStep_, "setAttribute outside a step");
+  std::lock_guard<std::mutex> lock(engine_.mutex_);
+  engine_.assembling_->numericAttributes[name] = value;
+}
+
+void SstEngine::Writer::setAttribute(const std::string& name,
+                                     const std::string& value) {
+  ARTSCI_CHECK_MSG(inStep_, "setAttribute outside a step");
+  std::lock_guard<std::mutex> lock(engine_.mutex_);
+  engine_.assembling_->stringAttributes[name] = value;
+}
+
+void SstEngine::Writer::endStep() {
+  ARTSCI_CHECK_MSG(inStep_, "endStep without beginStep");
+  Timer stall;
+  std::unique_lock<std::mutex> lock(engine_.mutex_);
+  ++engine_.writersEnded_;
+  if (engine_.writersEnded_ == engine_.params_.writerRanks) {
+    // Last rank publishes — but only once a queue slot is free
+    // (back-pressure on the whole writer group).
+    engine_.cv_.wait(lock, [this] {
+      return engine_.queue_.size() < engine_.params_.queueLimit;
+    });
+    engine_.bytesPublished_ += engine_.assembling_->totalBytes();
+    engine_.queue_.push_back(std::move(engine_.assembling_));
+    engine_.assembling_.reset();
+    ++engine_.stepsPublished_;
+    ++engine_.nextStep_;
+    engine_.writersBegun_ = 0;
+    engine_.writersEnded_ = 0;
+    engine_.cv_.notify_all();
+  } else {
+    // Wait for the group's publication (collective EndStep semantics).
+    const long myStep = engine_.assembling_ ? engine_.assembling_->step : -1;
+    engine_.cv_.wait(lock, [this, myStep] {
+      return !engine_.assembling_ || engine_.assembling_->step != myStep;
+    });
+  }
+  engine_.stallSeconds_ += stall.seconds();
+  inStep_ = false;
+}
+
+void SstEngine::Writer::close() {
+  std::lock_guard<std::mutex> lock(engine_.mutex_);
+  ++engine_.writersClosed_;
+  if (engine_.writersClosed_ == engine_.params_.writerRanks) {
+    engine_.closed_ = true;
+    engine_.cv_.notify_all();
+  }
+}
+
+// --- Reader ---------------------------------------------------------------
+
+SstEngine::Reader::Reader(SstEngine& engine, std::size_t rank)
+    : engine_(engine), rank_(rank) {
+  ARTSCI_EXPECTS(rank < engine.params_.readerRanks);
+}
+
+std::shared_ptr<const StepData> SstEngine::Reader::beginStep() {
+  ARTSCI_CHECK_MSG(!inStep_, "reader rank already in a step");
+  std::unique_lock<std::mutex> lock(engine_.mutex_);
+  engine_.cv_.wait(lock, [this] {
+    // Wait for a fresh step, an in-flight group step, or end-of-stream.
+    if (engine_.current_ &&
+        engine_.readersBegun_ < engine_.params_.readerRanks)
+      return true;
+    if (!engine_.current_ && !engine_.queue_.empty()) return true;
+    return engine_.closed_ && engine_.queue_.empty() && !engine_.current_;
+  });
+  if (!engine_.current_) {
+    if (engine_.queue_.empty()) return nullptr;  // end-of-stream
+    engine_.current_ = engine_.queue_.front();
+    engine_.readersBegun_ = 0;
+    engine_.readersEnded_ = 0;
+    engine_.cv_.notify_all();
+  }
+  ++engine_.readersBegun_;
+  inStep_ = true;
+  return engine_.current_;
+}
+
+void SstEngine::Reader::endStep() {
+  ARTSCI_CHECK_MSG(inStep_, "reader endStep without beginStep");
+  std::unique_lock<std::mutex> lock(engine_.mutex_);
+  ++engine_.readersEnded_;
+  if (engine_.readersEnded_ == engine_.params_.readerRanks) {
+    // Releasing the step frees the writer-side buffer (queue slot).
+    engine_.queue_.pop_front();
+    engine_.current_.reset();
+    engine_.cv_.notify_all();
+  } else {
+    const std::shared_ptr<StepData> mine = engine_.current_;
+    engine_.cv_.wait(lock, [this, &mine] {
+      return engine_.current_ != mine;
+    });
+  }
+  inStep_ = false;
+}
+
+std::vector<const Block*> SstEngine::Reader::myBlocks(
+    const StepData& step, const std::string& variable) const {
+  std::vector<const Block*> out;
+  auto it = step.variables.find(variable);
+  if (it == step.variables.end()) return out;
+  for (const auto& b : it->second) {
+    if (b.writerRank % engine_.params_.readerRanks == rank_)
+      out.push_back(&b);
+  }
+  return out;
+}
+
+}  // namespace artsci::stream

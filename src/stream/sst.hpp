@@ -1,0 +1,163 @@
+/// \file sst.hpp
+/// "nanoSST": a step-based staging engine with the contract of ADIOS2's
+/// Sustainable Staging Transport [Eisenhauer et al. 2024]:
+///
+///  * a parallel writer group publishes time steps (BeginStep / Put /
+///    EndStep); block metadata is aggregated to writer rank 0 and the
+///    step is offered to the reader group;
+///  * a parallel reader group consumes steps (BeginStep / Get / EndStep);
+///    each reader rank decides which blocks to load (locality-aware);
+///    closing the step tells the writer the data can be dropped;
+///  * a bounded step queue provides back-pressure: when consumers lag,
+///    EndStep blocks and the producing simulation stalls — exactly the
+///    "leeway to stall the running simulation" the paper's training
+///    buffer relies on;
+///  * no data ever touches the filesystem: steps live in memory and move
+///    between application memories (in-transit, Fig 3a).
+///
+/// Ranks are threads here; the cluster module models the wire-level
+/// behaviour of the real libfabric/MPI data planes at Frontier scale.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace artsci::stream {
+
+/// One writer rank's contribution to one variable in one step.
+struct Block {
+  std::size_t writerRank = 0;
+  std::vector<long> offset;  ///< within the variable's global extent
+  std::vector<long> extent;
+  std::vector<double> payload;  ///< row-major
+
+  std::size_t bytes() const { return payload.size() * sizeof(double); }
+};
+
+/// A published time step: all blocks of all variables plus attributes.
+struct StepData {
+  long step = 0;
+  std::map<std::string, std::vector<Block>> variables;
+  std::map<std::string, std::vector<long>> globalExtents;
+  std::map<std::string, double> numericAttributes;
+  std::map<std::string, std::string> stringAttributes;
+
+  std::size_t totalBytes() const;
+  /// Gather all blocks of a variable into its dense global array.
+  std::vector<double> assemble(const std::string& name) const;
+};
+
+struct SstParams {
+  std::size_t writerRanks = 1;
+  std::size_t readerRanks = 1;
+  std::size_t queueLimit = 2;  ///< steps buffered before back-pressure
+};
+
+/// The shared channel. Writer/Reader handles are created per rank.
+class SstEngine {
+ public:
+  explicit SstEngine(SstParams params);
+
+  class Writer {
+   public:
+    Writer(SstEngine& engine, std::size_t rank);
+
+    void beginStep();
+    /// Contribute one block; globalExtent must agree across ranks.
+    void put(const std::string& variable, Block block,
+             std::vector<long> globalExtent);
+    void setAttribute(const std::string& name, double value);
+    void setAttribute(const std::string& name, const std::string& value);
+    /// Publish when all writer ranks arrived; blocks while the step queue
+    /// is full (back-pressure).
+    void endStep();
+    /// Declare end-of-stream (all ranks must close).
+    void close();
+
+    std::size_t rank() const { return rank_; }
+
+   private:
+    SstEngine& engine_;
+    std::size_t rank_;
+    bool inStep_ = false;
+  };
+
+  class Reader {
+   public:
+    Reader(SstEngine& engine, std::size_t rank);
+
+    /// Next step, or nullptr at end-of-stream. All reader ranks receive
+    /// the same step.
+    std::shared_ptr<const StepData> beginStep();
+    /// Release the step; when every reader rank ended, the queue slot is
+    /// freed and the writer may proceed.
+    void endStep();
+
+    /// Locality-aware default assignment: blocks whose writerRank maps to
+    /// this reader (writerRank % readerRanks == rank) — "data is shared
+    /// within node boundaries" (paper §IV-D).
+    std::vector<const Block*> myBlocks(const StepData& step,
+                                       const std::string& variable) const;
+
+    std::size_t rank() const { return rank_; }
+    std::size_t bytesRead() const { return bytesRead_; }
+    /// Account a Get (for throughput bookkeeping).
+    void recordRead(std::size_t bytes) { bytesRead_ += bytes; }
+
+   private:
+    SstEngine& engine_;
+    std::size_t rank_;
+    bool inStep_ = false;
+    std::size_t bytesRead_ = 0;
+  };
+
+  Writer makeWriter(std::size_t rank) { return Writer(*this, rank); }
+  Reader makeReader(std::size_t rank) { return Reader(*this, rank); }
+
+  const SstParams& params() const { return params_; }
+
+  // --- statistics -------------------------------------------------------
+  long stepsPublished() const;
+  std::size_t bytesPublished() const;
+  double writerStallSeconds() const;  ///< total back-pressure stall time
+  std::size_t queueDepth() const;
+
+ private:
+  friend class Writer;
+  friend class Reader;
+
+  SstParams params_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+
+  // Step under assembly by the writer group.
+  std::unique_ptr<StepData> assembling_;
+  std::size_t writersBegun_ = 0;
+  std::size_t writersEnded_ = 0;
+  long nextStep_ = 0;
+
+  // Published steps awaiting consumption.
+  std::deque<std::shared_ptr<StepData>> queue_;
+
+  // Reader-group coordination.
+  std::shared_ptr<StepData> current_;
+  std::size_t readersBegun_ = 0;
+  std::size_t readersEnded_ = 0;
+
+  std::size_t writersClosed_ = 0;
+  bool closed_ = false;
+
+  long stepsPublished_ = 0;
+  std::size_t bytesPublished_ = 0;
+  double stallSeconds_ = 0;
+};
+
+}  // namespace artsci::stream

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include "cluster/collectives.hpp"
+#include "cluster/netsim.hpp"
+#include "cluster/placement.hpp"
+
+namespace artsci::cluster {
+namespace {
+
+TEST(Topology, FrontierSpec) {
+  const auto f = ClusterSpec::frontier();
+  EXPECT_EQ(f.totalGpus(), 9408 * 4);
+  EXPECT_EQ(f.node.gcdsPerNode, 8);
+  // Paper: full-system FOM 65.3 TeraUpdates/s on 36864 GPUs.
+  EXPECT_NEAR(f.node.perGpuFom * 36864, 65.3e12, 1e9);
+}
+
+TEST(Topology, SummitSlowerPerGpu) {
+  EXPECT_LT(ClusterSpec::summit().node.perGpuFom,
+            ClusterSpec::frontier().node.perGpuFom);
+}
+
+TEST(NetSim, AllAtOnceFailsBeyondThreshold) {
+  const auto frontier = ClusterSpec::frontier();
+  Rng rng(1);
+  const auto plane = DataPlaneModel::libfabricAllAtOnce();
+  const auto ok =
+      simulateStreamStep(frontier, 4096, plane, StreamStepConfig{}, rng);
+  EXPECT_TRUE(ok.completed);
+  const auto fail =
+      simulateStreamStep(frontier, 9126, plane, StreamStepConfig{}, rng);
+  EXPECT_FALSE(fail.completed);
+}
+
+TEST(NetSim, BatchedScalesToFullSystem) {
+  const auto frontier = ClusterSpec::frontier();
+  Rng rng(2);
+  const auto plane = DataPlaneModel::libfabricBatched();
+  const auto r =
+      simulateStreamStep(frontier, 9126, plane, StreamStepConfig{}, rng);
+  EXPECT_TRUE(r.completed);
+  EXPECT_GT(r.totalThroughput, 0.0);
+}
+
+TEST(NetSim, BatchingCostsThroughput) {
+  // Fig 6: batched enqueue scales but at a notable per-node cost.
+  const auto frontier = ClusterSpec::frontier();
+  Rng rngA(3), rngB(3);
+  const auto all = simulateStreamStep(
+      frontier, 4096, DataPlaneModel::libfabricAllAtOnce(),
+      StreamStepConfig{}, rngA);
+  const auto batched = simulateStreamStep(
+      frontier, 4096, DataPlaneModel::libfabricBatched(),
+      StreamStepConfig{}, rngB);
+  EXPECT_GT(all.perNodeThroughput, 1.4 * batched.perNodeThroughput);
+}
+
+TEST(NetSim, PerNodeThroughputDegradesWithScale) {
+  const auto frontier = ClusterSpec::frontier();
+  const auto plane = DataPlaneModel::mpi();
+  Rng rng(4);
+  std::vector<double> at4096, at9126;
+  for (int i = 0; i < 20; ++i) {
+    Rng r1(100 + i), r2(200 + i);
+    at4096.push_back(simulateStreamStep(frontier, 4096, plane,
+                                        StreamStepConfig{}, r1)
+                         .perNodeThroughput);
+    at9126.push_back(simulateStreamStep(frontier, 9126, plane,
+                                        StreamStepConfig{}, r2)
+                         .perNodeThroughput);
+  }
+  double m4096 = 0, m9126 = 0;
+  for (double v : at4096) m4096 += v;
+  for (double v : at9126) m9126 += v;
+  EXPECT_GT(m4096 / 20, m9126 / 20);
+}
+
+TEST(NetSim, TotalThroughputStillRisesWithScale) {
+  const auto frontier = ClusterSpec::frontier();
+  const auto plane = DataPlaneModel::mpi();
+  Rng r1(5), r2(6);
+  const auto a =
+      simulateStreamStep(frontier, 4096, plane, StreamStepConfig{}, r1);
+  const auto b =
+      simulateStreamStep(frontier, 9126, plane, StreamStepConfig{}, r2);
+  EXPECT_GT(b.totalThroughput, a.totalThroughput);
+}
+
+TEST(NetSim, FullScaleBeatsOrionFilesystem) {
+  // The paper's headline: 20-30 TB/s streamed vs 10 TB/s Orion.
+  const auto frontier = ClusterSpec::frontier();
+  Rng rng(7);
+  const auto r = simulateStreamStep(frontier, 9126, DataPlaneModel::mpi(),
+                                    StreamStepConfig{}, rng);
+  EXPECT_GT(r.totalThroughput, frontier.filesystemBandwidth);
+}
+
+TEST(NetSim, SeriesReturnsRequestedSteps) {
+  const auto frontier = ClusterSpec::frontier();
+  Rng rng(8);
+  const auto s = simulateStreamSeries(frontier, 4096,
+                                      DataPlaneModel::mpi(),
+                                      StreamStepConfig{}, 5, rng);
+  EXPECT_EQ(s.size(), 5u);
+}
+
+TEST(Collectives, RingAllReduceScalesWithBytes) {
+  const double t1 = ringAllReduceSeconds(8, 1e6, 50e9, 1e-6);
+  const double t2 = ringAllReduceSeconds(8, 2e6, 50e9, 1e-6);
+  EXPECT_GT(t2, t1);
+  EXPECT_EQ(ringAllReduceSeconds(1, 1e9, 50e9, 1e-6), 0.0);
+}
+
+TEST(Collectives, AllReduceLatencyBoundAtManyRanks) {
+  // With tiny payloads the latency term dominates and grows ~2p.
+  const double t64 = ringAllReduceSeconds(64, 8, 50e9, 1e-5);
+  const double t128 = ringAllReduceSeconds(128, 8, 50e9, 1e-5);
+  EXPECT_NEAR(t128 / t64, 2.0, 0.05);
+}
+
+TEST(Collectives, TrainingEfficiencyMatchesPaperShape) {
+  // Fig 8: ~100% at 8 nodes (32 GCDs) falling to ~35% at 96 nodes (384).
+  const auto frontier = ClusterSpec::frontier();
+  const TrainingScalingModel model;
+  const double e32 = trainingEfficiency(frontier, 32, model);
+  const double e384 = trainingEfficiency(frontier, 384, model);
+  EXPECT_NEAR(e32, 1.0, 1e-9);
+  EXPECT_GT(e384, 0.25);
+  EXPECT_LT(e384, 0.50);
+  // Monotone decline.
+  double prev = 1.0;
+  for (long gcds : {64L, 128L, 256L, 384L}) {
+    const double e = trainingEfficiency(frontier, gcds, model);
+    EXPECT_LT(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Collectives, AllReduceDeficitRoughlyThirty) {
+  // The paper attributes ~30% of the deficit to the all-reduce.
+  const auto frontier = ClusterSpec::frontier();
+  const TrainingScalingModel model;
+  const auto c = trainingBatchCost(frontier, 384, model);
+  const double deficitShare = c.allReduceExposed / c.total;
+  EXPECT_GT(deficitShare, 0.15);
+  EXPECT_LT(deficitShare, 0.45);
+}
+
+TEST(Collectives, PicFomNearLinear) {
+  const auto frontier = ClusterSpec::frontier();
+  const double f24 = picFomModel(frontier, 24);
+  const double f36864 = picFomModel(frontier, 36864);
+  // Weak scaling: three orders of magnitude more GPUs, nearly
+  // proportional FOM (within 15% of linear).
+  const double linear = f24 * 36864.0 / 24.0;
+  EXPECT_GT(f36864, 0.85 * linear);
+  EXPECT_LE(f36864, linear);
+  // Absolute calibration: full Frontier lands near 65.3 TeraUpdates/s.
+  EXPECT_NEAR(f36864, 65.3e12, 0.12 * 65.3e12);
+}
+
+TEST(Placement, IntraNodeAvoidsNic) {
+  const auto frontier = ClusterSpec::frontier();
+  PlacementConfig intra;
+  intra.placement = Placement::kIntraNode;
+  PlacementConfig inter;
+  inter.placement = Placement::kInterNode;
+  const double bytes = 5.86e9;
+  const auto ci = placementCost(frontier, intra, bytes);
+  const auto cx = placementCost(frontier, inter, bytes);
+  EXPECT_LT(ci.bytesOverNic, 0.2 * bytes);
+  EXPECT_EQ(cx.bytesOverNic, bytes);
+  EXPECT_LT(ci.transferSeconds, cx.transferSeconds);
+}
+
+TEST(Placement, GcdSplitValidated) {
+  const auto frontier = ClusterSpec::frontier();
+  PlacementConfig bad;
+  bad.producerGcdsPerNode = 6;
+  bad.consumerGcdsPerNode = 6;  // 12 > 8 GCDs
+  EXPECT_THROW(placementCost(frontier, bad, 1e9), ContractError);
+}
+
+}  // namespace
+}  // namespace artsci::cluster

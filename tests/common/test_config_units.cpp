@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace artsci {
+namespace {
+
+TEST(Config, ParsesKeyValuesAndPositionals) {
+  const char* argv[] = {"prog", "nodes=8", "beta=0.2", "run", "stream=off"};
+  const Config cfg = Config::fromArgs(5, argv);
+  EXPECT_EQ(cfg.getInt("nodes", 0), 8);
+  EXPECT_DOUBLE_EQ(cfg.getDouble("beta", 0.0), 0.2);
+  EXPECT_FALSE(cfg.getBool("stream", true));
+  ASSERT_EQ(cfg.positional().size(), 1u);
+  EXPECT_EQ(cfg.positional()[0], "run");
+}
+
+TEST(Config, FallbacksUsedWhenMissing) {
+  const Config cfg;
+  EXPECT_EQ(cfg.getInt("missing", 17), 17);
+  EXPECT_EQ(cfg.getString("missing", "abc"), "abc");
+  EXPECT_TRUE(cfg.getBool("missing", true));
+}
+
+TEST(Config, MalformedNumberThrows) {
+  Config cfg;
+  cfg.set("n", "12x");
+  EXPECT_THROW(cfg.getInt("n", 0), ContractError);
+}
+
+TEST(Config, BoolSpellings) {
+  Config cfg;
+  for (const char* t : {"1", "true", "yes", "on"}) {
+    cfg.set("b", t);
+    EXPECT_TRUE(cfg.getBool("b", false)) << t;
+  }
+  for (const char* f : {"0", "false", "no", "off"}) {
+    cfg.set("b", f);
+    EXPECT_FALSE(cfg.getBool("b", true)) << f;
+  }
+}
+
+TEST(Units, PlasmaFrequencyAtPaperDensity) {
+  // n0 = 1e25 m^-3 -> omega_pe ~ 1.78e14 rad/s.
+  const double wpe = units::plasmaFrequency(1e25);
+  EXPECT_NEAR(wpe, 1.784e14, 0.01e14);
+}
+
+TEST(Units, SkinDepthAtPaperDensity) {
+  // c/omega_pe ~ 1.68 um at n0 = 1e25 m^-3.
+  EXPECT_NEAR(units::skinDepth(1e25) * 1e6, 1.68, 0.02);
+}
+
+TEST(Units, PaperSetupCflIsStable) {
+  // dt = 17.9 fs on a 93.5 um cubic cell: CFL = c dt sqrt(3)/dx < 1.
+  const units::PaperKhiSetup setup;
+  EXPECT_LT(setup.cflNumber(), 1.0);
+  EXPECT_GT(setup.cflNumber(), 0.05);
+}
+
+TEST(Units, GammaOfBeta) {
+  EXPECT_DOUBLE_EQ(units::gammaOfBeta(0.0), 1.0);
+  EXPECT_NEAR(units::gammaOfBeta(0.2), 1.0206, 1e-4);
+  EXPECT_NEAR(units::gammaOfBeta(0.6), 1.25, 1e-12);
+}
+
+TEST(Units, DopplerAsymmetryForKhiStreams) {
+  // For beta = 0.2 the approaching stream's cutoff sits a factor
+  // (1+beta)/(1-beta) = 1.5 above the receding one's (Fig 9a).
+  const double up = units::dopplerFactor(0.2);
+  const double down = units::dopplerFactor(-0.2);
+  EXPECT_NEAR(up / down, 1.5, 1e-12);
+}
+
+TEST(Units, RoundTripLengthConversion) {
+  const double metres = 5.0e-5;
+  const double plasma = units::lengthToPlasma(metres, 1e25);
+  EXPECT_NEAR(plasma * units::skinDepth(1e25), metres, 1e-18);
+}
+
+}  // namespace
+}  // namespace artsci

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/histogram.hpp"
+
+namespace artsci {
+namespace {
+
+TEST(Histogram, FillsCorrectBin) {
+  Histogram1D h(0.0, 10.0, 10);
+  h.fill(0.5);
+  h.fill(9.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 2.0);
+}
+
+TEST(Histogram, UnderOverflowTracked) {
+  Histogram1D h(0.0, 1.0, 4);
+  h.fill(-1.0, 2.0);
+  h.fill(2.0, 3.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 3.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+}
+
+TEST(Histogram, WeightedFill) {
+  Histogram1D h(0.0, 1.0, 2);
+  h.fill(0.25, 2.5);
+  h.fill(0.75, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.5);
+  EXPECT_DOUBLE_EQ(h.count(1), 0.5);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram1D h(-1.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.binCenter(0), -0.75);
+  EXPECT_DOUBLE_EQ(h.binCenter(3), 0.75);
+}
+
+TEST(Histogram, NormalizedSumsToOne) {
+  Histogram1D h(0.0, 1.0, 8);
+  for (int i = 0; i < 100; ++i) h.fill(0.01 * i, 1.0 + i % 3);
+  const auto n = h.normalized();
+  EXPECT_NEAR(n.total(), 1.0, 1e-12);
+}
+
+TEST(Histogram, MeanAndStd) {
+  Histogram1D h(-4.0, 4.0, 160);
+  // Symmetric triangle around 1.0
+  for (int i = -50; i <= 50; ++i)
+    h.fill(1.0 + 0.01 * i, 51 - std::abs(i));
+  EXPECT_NEAR(h.meanValue(), 1.0, 1e-2);
+  EXPECT_GT(h.stddevValue(), 0.0);
+}
+
+TEST(Histogram, FindPeaksDetectsBimodal) {
+  // The vortex-region momentum distribution of Fig 9 has two populations.
+  Histogram1D h(-1.0, 1.0, 50);
+  for (int i = 0; i < 1000; ++i) {
+    const double t = static_cast<double>(i) / 1000.0;
+    h.fill(-0.5 + 0.05 * std::sin(t * 77), 1.0);
+    h.fill(0.5 + 0.05 * std::cos(t * 91), 1.0);
+  }
+  const auto peaks = h.findPeaks(0.2, 5);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_LT(h.binCenter(peaks[0]), 0.0);
+  EXPECT_GT(h.binCenter(peaks[1]), 0.0);
+}
+
+TEST(Histogram, FindPeaksUnimodal) {
+  Histogram1D h(-1.0, 1.0, 50);
+  for (int i = 0; i < 2000; ++i)
+    h.fill(0.3 + 0.1 * std::sin(static_cast<double>(i)), 1.0);
+  EXPECT_EQ(h.findPeaks(0.3, 5).size(), 1u);
+}
+
+TEST(Histogram, RenderAsciiHasOneRowPerBin) {
+  Histogram1D h(0.0, 1.0, 5);
+  h.fill(0.5, 10);
+  const std::string art = h.renderAscii(20, true, "demo");
+  int rows = 0;
+  for (char c : art) rows += (c == '\n');
+  EXPECT_EQ(rows, 6);  // label + 5 bins
+}
+
+}  // namespace
+}  // namespace artsci

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace artsci {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == b());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.split();
+  // Child and parent should not track each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a() == child());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 7.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 7.5);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(5);
+  constexpr int kBuckets = 10;
+  int counts[kBuckets] = {};
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.uniformInt(kBuckets)]++;
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(Rng, UniformIntOneAlwaysZero) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniformInt(1), 0u);
+}
+
+TEST(Rng, NormalMomentsMatchStandardNormal) {
+  Rng rng(8);
+  constexpr int kDraws = 200000;
+  double sum = 0.0, sumSq = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumSq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(9);
+  constexpr int kDraws = 100000;
+  double sum = 0.0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.normal(5.0, 0.5);
+  EXPECT_NEAR(sum / kDraws, 5.0, 0.02);
+}
+
+}  // namespace
+}  // namespace artsci

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace artsci::stats {
+namespace {
+
+TEST(Stats, MeanAndStddev) {
+  std::vector<double> xs{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), std::sqrt(2.5), 1e-12);
+}
+
+TEST(Stats, MeanOfEmptyIsZero) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, QuantileEndpoints) {
+  std::vector<double> xs{3, 1, 2};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  std::vector<double> xs{0, 10};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Stats, BoxplotSummary) {
+  std::vector<double> xs{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const BoxPlot b = boxplot(xs);
+  EXPECT_DOUBLE_EQ(b.min, 1);
+  EXPECT_DOUBLE_EQ(b.median, 5);
+  EXPECT_DOUBLE_EQ(b.max, 9);
+  EXPECT_DOUBLE_EQ(b.q1, 3);
+  EXPECT_DOUBLE_EQ(b.q3, 7);
+  EXPECT_EQ(b.count, 9u);
+}
+
+TEST(Stats, RemoveOutliersDropsExtremeValue) {
+  // The paper observed single batches taking >100x the mean and removes
+  // > 4 sigma outliers before averaging (Fig 8).
+  std::vector<double> xs(100, 1.0);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    xs[i] += 0.01 * static_cast<double>(i % 7);
+  xs.push_back(120.0);  // the straggler batch
+  const auto cleaned = removeOutliers(xs, 4.0);
+  EXPECT_EQ(cleaned.size(), xs.size() - 1);
+  for (double v : cleaned) EXPECT_LT(v, 2.0);
+}
+
+TEST(Stats, RemoveOutliersKeepsCleanData) {
+  std::vector<double> xs{1.0, 1.1, 0.9, 1.05, 0.95};
+  EXPECT_EQ(removeOutliers(xs, 4.0).size(), xs.size());
+}
+
+TEST(Stats, RemoveOutliersIteratesUntilStable) {
+  // A huge outlier inflates sigma enough to hide a medium one; iterative
+  // removal must catch both.
+  std::vector<double> xs(200, 1.0);
+  for (std::size_t i = 0; i < 200; ++i)
+    xs[i] += 0.001 * static_cast<double>(i % 11);
+  xs.push_back(1e6);
+  xs.push_back(50.0);
+  const auto cleaned = removeOutliers(xs, 4.0);
+  EXPECT_EQ(cleaned.size(), xs.size() - 2);
+}
+
+TEST(Stats, LinearFitRecoversLine) {
+  std::vector<double> x{0, 1, 2, 3, 4};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(2.5 * xi - 1.0);
+  const auto f = linearFit(x, y);
+  EXPECT_NEAR(f.slope, 2.5, 1e-12);
+  EXPECT_NEAR(f.intercept, -1.0, 1e-12);
+}
+
+TEST(Stats, FormatBoxPlotContainsMedian) {
+  const BoxPlot b = boxplot({1, 2, 3});
+  const std::string s = formatBoxPlot(b);
+  EXPECT_NE(s.find("[2.00]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace artsci::stats

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/thread_pool.hpp"
+
+namespace artsci {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 100; ++i)
+    futs.push_back(pool.submit([&counter] { counter++; }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, ReturnsValues) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr std::size_t kRanks = 8;
+  Barrier barrier(kRanks);
+  std::vector<int> phase(kRanks, 0);
+  std::atomic<bool> mismatch{false};
+  runRankTeam(kRanks, [&](std::size_t rank) {
+    for (int p = 0; p < 50; ++p) {
+      phase[rank] = p;
+      barrier.arriveAndWait();
+      // After the barrier every rank must be in the same phase.
+      for (std::size_t r = 0; r < kRanks; ++r) {
+        if (phase[r] != p) mismatch = true;
+      }
+      barrier.arriveAndWait();
+    }
+  });
+  EXPECT_FALSE(mismatch.load());
+}
+
+TEST(RankTeam, EveryRankRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(16);
+  runRankTeam(16, [&](std::size_t r) { hits[r]++; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RankTeam, RethrowsWorkerException) {
+  EXPECT_THROW(runRankTeam(4,
+                           [](std::size_t r) {
+                             if (r == 2) throw std::runtime_error("rank 2");
+                           }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace artsci

@@ -1,0 +1,245 @@
+#include <gtest/gtest.h>
+
+#include "core/evaluate.hpp"
+#include "core/model.hpp"
+#include "core/pipeline.hpp"
+#include "core/transforms.hpp"
+
+namespace artsci::core {
+namespace {
+
+Sample makeSample(Rng& rng, long points, long specDim, int region,
+                  double uxMean) {
+  Sample s;
+  s.cloud.resize(static_cast<std::size_t>(points) * 6);
+  for (long p = 0; p < points; ++p) {
+    for (int c = 0; c < 3; ++c)
+      s.cloud[static_cast<std::size_t>(p * 6 + c)] = rng.uniform(-1, 1);
+    s.cloud[static_cast<std::size_t>(p * 6 + 3)] =
+        uxMean + rng.normal(0, 0.05);
+    s.cloud[static_cast<std::size_t>(p * 6 + 4)] = rng.normal(0, 0.05);
+    s.cloud[static_cast<std::size_t>(p * 6 + 5)] = rng.normal(0, 0.05);
+  }
+  s.spectrum.resize(static_cast<std::size_t>(specDim));
+  for (auto& v : s.spectrum) v = 0.5 + 0.1 * uxMean + rng.normal(0, 0.01);
+  s.region = region;
+  return s;
+}
+
+TEST(Transforms, SpectrumNormalizationRoundTrip) {
+  TransformConfig cfg;
+  const std::vector<double> intensity{0.0, 1e-8, 1e-4, 1.0, 100.0};
+  const auto norm = normalizeSpectrum(intensity, cfg);
+  for (double v : norm) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  const auto back = denormalizeSpectrum(norm, cfg);
+  for (std::size_t i = 0; i < intensity.size(); ++i)
+    EXPECT_NEAR(back[i], intensity[i], 1e-6 * std::max(1.0, intensity[i]));
+}
+
+TEST(Transforms, NormalizationIsMonotone) {
+  TransformConfig cfg;
+  const auto n = normalizeSpectrum({1e-9, 1e-6, 1e-3, 1.0}, cfg);
+  for (std::size_t i = 1; i < n.size(); ++i) EXPECT_GT(n[i], n[i - 1]);
+}
+
+TEST(Transforms, RegionCloudExtraction) {
+  // Build a KHI-initialized buffer and extract from each region.
+  pic::KhiConfig kcfg;
+  kcfg.grid = pic::GridSpec{8, 32, 4, 0.25, 0.25, 0.25};
+  kcfg.dt = 0.05;
+  kcfg.particlesPerCell = 4;
+  pic::SimulationConfig sc;
+  sc.grid = kcfg.grid;
+  sc.dt = kcfg.dt;
+  pic::Simulation sim(sc);
+  const auto sp = pic::initializeKhi(sim, kcfg);
+
+  TransformConfig cfg;
+  cfg.cloudPoints = 64;
+  Rng rng(5);
+  for (int r = 0; r < 3; ++r) {
+    const auto cloud =
+        extractRegionCloud(sim.species(sp.electrons), kcfg.grid.ny,
+                           static_cast<pic::KhiRegion>(r), cfg, rng);
+    ASSERT_EQ(cloud.size(), 64u * 6u) << "region " << r;
+    // Positions normalized to [-1, 1].
+    for (std::size_t p = 0; p < 64; ++p) {
+      for (int c = 0; c < 3; ++c) {
+        EXPECT_GE(cloud[p * 6 + static_cast<std::size_t>(c)], -1.0 - 1e-9);
+        EXPECT_LE(cloud[p * 6 + static_cast<std::size_t>(c)], 1.0 + 1e-9);
+      }
+    }
+  }
+  // Momentum sign by region: approaching +, receding -.
+  const auto appr = extractRegionCloud(sim.species(sp.electrons),
+                                       kcfg.grid.ny,
+                                       pic::KhiRegion::kApproaching, cfg,
+                                       rng);
+  double mean = 0;
+  for (std::size_t p = 0; p < 64; ++p)
+    mean += cloudMomentumX(appr, p, cfg);
+  EXPECT_GT(mean / 64, 0.1);
+}
+
+TEST(Transforms, TooFewParticlesReturnsEmpty) {
+  pic::ParticleBuffer buf({-1.0, 1.0, "e"});
+  buf.push({1, 1, 1}, {0.1, 0, 0}, 1.0);
+  TransformConfig cfg;
+  cfg.cloudPoints = 64;
+  Rng rng(6);
+  EXPECT_TRUE(extractRegionCloud(buf, 32, pic::KhiRegion::kApproaching, cfg,
+                                 rng)
+                  .empty());
+}
+
+TEST(Model, ReducedConfigShapes) {
+  Rng rng(1);
+  ArtificialScientistModel model(ArtificialScientistModel::Config::reduced(),
+                                 rng);
+  EXPECT_EQ(model.cloudPoints(), 64);
+  Rng dataRng(2);
+  ml::Tensor clouds = ml::Tensor::randn({2, 32, 6}, dataRng, 0.3);
+  ml::Tensor spectra = ml::Tensor::randn({2, 32}, dataRng, 0.1);
+  const auto terms = model.lossTerms(clouds, spectra, dataRng);
+  EXPECT_GT(terms.chamfer.item(), 0.0);
+  EXPECT_GE(terms.kl.item(), 0.0);
+  EXPECT_GT(terms.mse.item(), 0.0);
+  EXPECT_GE(terms.mmdLatent.item(), 0.0);
+  EXPECT_GE(terms.mmdPosterior.item(), 0.0);
+}
+
+TEST(Model, PaperConfigConstructs) {
+  Rng rng(3);
+  ArtificialScientistModel model(ArtificialScientistModel::Config::paper(),
+                                 rng);
+  EXPECT_EQ(model.cloudPoints(), 4096);
+  // ~4.3M parameters as estimated in DESIGN.md.
+  EXPECT_GT(model.parameterCount(), 3'000'000);
+  EXPECT_LT(model.parameterCount(), 7'000'000);
+  // One forward pass at a small particle count works.
+  Rng dataRng(4);
+  ml::Tensor clouds = ml::Tensor::randn({1, 16, 6}, dataRng, 0.3);
+  ml::Tensor spectra = model.predictSpectra(clouds);
+  EXPECT_EQ(spectra.shape(), (ml::Shape{1, 128}));
+}
+
+TEST(Model, MismatchedConfigRejected) {
+  auto cfg = ArtificialScientistModel::Config::reduced();
+  cfg.inn.dim = 32;  // != latent 64
+  Rng rng(5);
+  EXPECT_THROW(ArtificialScientistModel model(cfg, rng), ContractError);
+}
+
+TEST(Model, InversionShapesAndStochasticity) {
+  Rng rng(6);
+  ArtificialScientistModel model(ArtificialScientistModel::Config::reduced(),
+                                 rng);
+  Rng dataRng(7);
+  ml::Tensor spectra = ml::Tensor::randn({3, 32}, dataRng, 0.1);
+  ml::Tensor a = model.invertSpectra(spectra, dataRng);
+  ml::Tensor b = model.invertSpectra(spectra, dataRng);
+  EXPECT_EQ(a.shape(), (ml::Shape{3, 64, 6}));
+  // Different noise draws -> different posterior samples (ill-posed
+  // problems have many solutions; the INN samples them).
+  double diff = 0;
+  for (std::size_t i = 0; i < a.data().size(); ++i)
+    diff += std::abs(a.data()[i] - b.data()[i]);
+  EXPECT_GT(diff, 1e-6);
+}
+
+TEST(Model, VaeAndInnParameterSplit) {
+  Rng rng(8);
+  ArtificialScientistModel model(ArtificialScientistModel::Config::reduced(),
+                                 rng);
+  EXPECT_EQ(model.parameters().size(),
+            model.vaeParameters().size() + model.innParameters().size());
+  EXPECT_FALSE(model.vaeParameters().empty());
+  EXPECT_FALSE(model.innParameters().empty());
+}
+
+TEST(Trainer, LossDecreasesOnStationaryData) {
+  TrainerConfig tcfg;
+  tcfg.ranks = 2;
+  tcfg.baseLearningRate = 3e-4;
+  auto mcfg = ArtificialScientistModel::Config::reduced();
+  InTransitTrainer trainer(mcfg, tcfg);
+
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i)
+    trainer.buffer().push(makeSample(rng, 64, 32, i % 3,
+                                     (i % 3 == 0) ? 0.8 : -0.8));
+  trainer.trainIterations(60);
+  const auto& hist = trainer.stats().lossHistory;
+  ASSERT_GE(hist.size(), 60u);
+  double early = 0, late = 0;
+  for (int i = 0; i < 10; ++i) {
+    early += hist[static_cast<std::size_t>(i)];
+    late += hist[hist.size() - 10 + static_cast<std::size_t>(i)];
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(Trainer, LearningRatesScaledAndSplit) {
+  TrainerConfig tcfg;
+  tcfg.ranks = 4;
+  tcfg.baseLearningRate = 1e-4;
+  tcfg.vaeLearningRateFactor = 3.0;
+  tcfg.sqrtLrScaling = true;
+  InTransitTrainer trainer(ArtificialScientistModel::Config::reduced(),
+                           tcfg);
+  const auto [vaeLr, innLr] = trainer.learningRates();
+  // total batch = 4 ranks * 8 = 32; sqrt(32/8) = 2.
+  EXPECT_NEAR(innLr, 1e-4 * 2.0, 1e-12);
+  EXPECT_NEAR(vaeLr, 3e-4 * 2.0, 1e-12);
+}
+
+TEST(Trainer, NoopWhenBufferNotReady) {
+  InTransitTrainer trainer(ArtificialScientistModel::Config::reduced(),
+                           TrainerConfig{});
+  trainer.trainIterations(5);
+  EXPECT_EQ(trainer.stats().iterations, 0);
+}
+
+TEST(Evaluate, LatentClassifierPerfectOnSeparatedData) {
+  // Train a model briefly on well-separated per-region clouds, then the
+  // latent nearest-centroid classifier should beat chance clearly.
+  TrainerConfig tcfg;
+  tcfg.ranks = 1;
+  auto mcfg = ArtificialScientistModel::Config::reduced();
+  InTransitTrainer trainer(mcfg, tcfg);
+  Rng rng(21);
+  std::vector<Sample> train, test;
+  auto regionMean = [](int r) { return r == 0 ? 0.8 : (r == 1 ? -0.8 : 0.0); };
+  for (int i = 0; i < 30; ++i) {
+    const int r = i % 3;
+    trainer.buffer().push(makeSample(rng, 64, 32, r, regionMean(r)));
+  }
+  trainer.trainIterations(30);
+  for (int i = 0; i < 15; ++i) {
+    const int r = i % 3;
+    train.push_back(makeSample(rng, 64, 32, r, regionMean(r)));
+    test.push_back(makeSample(rng, 64, 32, r, regionMean(r)));
+  }
+  const double acc = latentRegionClassificationAccuracy(trainer.model(),
+                                                        train, test);
+  EXPECT_GT(acc, 0.6);  // chance = 1/3
+}
+
+TEST(Pipeline, QuickDemoConfigConsistent) {
+  const auto cfg = PipelineConfig::quickDemo();
+  EXPECT_EQ(static_cast<long>(cfg.producer.frequencyCount),
+            cfg.model.spectrumDim);
+}
+
+TEST(Pipeline, MismatchedSpectrumDimRejected) {
+  auto cfg = PipelineConfig::quickDemo();
+  cfg.producer.frequencyCount = 16;  // model expects 32
+  InTransitTrainer trainer(cfg.model, cfg.trainer);
+  EXPECT_THROW(runPipeline(cfg, trainer), ContractError);
+}
+
+}  // namespace
+}  // namespace artsci::core

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "ml/ops.hpp"
+#include "ml/tensor.hpp"
+
+namespace artsci::ml {
+namespace {
+
+TEST(Tensor, ZerosShapeAndValues) {
+  Tensor t = Tensor::zeros({2, 3});
+  EXPECT_EQ(t.numel(), 6);
+  EXPECT_EQ(t.ndim(), 2);
+  for (Real v : t.data()) EXPECT_EQ(v, Real(0));
+}
+
+TEST(Tensor, FullFillsValue) {
+  Tensor t = Tensor::full({4}, Real(2.5));
+  for (Real v : t.data()) EXPECT_EQ(v, Real(2.5));
+}
+
+TEST(Tensor, FromVectorChecksCount) {
+  EXPECT_THROW(Tensor::fromVector({2, 2}, {1, 2, 3}), ContractError);
+}
+
+TEST(Tensor, NegativeDimIndexing) {
+  Tensor t = Tensor::zeros({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-3), 2);
+}
+
+TEST(Tensor, ItemRequiresScalar) {
+  EXPECT_THROW(Tensor::zeros({2}).item(), ContractError);
+  EXPECT_EQ(Tensor::scalar(3.0).item(), Real(3));
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(11);
+  Tensor t = Tensor::randn({10000}, rng, Real(2));
+  Real sum = 0, sumSq = 0;
+  for (Real v : t.data()) {
+    sum += v;
+    sumSq += v * v;
+  }
+  const Real mean = sum / 10000;
+  EXPECT_NEAR(mean, 0.0, 0.1);
+  EXPECT_NEAR(sumSq / 10000 - mean * mean, 4.0, 0.3);
+}
+
+TEST(Tensor, DetachSharesNoGraph) {
+  Tensor a = Tensor::full({2}, 1.0, true);
+  Tensor b = mulScalar(a, 2.0);
+  Tensor d = b.detach();
+  EXPECT_FALSE(d.requiresGrad());
+  EXPECT_EQ(d.data()[0], Real(2));
+  d.data()[0] = Real(99);
+  EXPECT_EQ(b.data()[0], Real(2));  // no aliasing
+}
+
+TEST(Tensor, BackwardSimpleChain) {
+  Tensor x = Tensor::scalar(3.0, true);
+  Tensor y = mulScalar(square(x), 2.0);  // y = 2 x^2, dy/dx = 4x = 12
+  y.backward();
+  EXPECT_NEAR(x.grad()[0], 12.0, 1e-12);
+}
+
+TEST(Tensor, BackwardAccumulatesThroughFanOut) {
+  Tensor x = Tensor::scalar(2.0, true);
+  Tensor y = add(square(x), mulScalar(x, 3.0));  // x^2 + 3x, d = 2x+3 = 7
+  y.backward();
+  EXPECT_NEAR(x.grad()[0], 7.0, 1e-12);
+}
+
+TEST(Tensor, BackwardDiamondGraph) {
+  // z = (x*2) + (x*5); dz/dx = 7. The node x is reachable via two paths.
+  Tensor x = Tensor::scalar(1.0, true);
+  Tensor a = mulScalar(x, 2.0);
+  Tensor b = mulScalar(x, 5.0);
+  Tensor z = add(a, b);
+  z.backward();
+  EXPECT_NEAR(x.grad()[0], 7.0, 1e-12);
+}
+
+TEST(Tensor, NoGradWhenNotRequested) {
+  Tensor x = Tensor::scalar(3.0, false);
+  Tensor y = square(x);
+  EXPECT_FALSE(y.requiresGrad());
+  y.backward();  // valid: nothing to propagate
+  EXPECT_TRUE(x.grad().empty());
+}
+
+TEST(Tensor, ZeroGradClears) {
+  Tensor x = Tensor::scalar(3.0, true);
+  square(x).backward();
+  EXPECT_NE(x.grad()[0], Real(0));
+  x.zeroGrad();
+  EXPECT_EQ(x.grad()[0], Real(0));
+}
+
+TEST(Tensor, GradAccumulatesAcrossBackwards) {
+  Tensor x = Tensor::scalar(1.0, true);
+  square(x).backward();
+  square(x).backward();
+  EXPECT_NEAR(x.grad()[0], 4.0, 1e-12);  // 2x + 2x
+}
+
+TEST(Tensor, ShapeToStringFormat) {
+  EXPECT_EQ(shapeToString({2, 3}), "[2, 3]");
+  EXPECT_EQ(shapeToString({}), "[]");
+}
+
+}  // namespace
+}  // namespace artsci::ml

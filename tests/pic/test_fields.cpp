@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "pic/fields.hpp"
+
+namespace artsci::pic {
+namespace {
+
+TEST(Field3, PeriodicIndexWraps) {
+  Field3 f(4, 4, 4);
+  f.at(0, 0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(f.at(4, 4, 4), 7.0);
+  EXPECT_DOUBLE_EQ(f.at(-4, 0, 0), 7.0);
+  f.at(-1, 0, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(f.at(3, 0, 0), 3.0);
+}
+
+TEST(FieldSolver, CflNumber) {
+  GridSpec g{8, 8, 8, 0.1, 0.1, 0.1};
+  FieldSolver solver(g);
+  EXPECT_NEAR(solver.cflNumber(0.05), 0.05 * std::sqrt(3.0) / 0.1, 1e-12);
+}
+
+TEST(FieldSolver, VacuumStaysVacuum) {
+  GridSpec g{8, 8, 8, 0.2, 0.2, 0.2};
+  FieldSolver solver(g);
+  VectorField E(g), B(g), J(g);
+  for (int s = 0; s < 20; ++s) {
+    solver.updateBHalf(B, E, 0.05);
+    solver.updateE(E, B, J, 0.05);
+    solver.updateBHalf(B, E, 0.05);
+  }
+  EXPECT_EQ(solver.fieldEnergy(E, B), 0.0);
+}
+
+TEST(FieldSolver, DivBStaysZero) {
+  // Start from divergence-free B, drive with arbitrary E: the Yee curl
+  // preserves div B = 0 to machine precision.
+  GridSpec g{12, 12, 12, 0.25, 0.25, 0.25};
+  FieldSolver solver(g);
+  VectorField E(g), B(g), J(g);
+  // Random-ish but smooth E field.
+  for (long i = 0; i < g.nx; ++i)
+    for (long j = 0; j < g.ny; ++j)
+      for (long k = 0; k < g.nz; ++k) {
+        E.x.at(i, j, k) = std::sin(2 * units::kPi * j / g.ny);
+        E.y.at(i, j, k) = std::cos(2 * units::kPi * k / g.nz);
+        E.z.at(i, j, k) = std::sin(2 * units::kPi * i / g.nx);
+      }
+  // B starts at 0 (trivially div-free).
+  for (int s = 0; s < 50; ++s) {
+    solver.updateBHalf(B, E, 0.05);
+    solver.updateE(E, B, J, 0.05);
+    solver.updateBHalf(B, E, 0.05);
+  }
+  EXPECT_LT(solver.maxDivB(B), 1e-11);
+  EXPECT_GT(solver.magneticEnergy(B), 0.0);
+}
+
+TEST(FieldSolver, PlaneWavePropagatesAtLightSpeed) {
+  // A y-polarized plane wave moving in +x: E_y = cos(k x), B_z = cos(k x).
+  // After one box crossing time L/c it must return to (nearly) the same
+  // configuration.
+  GridSpec g{64, 4, 4, 0.125, 0.125, 0.125};
+  FieldSolver solver(g);
+  VectorField E(g), B(g), J(g);
+  const double L = g.nx * g.dx;
+  const double kWave = 2.0 * units::kPi / L;
+  for (long i = 0; i < g.nx; ++i) {
+    for (long j = 0; j < g.ny; ++j) {
+      for (long k = 0; k < g.nz; ++k) {
+        // Respect staggering: Ey at (i, j+1/2, k), Bz at (i+1/2, j+1/2, k).
+        const double xE = i * g.dx;
+        const double xB = (i + 0.5) * g.dx;
+        E.y.at(i, j, k) = std::cos(kWave * xE);
+        B.z.at(i, j, k) = std::cos(kWave * xB);
+      }
+    }
+  }
+  const double initialEnergy = solver.fieldEnergy(E, B);
+  const double dt = 0.05;
+  const long steps = static_cast<long>(std::round(L / dt));
+  for (long s = 0; s < steps; ++s) {
+    solver.updateBHalf(B, E, dt);
+    solver.updateE(E, B, J, dt);
+    solver.updateBHalf(B, E, dt);
+  }
+  // Energy conserved...
+  EXPECT_NEAR(solver.fieldEnergy(E, B), initialEnergy,
+              0.02 * initialEnergy);
+  // ...and phase back to the start (allow numerical dispersion slack).
+  double corr = 0.0, norm = 0.0;
+  for (long i = 0; i < g.nx; ++i) {
+    const double ref = std::cos(kWave * i * g.dx);
+    corr += ref * E.y.at(i, 0, 0);
+    norm += ref * ref;
+  }
+  EXPECT_GT(corr / norm, 0.95);
+}
+
+TEST(FieldSolver, CurrentDrivesEField) {
+  // dE/dt = -J for uniform J (no curl), so E = -J t.
+  GridSpec g{6, 6, 6, 0.3, 0.3, 0.3};
+  FieldSolver solver(g);
+  VectorField E(g), B(g), J(g);
+  J.x.fill(0.5);
+  const double dt = 0.1;
+  for (int s = 0; s < 10; ++s) {
+    solver.updateBHalf(B, E, dt);
+    solver.updateE(E, B, J, dt);
+    solver.updateBHalf(B, E, dt);
+  }
+  EXPECT_NEAR(E.x.at(3, 3, 3), -0.5 * dt * 10, 1e-12);
+  EXPECT_EQ(solver.magneticEnergy(B), 0.0);  // uniform E has no curl
+}
+
+TEST(FieldSolver, SlabUpdateMatchesFullUpdate) {
+  GridSpec g{16, 8, 8, 0.2, 0.2, 0.2};
+  FieldSolver solver(g);
+  VectorField E1(g), B1(g), J(g), E2(g), B2(g);
+  for (long i = 0; i < g.nx; ++i)
+    for (long j = 0; j < g.ny; ++j)
+      for (long k = 0; k < g.nz; ++k)
+        E1.x.at(i, j, k) = E2.x.at(i, j, k) =
+            std::sin(0.3 * i) + std::cos(0.5 * j + 0.2 * k);
+  solver.updateBHalf(B1, E1, 0.05);
+  // Same update in two slabs.
+  solver.updateBHalf(B2, E2, 0.05, 0, 7);
+  solver.updateBHalf(B2, E2, 0.05, 7, 16);
+  for (long i = 0; i < g.nx; ++i)
+    for (long j = 0; j < g.ny; ++j)
+      for (long k = 0; k < g.nz; ++k)
+        EXPECT_DOUBLE_EQ(B1.z.at(i, j, k), B2.z.at(i, j, k));
+}
+
+}  // namespace
+}  // namespace artsci::pic

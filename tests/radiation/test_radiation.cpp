@@ -1,0 +1,262 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.hpp"
+#include "pic/khi.hpp"
+#include "radiation/plugin.hpp"
+
+namespace artsci::radiation {
+namespace {
+
+using pic::GridSpec;
+using pic::ParticleBuffer;
+
+/// Drive a single synthetic "gyrating" particle: circular velocity in the
+/// x-y plane at angular frequency omega0, with mean drift betaDrift along
+/// x. Returns the intensity spectrum seen by a detector along +x.
+std::vector<double> gyratingSpectrum(double omega0, double betaDrift,
+                                     double betaPerp,
+                                     const std::vector<double>& freqs,
+                                     int steps = 4000, double dt = 0.01) {
+  DetectorConfig cfg;
+  cfg.directions = {Vec3d{1, 0, 0}};
+  cfg.frequencies = freqs;
+  SpectralAccumulator acc(cfg);
+
+  GridSpec grid{8, 8, 8, 1.0, 1.0, 1.0};
+  ParticleBuffer p({-1.0, 1.0, "e"});
+  p.push({4, 4, 4}, {}, 1.0);
+  std::vector<double> bdx(1), bdy(1), bdz(1);
+
+  double xPos = 4.0, yPos = 4.0;
+  for (int s = 0; s < steps; ++s) {
+    const double t = s * dt;
+    const double bx = betaDrift + betaPerp * std::cos(omega0 * t);
+    const double by = betaPerp * std::sin(omega0 * t);
+    const double b2 = bx * bx + by * by;
+    const double gamma = 1.0 / std::sqrt(1.0 - b2);
+    p.x[0] = xPos;
+    p.y[0] = yPos;
+    p.ux[0] = gamma * bx;
+    p.uy[0] = gamma * by;
+    bdx[0] = -betaPerp * omega0 * std::sin(omega0 * t);
+    bdy[0] = betaPerp * omega0 * std::cos(omega0 * t);
+    bdz[0] = 0.0;
+    acc.accumulate(p, bdx, bdy, bdz, t, dt, grid);
+    xPos += bx * dt;
+    yPos += by * dt;
+  }
+  return acc.intensity(0);
+}
+
+std::size_t peakIndex(const std::vector<double>& spectrum) {
+  return static_cast<std::size_t>(
+      std::max_element(spectrum.begin(), spectrum.end()) -
+      spectrum.begin());
+}
+
+TEST(Detector, LogFrequencyAxis) {
+  const auto f = logFrequencyAxis(0.1, 100.0, 4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_NEAR(f[0], 0.1, 1e-12);
+  EXPECT_NEAR(f[1], 1.0, 1e-12);
+  EXPECT_NEAR(f[3], 100.0, 1e-9);
+}
+
+TEST(Detector, RejectsNonUnitDirections) {
+  DetectorConfig cfg;
+  cfg.directions = {Vec3d{2, 0, 0}};
+  cfg.frequencies = {1.0};
+  EXPECT_THROW(SpectralAccumulator acc(cfg), ContractError);
+}
+
+TEST(Detector, InertialMotionRadiatesNothing) {
+  // betaDot = 0 -> no radiation regardless of velocity.
+  DetectorConfig cfg = DetectorConfig::defaultKhi(16);
+  SpectralAccumulator acc(cfg);
+  GridSpec grid{8, 8, 8, 1, 1, 1};
+  ParticleBuffer p({-1.0, 1.0, "e"});
+  p.push({4, 4, 4}, {0.5, 0, 0}, 1.0);
+  std::vector<double> zero(1, 0.0);
+  for (int s = 0; s < 100; ++s)
+    acc.accumulate(p, zero, zero, zero, s * 0.01, 0.01, grid);
+  for (double v : acc.intensity(0)) EXPECT_EQ(v, 0.0);
+}
+
+TEST(Detector, GyratingParticleEmitsAtGyrofrequency) {
+  // Non-drifting slow gyration: the spectral peak sits at omega0.
+  const auto freqs = logFrequencyAxis(0.5, 20.0, 96);
+  const auto spec = gyratingSpectrum(3.0, 0.0, 0.05, freqs);
+  const double peakFreq = freqs[peakIndex(spec)];
+  EXPECT_NEAR(peakFreq, 3.0, 0.4);
+}
+
+TEST(Detector, DopplerUpshiftForApproachingEmitter) {
+  // The approaching emitter's line moves up by 1/(1 - beta), the receding
+  // one's down by 1/(1 + beta): the Fig 9(a) cutoff asymmetry.
+  const double omega0 = 3.0, beta = 0.2;
+  const auto freqs = logFrequencyAxis(0.5, 30.0, 192);
+  const auto specTowards = gyratingSpectrum(omega0, +beta, 0.02, freqs);
+  const auto specAway = gyratingSpectrum(omega0, -beta, 0.02, freqs);
+  const double fTowards = freqs[peakIndex(specTowards)];
+  const double fAway = freqs[peakIndex(specAway)];
+  const double expectedRatio = (1.0 + beta) / (1.0 - beta);  // = 1.5
+  EXPECT_NEAR(fTowards / fAway, expectedRatio, 0.25);
+  EXPECT_GT(fTowards, omega0);
+  EXPECT_LT(fAway, omega0);
+}
+
+TEST(Detector, CoherentScalingIsQuadraticInWeight) {
+  // A macroparticle of weight w radiates coherently: I ~ w^2.
+  const auto freqs = logFrequencyAxis(1.0, 10.0, 16);
+  DetectorConfig cfg;
+  cfg.directions = {Vec3d{1, 0, 0}};
+  cfg.frequencies = freqs;
+  GridSpec grid{8, 8, 8, 1, 1, 1};
+
+  auto intensityForWeight = [&](double w) {
+    SpectralAccumulator acc(cfg);
+    ParticleBuffer p({-1.0, 1.0, "e"});
+    p.push({4, 4, 4}, {0, 0, 0}, w);
+    std::vector<double> bdx(1), bdy(1), bdz(1);
+    for (int s = 0; s < 500; ++s) {
+      const double t = s * 0.01;
+      bdy[0] = 0.05 * std::cos(3.0 * t);
+      acc.accumulate(p, bdx, bdy, bdz, t, 0.01, grid);
+    }
+    const auto spec = acc.intensity(0);
+    return *std::max_element(spec.begin(), spec.end());
+  };
+  const double i1 = intensityForWeight(1.0);
+  const double i3 = intensityForWeight(3.0);
+  EXPECT_NEAR(i3 / i1, 9.0, 1e-6);
+}
+
+TEST(Detector, RandomPhaseEnsembleScalesLinearly) {
+  // N particles at random positions emit with random relative phases:
+  // the ensemble intensity grows ~N (incoherent), not N^2.
+  const auto freqs = std::vector<double>{5.0};
+  DetectorConfig cfg;
+  cfg.directions = {Vec3d{1, 0, 0}};
+  cfg.frequencies = freqs;
+  GridSpec grid{64, 8, 8, 1.0, 1.0, 1.0};
+
+  auto ensembleIntensity = [&](int n, std::uint64_t seed) {
+    SpectralAccumulator acc(cfg);
+    ParticleBuffer p({-1.0, 1.0, "e"});
+    Rng rng(seed);
+    for (int i = 0; i < n; ++i)
+      p.push({rng.uniform(0, 64), rng.uniform(0, 8), rng.uniform(0, 8)},
+             {0, 0, 0}, 1.0);
+    std::vector<double> bdx(p.size(), 0.0), bdy(p.size()), bdz(p.size(), 0.0);
+    for (int s = 0; s < 200; ++s) {
+      const double t = s * 0.01;
+      for (std::size_t i = 0; i < p.size(); ++i)
+        bdy[i] = 0.05 * std::cos(5.0 * t);
+      acc.accumulate(p, bdx, bdy, bdz, t, 0.01, grid);
+    }
+    return acc.intensity(0)[0];
+  };
+  // Average over seeds to tame the fluctuation of the random-phase sum.
+  double i4 = 0, i64 = 0;
+  for (std::uint64_t s = 0; s < 8; ++s) {
+    i4 += ensembleIntensity(4, 11 + s);
+    i64 += ensembleIntensity(64, 101 + s);
+  }
+  const double ratio = i64 / i4;  // expectation: 16 (linear), not 256
+  EXPECT_GT(ratio, 4.0);
+  EXPECT_LT(ratio, 80.0);
+}
+
+TEST(Detector, FormFactorSuppressesHighFrequencies) {
+  DetectorConfig cfg;
+  cfg.directions = {Vec3d{1, 0, 0}};
+  cfg.frequencies = {1.0, 50.0};
+  cfg.formFactorRadius = 0.2;
+  GridSpec grid{8, 8, 8, 1, 1, 1};
+
+  auto run = [&](const DetectorConfig& c) {
+    SpectralAccumulator acc(c);
+    ParticleBuffer p({-1.0, 1.0, "e"});
+    p.push({4, 4, 4}, {}, 1.0);
+    std::vector<double> z(1, 0.0), bdy(1);
+    for (int s = 0; s < 400; ++s) {
+      const double t = s * 0.005;
+      // Broadband kick: short acceleration burst.
+      bdy[0] = (s < 10) ? 0.1 : 0.0;
+      acc.accumulate(p, z, bdy, z, t, 0.005, grid);
+    }
+    return acc;
+  };
+  DetectorConfig noFF = cfg;
+  noFF.formFactorRadius = 0.0;
+  const auto withFF = run(cfg).intensity(0);
+  const auto without = run(noFF).intensity(0);
+  // Low frequency barely affected; high frequency strongly suppressed.
+  EXPECT_GT(withFF[0] / without[0], 0.9);
+  EXPECT_LT(withFF[1] / without[1], 0.1);
+}
+
+TEST(RadiationPluginTest, AccumulatesOverSimulationSteps) {
+  pic::SimulationConfig sc;
+  sc.grid = GridSpec{8, 8, 8, 0.3, 0.3, 0.3};
+  sc.dt = 0.1;
+  sc.recordBetaDot = true;
+  pic::Simulation sim(sc);
+  const auto s = sim.addSpecies({-1.0, 1.0, "e"});
+  sim.species(s).push({4, 4, 4}, {0.1, 0, 0}, 1.0);
+  sim.fieldB().z.fill(1.0);  // gyration -> radiation
+
+  DetectorConfig cfg = DetectorConfig::defaultKhi(24);
+  auto plugin = std::make_shared<RadiationPlugin>(cfg, s);
+  sim.addPlugin(plugin);
+  sim.run(200);
+
+  const auto spec = plugin->accumulator().intensity(0);
+  double total = 0;
+  for (double v : spec) total += v;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(RadiationPluginTest, RequiresBetaDotRecording) {
+  pic::SimulationConfig sc;
+  sc.grid = GridSpec{8, 8, 8, 0.3, 0.3, 0.3};
+  sc.dt = 0.1;
+  sc.recordBetaDot = false;  // forgot to enable
+  pic::Simulation sim(sc);
+  const auto s = sim.addSpecies({-1.0, 1.0, "e"});
+  sim.species(s).push({4, 4, 4}, {0.1, 0, 0}, 1.0);
+  auto plugin =
+      std::make_shared<RadiationPlugin>(DetectorConfig::defaultKhi(8), s);
+  sim.addPlugin(plugin);
+  EXPECT_THROW(sim.step(), ContractError);
+}
+
+TEST(RegionRadiationPluginTest, SplitsByRegion) {
+  pic::KhiConfig kcfg;
+  kcfg.grid = GridSpec{8, 32, 4, 0.25, 0.25, 0.25};
+  kcfg.dt = 0.08;
+  kcfg.particlesPerCell = 2;
+  pic::SimulationConfig sc;
+  sc.grid = kcfg.grid;
+  sc.dt = kcfg.dt;
+  sc.recordBetaDot = true;
+  pic::Simulation sim(sc);
+  const auto sp = initializeKhi(sim, kcfg);
+  auto plugin = std::make_shared<RegionRadiationPlugin>(
+      DetectorConfig::defaultKhi(16), sp.electrons, 3.0);
+  sim.addPlugin(plugin);
+  sim.run(30);
+  for (auto region :
+       {pic::KhiRegion::kApproaching, pic::KhiRegion::kReceding,
+        pic::KhiRegion::kVortex}) {
+    const auto spec = plugin->accumulator(region).intensity(0);
+    double total = 0;
+    for (double v : spec) total += v;
+    EXPECT_GT(total, 0.0) << pic::khiRegionName(region);
+  }
+}
+
+}  // namespace
+}  // namespace artsci::radiation

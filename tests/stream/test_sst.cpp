@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "stream/sst.hpp"
+
+namespace artsci::stream {
+namespace {
+
+Block makeBlock(std::vector<double> payload, std::vector<long> offset,
+                std::vector<long> extent) {
+  Block b;
+  b.payload = std::move(payload);
+  b.offset = std::move(offset);
+  b.extent = std::move(extent);
+  return b;
+}
+
+TEST(StepDataTest, Assemble1D) {
+  StepData step;
+  step.globalExtents["v"] = {6};
+  step.variables["v"].push_back(makeBlock({1, 2, 3}, {0}, {3}));
+  step.variables["v"].push_back(makeBlock({4, 5, 6}, {3}, {3}));
+  EXPECT_EQ(step.assemble("v"), (std::vector<double>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(StepDataTest, Assemble2DBlocks) {
+  // global 2x4, two blocks of 2x2.
+  StepData step;
+  step.globalExtents["m"] = {2, 4};
+  step.variables["m"].push_back(makeBlock({1, 2, 5, 6}, {0, 0}, {2, 2}));
+  step.variables["m"].push_back(makeBlock({3, 4, 7, 8}, {0, 2}, {2, 2}));
+  EXPECT_EQ(step.assemble("m"),
+            (std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(StepDataTest, TotalBytes) {
+  StepData step;
+  step.globalExtents["v"] = {4};
+  step.variables["v"].push_back(makeBlock({1, 2, 3, 4}, {0}, {4}));
+  EXPECT_EQ(step.totalBytes(), 4 * sizeof(double));
+}
+
+TEST(StepDataTest, UnknownVariableThrows) {
+  StepData step;
+  EXPECT_THROW(step.assemble("nope"), ContractError);
+}
+
+TEST(Sst, SingleWriterSingleReaderRoundTrip) {
+  SstEngine engine(SstParams{1, 1, 2});
+  auto writer = engine.makeWriter(0);
+  auto reader = engine.makeReader(0);
+
+  std::thread producer([&] {
+    for (long s = 0; s < 3; ++s) {
+      writer.beginStep();
+      writer.put("data", makeBlock({double(s), double(s + 1)}, {0}, {2}),
+                 {2});
+      writer.setAttribute("time", 0.1 * static_cast<double>(s));
+      writer.endStep();
+    }
+    writer.close();
+  });
+
+  long seen = 0;
+  while (auto step = reader.beginStep()) {
+    EXPECT_EQ(step->step, seen);
+    EXPECT_EQ(step->assemble("data"),
+              (std::vector<double>{double(seen), double(seen + 1)}));
+    EXPECT_NEAR(step->numericAttributes.at("time"), 0.1 * seen, 1e-12);
+    reader.endStep();
+    ++seen;
+  }
+  producer.join();
+  EXPECT_EQ(seen, 3);
+  EXPECT_EQ(engine.stepsPublished(), 3);
+}
+
+TEST(Sst, MultiWriterBlocksGathered) {
+  constexpr std::size_t kWriters = 4;
+  SstEngine engine(SstParams{kWriters, 1, 2});
+  auto reader = engine.makeReader(0);
+
+  std::thread consumer([&] {
+    auto step = reader.beginStep();
+    ASSERT_NE(step, nullptr);
+    EXPECT_EQ(step->variables.at("x").size(), kWriters);
+    const auto full = step->assemble("x");
+    for (std::size_t i = 0; i < kWriters * 2; ++i)
+      EXPECT_DOUBLE_EQ(full[i], static_cast<double>(i));
+    reader.endStep();
+    EXPECT_EQ(reader.beginStep(), nullptr);
+  });
+
+  runRankTeam(kWriters, [&](std::size_t rank) {
+    auto writer = engine.makeWriter(rank);
+    writer.beginStep();
+    const double base = static_cast<double>(rank * 2);
+    writer.put("x", makeBlock({base, base + 1}, {static_cast<long>(rank * 2)},
+                              {2}),
+               {static_cast<long>(kWriters * 2)});
+    writer.endStep();
+    writer.close();
+  });
+  consumer.join();
+}
+
+TEST(Sst, BackPressureStallsWriter) {
+  SstEngine engine(SstParams{1, 1, /*queueLimit=*/1});
+  auto writer = engine.makeWriter(0);
+  auto reader = engine.makeReader(0);
+
+  std::thread producer([&] {
+    for (long s = 0; s < 4; ++s) {
+      writer.beginStep();
+      writer.put("v", makeBlock(std::vector<double>(1024, 1.0), {0}, {1024}),
+                 {1024});
+      writer.endStep();  // blocks while the queue holds an unread step
+    }
+    writer.close();
+  });
+
+  long seen = 0;
+  while (auto step = reader.beginStep()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    reader.endStep();
+    ++seen;
+  }
+  producer.join();
+  EXPECT_EQ(seen, 4);
+  // Producer had to wait for the slow consumer.
+  EXPECT_GT(engine.writerStallSeconds(), 0.02);
+}
+
+TEST(Sst, MultiReaderGroupSeesSameSteps) {
+  constexpr std::size_t kReaders = 3;
+  SstEngine engine(SstParams{1, kReaders, 2});
+
+  std::thread producer([&] {
+    auto writer = engine.makeWriter(0);
+    for (long s = 0; s < 5; ++s) {
+      writer.beginStep();
+      writer.put("v", makeBlock({double(s)}, {0}, {1}), {1});
+      writer.endStep();
+    }
+    writer.close();
+  });
+
+  std::vector<std::vector<long>> seen(kReaders);
+  runRankTeam(kReaders, [&](std::size_t rank) {
+    auto reader = engine.makeReader(rank);
+    while (auto step = reader.beginStep()) {
+      seen[rank].push_back(step->step);
+      reader.endStep();
+    }
+  });
+  producer.join();
+  for (std::size_t r = 0; r < kReaders; ++r)
+    EXPECT_EQ(seen[r], (std::vector<long>{0, 1, 2, 3, 4}));
+}
+
+TEST(Sst, LocalityAwareBlockAssignment) {
+  constexpr std::size_t kWriters = 4, kReaders = 2;
+  SstEngine engine(SstParams{kWriters, kReaders, 2});
+
+  std::thread producerGroup([&] {
+    runRankTeam(kWriters, [&](std::size_t rank) {
+      auto writer = engine.makeWriter(rank);
+      writer.beginStep();
+      writer.put("v",
+                 makeBlock({double(rank)}, {static_cast<long>(rank)}, {1}),
+                 {static_cast<long>(kWriters)});
+      writer.endStep();
+      writer.close();
+    });
+  });
+
+  std::vector<std::vector<std::size_t>> assigned(kReaders);
+  runRankTeam(kReaders, [&](std::size_t rank) {
+    auto reader = engine.makeReader(rank);
+    while (auto step = reader.beginStep()) {
+      for (const Block* b : reader.myBlocks(*step, "v"))
+        assigned[rank].push_back(b->writerRank);
+      reader.endStep();
+    }
+  });
+  producerGroup.join();
+  // writer ranks 0,2 -> reader 0; 1,3 -> reader 1; disjoint and complete.
+  EXPECT_EQ(assigned[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(assigned[1], (std::vector<std::size_t>{1, 3}));
+}
+
+TEST(Sst, ExtentMismatchRejected) {
+  SstEngine engine(SstParams{2, 1, 2});
+  std::atomic<bool> threw{false};
+  runRankTeam(2, [&](std::size_t rank) {
+    auto writer = engine.makeWriter(rank);
+    writer.beginStep();
+    try {
+      writer.put("v", makeBlock({1.0}, {static_cast<long>(rank)}, {1}),
+                 {static_cast<long>(2 + rank)});  // ranks disagree
+    } catch (const ContractError&) {
+      threw = true;
+    }
+    // Don't deadlock the group: both ranks still end their step.
+    writer.endStep();
+    writer.close();
+  });
+  EXPECT_TRUE(threw.load());
+}
+
+TEST(Sst, PutOutsideStepRejected) {
+  SstEngine engine(SstParams{1, 1, 2});
+  auto writer = engine.makeWriter(0);
+  EXPECT_THROW(writer.put("v", makeBlock({1.0}, {0}, {1}), {1}),
+               ContractError);
+}
+
+TEST(Sst, BytesPublishedAccounted) {
+  SstEngine engine(SstParams{1, 1, 4});
+  auto writer = engine.makeWriter(0);
+  auto reader = engine.makeReader(0);
+  writer.beginStep();
+  writer.put("v", makeBlock(std::vector<double>(100, 0.0), {0}, {100}),
+             {100});
+  writer.endStep();
+  writer.close();
+  auto step = reader.beginStep();
+  reader.endStep();
+  EXPECT_EQ(engine.bytesPublished(), 100 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace artsci::stream

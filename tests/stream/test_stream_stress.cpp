@@ -1,0 +1,166 @@
+/// Stress and failure-injection tests for the nanoSST engine: long step
+/// sequences under tight queues, rank-count contracts, and end-of-stream
+/// edge cases.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/thread_pool.hpp"
+#include "stream/sst.hpp"
+
+namespace artsci::stream {
+namespace {
+
+TEST(SstStress, ManyStepsTinyQueue) {
+  SstEngine engine(SstParams{2, 2, 1});
+  constexpr long kSteps = 200;
+
+  std::thread writers([&] {
+    runRankTeam(2, [&](std::size_t rank) {
+      auto writer = engine.makeWriter(rank);
+      for (long s = 0; s < kSteps; ++s) {
+        writer.beginStep();
+        Block b;
+        b.offset = {static_cast<long>(rank) * 4};
+        b.extent = {4};
+        b.payload = {double(s), double(s), double(s), double(s)};
+        writer.put("v", std::move(b), {8});
+        writer.endStep();
+      }
+      writer.close();
+    });
+  });
+
+  std::vector<long> seen(2, 0);
+  std::atomic<bool> corrupt{false};
+  runRankTeam(2, [&](std::size_t rank) {
+    auto reader = engine.makeReader(rank);
+    while (auto step = reader.beginStep()) {
+      const auto full = step->assemble("v");
+      for (double v : full) {
+        if (v != static_cast<double>(step->step)) corrupt = true;
+      }
+      ++seen[rank];
+      reader.endStep();
+    }
+  });
+  writers.join();
+  EXPECT_EQ(seen[0], kSteps);
+  EXPECT_EQ(seen[1], kSteps);
+  EXPECT_FALSE(corrupt.load());
+  EXPECT_EQ(engine.stepsPublished(), kSteps);
+}
+
+TEST(SstStress, InvalidRankRejected) {
+  SstEngine engine(SstParams{2, 1, 2});
+  EXPECT_THROW(engine.makeWriter(2), ContractError);
+  EXPECT_THROW(engine.makeReader(1), ContractError);
+}
+
+TEST(SstStress, DoubleBeginStepRejected) {
+  SstEngine engine(SstParams{1, 1, 2});
+  auto writer = engine.makeWriter(0);
+  writer.beginStep();
+  EXPECT_THROW(writer.beginStep(), ContractError);
+}
+
+TEST(SstStress, EndWithoutBeginRejected) {
+  SstEngine engine(SstParams{1, 1, 2});
+  auto writer = engine.makeWriter(0);
+  EXPECT_THROW(writer.endStep(), ContractError);
+  auto reader = engine.makeReader(0);
+  EXPECT_THROW(reader.endStep(), ContractError);
+}
+
+TEST(SstStress, BeginAfterCloseRejected) {
+  SstEngine engine(SstParams{1, 1, 2});
+  auto writer = engine.makeWriter(0);
+  writer.close();
+  EXPECT_THROW(writer.beginStep(), ContractError);
+}
+
+TEST(SstStress, ReaderOnEmptyClosedStream) {
+  SstEngine engine(SstParams{1, 1, 2});
+  auto writer = engine.makeWriter(0);
+  writer.close();  // producer exits without ever publishing
+  auto reader = engine.makeReader(0);
+  EXPECT_EQ(reader.beginStep(), nullptr);
+}
+
+TEST(SstStress, StepsDrainAfterWriterCloses) {
+  // Steps published before close must still reach the reader.
+  SstEngine engine(SstParams{1, 1, 8});
+  auto writer = engine.makeWriter(0);
+  for (long s = 0; s < 3; ++s) {
+    writer.beginStep();
+    Block b;
+    b.offset = {0};
+    b.extent = {1};
+    b.payload = {double(s)};
+    writer.put("v", std::move(b), {1});
+    writer.endStep();
+  }
+  writer.close();
+  auto reader = engine.makeReader(0);
+  long count = 0;
+  while (auto step = reader.beginStep()) {
+    EXPECT_EQ(step->assemble("v")[0], static_cast<double>(count));
+    reader.endStep();
+    ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SstStress, EmptyStepsAllowed) {
+  // A step with attributes only (no variables) is legal.
+  SstEngine engine(SstParams{1, 1, 2});
+  std::thread producer([&] {
+    auto writer = engine.makeWriter(0);
+    writer.beginStep();
+    writer.setAttribute("marker", 42.0);
+    writer.endStep();
+    writer.close();
+  });
+  auto reader = engine.makeReader(0);
+  auto step = reader.beginStep();
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->numericAttributes.at("marker"), 42.0);
+  EXPECT_TRUE(step->variables.empty());
+  reader.endStep();
+  producer.join();
+}
+
+TEST(SstStress, ThreeDimensionalBlockAssembly) {
+  StepData step;
+  step.globalExtents["t"] = {2, 2, 2};
+  // Two 1x2x2 slabs.
+  Block a;
+  a.offset = {0, 0, 0};
+  a.extent = {1, 2, 2};
+  a.payload = {1, 2, 3, 4};
+  Block b;
+  b.offset = {1, 0, 0};
+  b.extent = {1, 2, 2};
+  b.payload = {5, 6, 7, 8};
+  step.variables["t"] = {a, b};
+  EXPECT_EQ(step.assemble("t"),
+            (std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(SstStress, QueueDepthObservable) {
+  SstEngine engine(SstParams{1, 1, 4});
+  auto writer = engine.makeWriter(0);
+  for (int s = 0; s < 3; ++s) {
+    writer.beginStep();
+    Block b;
+    b.offset = {0};
+    b.extent = {1};
+    b.payload = {1.0};
+    writer.put("v", std::move(b), {1});
+    writer.endStep();
+  }
+  EXPECT_EQ(engine.queueDepth(), 3u);
+}
+
+}  // namespace
+}  // namespace artsci::stream
