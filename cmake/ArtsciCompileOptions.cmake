@@ -1,0 +1,34 @@
+# Shared compile/link settings for every artsci target.
+#
+# Defines the INTERFACE target `artsci::build_flags` carrying:
+#  * the repo-rooted include path (headers are included as "module/file.hpp")
+#  * the -Wall -Wextra warning baseline (+ -Werror with ARTSCI_WERROR=ON)
+#  * sanitizer instrumentation when ARTSCI_SANITIZE is set
+#    (e.g. -DARTSCI_SANITIZE=address,undefined)
+#  * Threads, and OpenMP when the toolchain provides it
+
+add_library(artsci_build_flags INTERFACE)
+add_library(artsci::build_flags ALIAS artsci_build_flags)
+
+target_include_directories(artsci_build_flags INTERFACE
+  "${PROJECT_SOURCE_DIR}/src")
+
+target_compile_options(artsci_build_flags INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra>
+  $<$<AND:$<BOOL:${ARTSCI_WERROR}>,$<CXX_COMPILER_ID:GNU,Clang,AppleClang>>:-Werror>)
+
+target_link_libraries(artsci_build_flags INTERFACE Threads::Threads)
+
+if(OpenMP_CXX_FOUND)
+  target_link_libraries(artsci_build_flags INTERFACE OpenMP::OpenMP_CXX)
+else()
+  message(STATUS "artsci: OpenMP not found — building serial fallback")
+endif()
+
+if(ARTSCI_SANITIZE)
+  set(_artsci_san_flags "-fsanitize=${ARTSCI_SANITIZE}")
+  target_compile_options(artsci_build_flags INTERFACE
+    ${_artsci_san_flags} -fno-omit-frame-pointer -fno-sanitize-recover=all)
+  target_link_options(artsci_build_flags INTERFACE ${_artsci_san_flags})
+  message(STATUS "artsci: sanitizers enabled: ${ARTSCI_SANITIZE}")
+endif()

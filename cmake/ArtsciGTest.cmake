@@ -1,0 +1,49 @@
+# Locate GoogleTest, trying in order:
+#  1. an installed package (config or find-module),
+#  2. a distro source tree under /usr/src/googletest,
+#  3. FetchContent from upstream (needs network; last resort).
+# Guarantees the targets GTest::gtest and GTest::gtest_main exist.
+
+# Prefer the system install: PATH-derived prefixes (conda etc.) can shadow
+# the toolchain's runtime libraries in the rpath of every test executable.
+find_package(GTest QUIET CONFIG PATHS
+  /usr/lib/x86_64-linux-gnu/cmake/GTest
+  /usr/lib/cmake/GTest
+  /usr/local/lib/cmake/GTest
+  NO_DEFAULT_PATH)
+if(NOT TARGET GTest::gtest)
+  find_package(GTest QUIET)
+endif()
+
+if(NOT TARGET GTest::gtest AND EXISTS "/usr/src/googletest/CMakeLists.txt")
+  message(STATUS "artsci: building GoogleTest from /usr/src/googletest")
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  add_subdirectory(/usr/src/googletest
+    "${CMAKE_BINARY_DIR}/_deps/googletest" EXCLUDE_FROM_ALL)
+endif()
+
+if(NOT TARGET GTest::gtest)
+  message(STATUS "artsci: fetching GoogleTest v1.14.0 from upstream")
+  include(FetchContent)
+  FetchContent_Declare(googletest
+    URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.zip
+    DOWNLOAD_EXTRACT_TIMESTAMP TRUE)
+  set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+  # MSVC runtime sanity for Windows builds; harmless elsewhere.
+  set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+  FetchContent_MakeAvailable(googletest)
+endif()
+
+# Distro source trees export plain `gtest`/`gtest_main`; normalize to the
+# namespaced targets everything downstream links against.
+if(NOT TARGET GTest::gtest AND TARGET gtest)
+  add_library(GTest::gtest ALIAS gtest)
+endif()
+if(NOT TARGET GTest::gtest_main AND TARGET gtest_main)
+  add_library(GTest::gtest_main ALIAS gtest_main)
+endif()
+
+if(NOT TARGET GTest::gtest)
+  message(FATAL_ERROR
+    "artsci: GoogleTest unavailable — install it or allow FetchContent")
+endif()

@@ -65,7 +65,9 @@ void InTransitTrainer::trainIterations(long iterations) {
     auto& opt = *optimizers_[rank];
     auto& rng = rankRngs_[rank];
     for (long it = 0; it < iterations; ++it) {
-      const auto batch = buffer_.sampleBatch();
+      // Per-rank RNG: the draw sequence is reproducible no matter how the
+      // rank threads interleave on the shared buffer.
+      const auto batch = buffer_.sampleBatch(rng);
       ml::Tensor clouds = batchClouds(batch, points);
       ml::Tensor spectra = batchSpectra(batch, specDim);
       opt.zeroGrad();

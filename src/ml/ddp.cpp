@@ -8,6 +8,7 @@ Communicator::Communicator(std::size_t ranks)
     : ranks_(ranks), barrier_(ranks), commSeconds_(ranks, 0.0) {
   ARTSCI_EXPECTS(ranks > 0);
   gatherSlots_.resize(ranks, nullptr);
+  reduceSlots_.resize(ranks, nullptr);
 }
 
 void Communicator::allReduceMean(std::size_t rank,
@@ -18,25 +19,40 @@ void Communicator::allReduceMean(std::size_t rank,
     commSeconds_[rank] += timer.seconds();
     return;
   }
-  // Phase 1: rank 0 prepares the accumulator.
+  // Phase 1: rank 0 records the expected length and sizes the scratch.
   if (rank == 0) {
-    reduceBuffer_.assign(buffer.size(), Real(0));
     reduceLength_ = buffer.size();
+    reduceScratch_.resize(buffer.size());
   }
   barrier_.arriveAndWait();
   ARTSCI_CHECK_MSG(buffer.size() == reduceLength_,
                    "allReduceMean length mismatch on rank " << rank);
-  // Phase 2: everyone adds its contribution.
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    for (std::size_t i = 0; i < buffer.size(); ++i)
-      reduceBuffer_[i] += buffer[i];
+  // Phase 2: everyone publishes a pointer to its contribution (zero-copy,
+  // like allGather).
+  reduceSlots_[rank] = &buffer;
+  barrier_.arriveAndWait();
+  // Phase 3: each rank reduces its own contiguous index chunk, summing the
+  // slots in rank order — a fixed summation order, so the result is
+  // bitwise run-invariant (float addition does not commute under
+  // reordering), while the O(ranks * N) element reads are split across
+  // ranks instead of replicated on each.
+  const std::size_t n = buffer.size();
+  const std::size_t chunk = (n + ranks_ - 1) / ranks_;
+  const std::size_t lo = std::min(rank * chunk, n);
+  const std::size_t hi = std::min(lo + chunk, n);
+  const Real scale = Real(1) / static_cast<Real>(ranks_);
+  for (std::size_t i = lo; i < hi; ++i) {
+    Real sum = Real(0);
+    for (std::size_t r = 0; r < ranks_; ++r) sum += (*reduceSlots_[r])[i];
+    reduceScratch_[i] = sum * scale;
   }
   barrier_.arriveAndWait();
-  // Phase 3: read back the mean.
-  const Real scale = Real(1) / static_cast<Real>(ranks_);
-  for (std::size_t i = 0; i < buffer.size(); ++i)
-    buffer[i] = reduceBuffer_[i] * scale;
+  // Phase 4: slots are no longer read; copy the reduced result out.
+  reduceSlots_[rank] = nullptr;
+  std::copy(reduceScratch_.begin(),
+            reduceScratch_.begin() + static_cast<long>(n), buffer.begin());
+  // Final barrier: nobody may resize the scratch (next call's phase 1)
+  // while a slower rank is still copying out of it.
   barrier_.arriveAndWait();
   commSeconds_[rank] += timer.seconds();
 }

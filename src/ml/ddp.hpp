@@ -11,8 +11,6 @@
 /// attribute the efficiency deficit to communication.
 #pragma once
 
-#include <atomic>
-#include <mutex>
 #include <vector>
 
 #include "common/thread_pool.hpp"
@@ -27,7 +25,9 @@ class Communicator {
   std::size_t ranks() const { return ranks_; }
 
   /// In-place mean all-reduce across ranks. Every rank must call with a
-  /// buffer of identical length. Chunked tree reduction over shared memory.
+  /// buffer of identical length. Contributions are combined in rank order,
+  /// so the floating-point result is identical from run to run regardless
+  /// of thread scheduling (NCCL-style deterministic reduction).
   void allReduceMean(std::size_t rank, std::vector<Real>& buffer);
 
   /// Gather each rank's buffer; returns the concatenation in rank order.
@@ -44,8 +44,8 @@ class Communicator {
  private:
   std::size_t ranks_;
   Barrier barrier_;
-  std::mutex mutex_;
-  std::vector<Real> reduceBuffer_;
+  std::vector<const std::vector<Real>*> reduceSlots_;  ///< one per rank
+  std::vector<Real> reduceScratch_;  ///< chunk-reduced result staging
   std::size_t reduceLength_ = 0;
   std::vector<const std::vector<Real>*> gatherSlots_;
   std::vector<double> commSeconds_;

@@ -129,9 +129,11 @@ Tensor emdSinkhorn(const Tensor& a, const Tensor& b,
   std::vector<std::vector<Real>> planAB(static_cast<std::size_t>(B));
   std::vector<std::vector<Real>> planAA(static_cast<std::size_t>(B));
   std::vector<std::vector<Real>> planBB(static_cast<std::size_t>(B));
-  Real total = Real(0);
+  // Per-batch partials summed in index order afterwards: an OpenMP `+`
+  // reduction combines in thread-arrival order, which is not run-invariant.
+  std::vector<Real> partial(static_cast<std::size_t>(B));
 
-#pragma omp parallel for schedule(static) reduction(+ : total)
+#pragma omp parallel for schedule(static)
   for (long bi = 0; bi < B; ++bi) {
     const Real* ab = A + bi * N * D;
     const Real* bb = Bd + bi * M * D;
@@ -139,8 +141,10 @@ Tensor emdSinkhorn(const Tensor& a, const Tensor& b,
     const Real cab = otCost(ab, N, bb, M, D, params, planAB[s]);
     const Real caa = otCost(ab, N, ab, N, D, params, planAA[s]);
     const Real cbb = otCost(bb, M, bb, M, D, params, planBB[s]);
-    total += cab - Real(0.5) * caa - Real(0.5) * cbb;
+    partial[s] = cab - Real(0.5) * caa - Real(0.5) * cbb;
   }
+  Real total = Real(0);
+  for (Real p : partial) total += p;
   out.data()[0] = std::max(total / static_cast<Real>(B), Real(0));
 
   if (out.requiresGrad()) {

@@ -644,9 +644,11 @@ Tensor chamferDistance(const Tensor& a, const Tensor& b) {
   std::vector<long> nnBA(static_cast<std::size_t>(B * M));
   const Real* A = a.data().data();
   const Real* Bd = b.data().data();
-  Real total = Real(0);
+  // Per-batch partials summed in index order afterwards: an OpenMP `+`
+  // reduction combines in thread-arrival order, which is not run-invariant.
+  std::vector<Real> partial(static_cast<std::size_t>(B));
 
-#pragma omp parallel for schedule(static) reduction(+ : total)
+#pragma omp parallel for schedule(static)
   for (long bi = 0; bi < B; ++bi) {
     const Real* ab = A + bi * N * D;
     const Real* bb = Bd + bi * M * D;
@@ -686,8 +688,11 @@ Tensor chamferDistance(const Tensor& a, const Tensor& b) {
       nnBA[static_cast<std::size_t>(bi * M + j)] = bestI;
       sumB += best;
     }
-    total += sumA / static_cast<Real>(N) + sumB / static_cast<Real>(M);
+    partial[static_cast<std::size_t>(bi)] =
+        sumA / static_cast<Real>(N) + sumB / static_cast<Real>(M);
   }
+  Real total = Real(0);
+  for (Real p : partial) total += p;
   out.data()[0] = total / static_cast<Real>(B);
 
   if (out.requiresGrad()) {

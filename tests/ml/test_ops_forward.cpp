@@ -28,6 +28,22 @@ TEST(OpsForward, BroadcastShapeRules) {
   EXPECT_THROW(broadcastShapes({2, 3}, {4, 5}), ContractError);
 }
 
+TEST(OpsForward, BroadcastShapeEdgeCases) {
+  // Symmetry of the right-aligned rule.
+  EXPECT_EQ(broadcastShapes({4, 1}, {2, 1, 3}), (Shape{2, 4, 3}));
+  // Identical shapes are a fixed point.
+  EXPECT_EQ(broadcastShapes({2, 3, 4}, {2, 3, 4}), (Shape{2, 3, 4}));
+  // All-ones expand against anything.
+  EXPECT_EQ(broadcastShapes({1, 1}, {6, 5, 4}), (Shape{6, 5, 4}));
+  // Rank-0 (scalar) against any shape.
+  EXPECT_EQ(broadcastShapes({}, {3, 2}), (Shape{3, 2}));
+  EXPECT_EQ(broadcastShapes({3, 2}, {}), (Shape{3, 2}));
+  // Mismatch buried under matching trailing dims still throws.
+  EXPECT_THROW(broadcastShapes({2, 3, 5}, {4, 3, 5}), ContractError);
+  // Mismatch across different ranks throws too.
+  EXPECT_THROW(broadcastShapes({2, 3}, {3, 3, 3}), ContractError);
+}
+
 TEST(OpsForward, MatmulKnownValues) {
   Tensor a = Tensor::fromVector({2, 2}, {1, 2, 3, 4});
   Tensor b = Tensor::fromVector({2, 2}, {5, 6, 7, 8});

@@ -125,6 +125,30 @@ TEST(OpsGradCheck, MeanAxis) {
   EXPECT_TRUE(gradCheck(loss, {x}).ok);
 }
 
+TEST(OpsGradCheck, MeanAxisKeepdimAllAxes) {
+  Rng rng(15);
+  Tensor x = Tensor::randn({2, 3, 4}, rng);
+  for (int axis = 0; axis < 3; ++axis) {
+    for (bool keepdim : {false, true}) {
+      auto loss = [&](const std::vector<Tensor>& in) {
+        return sumAll(square(meanAxis(in[0], axis, keepdim)));
+      };
+      const auto r = gradCheck(loss, {x});
+      EXPECT_TRUE(r.ok) << "axis=" << axis << " keepdim=" << keepdim
+                        << " err=" << r.maxRelError;
+    }
+  }
+}
+
+TEST(OpsGradCheck, MeanAll) {
+  Rng rng(16);
+  Tensor x = Tensor::randn({3, 7}, rng);
+  auto loss = [&](const std::vector<Tensor>& in) {
+    return square(meanAll(in[0]));
+  };
+  EXPECT_TRUE(gradCheck(loss, {x}).ok);
+}
+
 TEST(OpsGradCheck, MaxAxisRoutesToArgmax) {
   Rng rng(7);
   Tensor x = Tensor::randn({2, 6, 3}, rng);
@@ -132,6 +156,64 @@ TEST(OpsGradCheck, MaxAxisRoutesToArgmax) {
     return sumAll(square(maxAxis(in[0], 1)));
   };
   EXPECT_TRUE(gradCheck(loss, {x}).ok);
+}
+
+TEST(OpsGradCheck, MaxAxisKeepdim) {
+  Rng rng(17);
+  Tensor x = Tensor::randn({3, 4, 2}, rng);
+  for (int axis = 0; axis < 3; ++axis) {
+    auto loss = [&](const std::vector<Tensor>& in) {
+      return sumAll(square(maxAxis(in[0], axis, /*keepdim=*/true)));
+    };
+    const auto r = gradCheck(loss, {x});
+    EXPECT_TRUE(r.ok) << "axis=" << axis << " err=" << r.maxRelError;
+  }
+}
+
+TEST(OpsGradCheck, LeakyReluSlopes) {
+  // The parameterized sweep only exercises slope 0.1; check the default
+  // (0.01) and a steep slope, with inputs guaranteed on both sides of 0.
+  Rng rng(18);
+  for (Real slope : {Real(0.01), Real(0.9)}) {
+    Tensor x = Tensor::randn({4, 6}, rng, 1.5);
+    auto loss = [&](const std::vector<Tensor>& in) {
+      return sumAll(mul(leakyRelu(in[0], slope), in[0]));
+    };
+    const auto r = gradCheck(loss, {x}, 1e-6, 1e-5);
+    EXPECT_TRUE(r.ok) << "slope=" << slope << " err=" << r.maxRelError;
+  }
+}
+
+TEST(OpsGradCheck, SoftplusExtremeRegimes) {
+  // Large |x| probes the saturated branches (gradient -> 1 and -> 0),
+  // where a naive exp-based implementation overflows.
+  Tensor x = Tensor::fromVector(
+      {6}, {Real(-30), Real(-4), Real(-0.1), Real(0.1), Real(4), Real(30)});
+  auto loss = [&](const std::vector<Tensor>& in) {
+    return sumAll(mul(softplus(in[0]), in[0]));
+  };
+  const auto r = gradCheck(loss, {x}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << r.maxRelError;
+  // Forward values must stay finite deep into saturation.
+  Tensor y = softplus(x);
+  for (Real v : y.data()) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(OpsGradCheck, SubAndDivBroadcast) {
+  // The parameterized sweep covers broadcast add/mul; sub and div reduce
+  // their gradients over broadcast axes through different code paths.
+  Rng rng(19);
+  Tensor a = Tensor::randn({5, 4}, rng, 0.7);
+  Tensor b = positiveRandn({4}, rng);
+  auto lossSub = [&](const std::vector<Tensor>& in) {
+    return sumAll(square(sub(in[0], in[1])));
+  };
+  EXPECT_TRUE(gradCheck(lossSub, {a, b}).ok);
+  auto lossDiv = [&](const std::vector<Tensor>& in) {
+    return sumAll(square(div(in[0], in[1])));
+  };
+  const auto r = gradCheck(lossDiv, {a, b}, 1e-6, 1e-5);
+  EXPECT_TRUE(r.ok) << r.maxRelError;
 }
 
 TEST(OpsGradCheck, Reshape) {

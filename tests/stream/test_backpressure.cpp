@@ -1,0 +1,152 @@
+/// Regression tests for the nanoSST back-pressure contract (paper §III-B,
+/// src/stream/sst.hpp): a bounded step queue must block the writer group's
+/// EndStep once `queueLimit` steps are unconsumed — "leeway to stall the
+/// running simulation" — and a lagging reader must still observe every
+/// step, in order, with none dropped.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "stream/sst.hpp"
+
+namespace artsci::stream {
+namespace {
+
+Block scalarBlock(double value) {
+  Block b;
+  b.payload = {value};
+  b.offset = {0};
+  b.extent = {1};
+  return b;
+}
+
+/// With no reader consuming, the writer must publish exactly `queueLimit`
+/// steps and then block inside EndStep — not drop, not overwrite.
+TEST(BackPressure, EndStepBlocksAtQueueLimit) {
+  constexpr std::size_t kQueueLimit = 2;
+  constexpr long kSteps = 6;
+  SstEngine engine(SstParams{1, 1, kQueueLimit});
+
+  std::atomic<long> published{0};
+  std::thread producer([&] {
+    auto writer = engine.makeWriter(0);
+    for (long s = 0; s < kSteps; ++s) {
+      writer.beginStep();
+      writer.put("v", scalarBlock(double(s)), {1});
+      writer.endStep();
+      published.fetch_add(1);
+    }
+    writer.close();
+  });
+
+  // The producer runs freely up to the queue limit...
+  while (published.load() < long(kQueueLimit))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // ...and then must stall: give it ample time to (incorrectly) overrun.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(published.load(), long(kQueueLimit));
+  EXPECT_EQ(engine.queueDepth(), kQueueLimit);
+
+  // Draining one step releases exactly one more EndStep.
+  auto reader = engine.makeReader(0);
+  ASSERT_NE(reader.beginStep(), nullptr);
+  reader.endStep();
+  while (published.load() < long(kQueueLimit) + 1)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(published.load(), long(kQueueLimit) + 1);
+
+  // Drain the rest so the producer can finish.
+  while (auto step = reader.beginStep()) reader.endStep();
+  producer.join();
+  EXPECT_EQ(published.load(), kSteps);
+}
+
+/// A slow reader must receive every step exactly once and in order, and
+/// the published-minus-consumed window may never exceed queueLimit.
+TEST(BackPressure, SlowReaderNeverDropsOrReordersSteps) {
+  constexpr std::size_t kQueueLimit = 3;
+  constexpr long kSteps = 25;
+  SstEngine engine(SstParams{1, 1, kQueueLimit});
+
+  std::thread producer([&] {
+    auto writer = engine.makeWriter(0);
+    for (long s = 0; s < kSteps; ++s) {
+      writer.beginStep();
+      writer.put("v", scalarBlock(double(s)), {1});
+      writer.endStep();
+    }
+    writer.close();
+  });
+
+  auto reader = engine.makeReader(0);
+  std::vector<long> seen;
+  std::vector<double> values;
+  long ended = 0;
+  while (auto step = reader.beginStep()) {
+    seen.push_back(step->step);
+    values.push_back(step->assemble("v")[0]);
+    // Lag behind the producer so the queue actually fills.
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    // Hard invariant: a queue slot is only freed by reader EndStep, so
+    // the writer can never run more than queueLimit steps ahead.
+    EXPECT_LE(engine.stepsPublished(), ended + long(kQueueLimit));
+    reader.endStep();
+    ++ended;
+  }
+  producer.join();
+
+  ASSERT_EQ(seen.size(), std::size_t(kSteps));
+  for (long s = 0; s < kSteps; ++s) {
+    EXPECT_EQ(seen[std::size_t(s)], s) << "step reordered or dropped";
+    EXPECT_DOUBLE_EQ(values[std::size_t(s)], double(s));
+  }
+  EXPECT_EQ(engine.stepsPublished(), kSteps);
+  EXPECT_GT(engine.writerStallSeconds(), 0.0);
+}
+
+/// Back-pressure is collective: with several writer ranks, the whole
+/// group stalls together and the step sequence stays intact.
+TEST(BackPressure, WriterGroupStallsCollectively) {
+  constexpr std::size_t kWriters = 3;
+  constexpr long kSteps = 8;
+  SstEngine engine(SstParams{kWriters, 1, /*queueLimit=*/1});
+
+  std::thread producerGroup([&] {
+    runRankTeam(kWriters, [&](std::size_t rank) {
+      auto writer = engine.makeWriter(rank);
+      for (long s = 0; s < kSteps; ++s) {
+        writer.beginStep();
+        writer.put("v", [&] {
+          Block b;
+          b.payload = {double(s)};
+          b.offset = {long(rank)};
+          b.extent = {1};
+          return b;
+        }(), {long(kWriters)});
+        writer.endStep();
+      }
+      writer.close();
+    });
+  });
+
+  auto reader = engine.makeReader(0);
+  std::vector<long> seen;
+  while (auto step = reader.beginStep()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    EXPECT_EQ(step->variables.at("v").size(), kWriters);
+    seen.push_back(step->step);
+    reader.endStep();
+  }
+  producerGroup.join();
+
+  ASSERT_EQ(seen.size(), std::size_t(kSteps));
+  for (long s = 0; s < kSteps; ++s) EXPECT_EQ(seen[std::size_t(s)], s);
+}
+
+}  // namespace
+}  // namespace artsci::stream
