@@ -78,6 +78,42 @@ std::string formatBoxPlot(const BoxPlot& b, int precision) {
   return os.str();
 }
 
+LatencySummary latencySummary(const std::vector<double>& xs) {
+  LatencySummary s;
+  if (xs.empty()) return s;
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  // One sort, then direct interpolated indexing (same formula as
+  // quantile(), which would re-copy and re-sort on every call) — this
+  // runs under the serving metrics mutex, so it must stay O(n log n).
+  auto at = [&sorted](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(pos));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  };
+  s.p50 = at(0.50);
+  s.p90 = at(0.90);
+  s.p95 = at(0.95);
+  s.p99 = at(0.99);
+  s.mean = mean(sorted);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.count = sorted.size();
+  return s;
+}
+
+std::string formatLatencySummary(const LatencySummary& s, int precision) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed;
+  os << "p50 " << s.p50 << " / p90 " << s.p90 << " / p95 " << s.p95
+     << " / p99 " << s.p99 << "  (mean " << s.mean << ", n=" << s.count
+     << ")";
+  return os.str();
+}
+
 LinearFit linearFit(const std::vector<double>& x,
                     const std::vector<double>& y) {
   ARTSCI_EXPECTS(x.size() == y.size());

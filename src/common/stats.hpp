@@ -34,6 +34,20 @@ std::vector<double> removeOutliers(std::vector<double> xs, double nSigma);
 /// Render "min q1 median q3 max (mean)" on one line.
 std::string formatBoxPlot(const BoxPlot& b, int precision = 2);
 
+/// Tail-latency summary for serving/throughput measurements: the shape a
+/// latency dashboard reports (p50/p90/p95/p99 percentiles, mean, extremes).
+struct LatencySummary {
+  double p50 = 0, p90 = 0, p95 = 0, p99 = 0;
+  double mean = 0, min = 0, max = 0;
+  std::size_t count = 0;
+};
+
+/// Summarize a latency sample (all-zero summary for empty input).
+LatencySummary latencySummary(const std::vector<double>& xs);
+
+/// Render "p50 .. / p90 .. / p95 .. / p99 .. (mean .., n=..)" on one line.
+std::string formatLatencySummary(const LatencySummary& s, int precision = 2);
+
 /// Least-squares fit of y = a + b*x; returns {a, b}.
 struct LinearFit {
   double intercept = 0;

@@ -1,5 +1,7 @@
 #include "core/model.hpp"
 
+#include "ml/serialize.hpp"
+
 namespace artsci::core {
 
 using ml::Tensor;
@@ -129,6 +131,19 @@ std::vector<Tensor> ArtificialScientistModel::vaeParameters() const {
 
 std::vector<Tensor> ArtificialScientistModel::innParameters() const {
   return inn_->parameters();
+}
+
+std::shared_ptr<const ArtificialScientistModel> cloneForInference(
+    const ArtificialScientistModel& src) {
+  // The init RNG only seeds weights that copyParameters overwrites; the
+  // INN permutations come from the config (Inn::Config::permSeed), so the
+  // clone reproduces `src` exactly.
+  Rng initRng(1);
+  auto copy = std::make_shared<ArtificialScientistModel>(src.config(), initRng);
+  auto dst = copy->parameters();
+  ml::copyParameters(src.parameters(), dst);
+  for (auto& p : dst) p.setRequiresGrad(false);
+  return copy;
 }
 
 }  // namespace artsci::core

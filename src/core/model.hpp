@@ -66,11 +66,23 @@ class ArtificialScientistModel : public ml::Module {
   const Config& config() const { return cfg_; }
   long cloudPoints() const { return decoder_->pointCount(); }
 
+  /// Introspection for graph-free executors (serve::InferenceEngine).
+  const ml::PointNetEncoder& encoder() const { return *encoder_; }
+  const ml::VoxelDecoder& decoder() const { return *decoder_; }
+  const ml::Inn& inn() const { return *inn_; }
+
  private:
   Config cfg_;
   std::unique_ptr<ml::PointNetEncoder> encoder_;
   std::unique_ptr<ml::VoxelDecoder> decoder_;
   std::unique_ptr<ml::Inn> inn_;
 };
+
+/// Deep copy of `src` for serving: same config, parameter values copied,
+/// requiresGrad cleared so forward passes build no autodiff graph. The
+/// result is immutable by convention (shared_ptr<const>) and safe to use
+/// from many threads concurrently — forward passes never mutate a model.
+std::shared_ptr<const ArtificialScientistModel> cloneForInference(
+    const ArtificialScientistModel& src);
 
 }  // namespace artsci::core

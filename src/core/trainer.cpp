@@ -46,6 +46,11 @@ const ArtificialScientistModel& InTransitTrainer::model(
   return *replicas_[rank];
 }
 
+std::shared_ptr<const ArtificialScientistModel> InTransitTrainer::exportSnapshot()
+    const {
+  return cloneForInference(model(0));
+}
+
 void InTransitTrainer::trainIterations(long iterations) {
   if (!buffer_.ready()) return;
   Timer timer;

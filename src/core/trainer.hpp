@@ -53,6 +53,12 @@ class InTransitTrainer {
   /// Trained replica (all replicas stay synchronized by construction).
   const ArtificialScientistModel& model(std::size_t rank = 0) const;
 
+  /// Immutable deep copy of the rank-0 replica for a serving registry
+  /// (serve::ModelRegistry::publish). Call between trainIterations()
+  /// calls — not concurrently with an in-flight training step, which
+  /// mutates the parameters being copied.
+  std::shared_ptr<const ArtificialScientistModel> exportSnapshot() const;
+
   const TrainStats& stats() const { return stats_; }
   const TrainerConfig& config() const { return cfg_; }
   /// Effective learning rates after scaling (VAE group, INN group).

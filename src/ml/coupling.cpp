@@ -103,10 +103,13 @@ Tensor FeaturePermutation::inverse(const Tensor& y) const {
 
 Inn::Inn(Config cfg, Rng& rng) : cfg_(cfg) {
   ARTSCI_EXPECTS(cfg_.blocks >= 1);
+  // Permutations come from their own config-seeded stream (see Config);
+  // `rng` only initializes weights, which checkpoints overwrite anyway.
+  Rng permRng(cfg_.permSeed);
   for (int b = 0; b < cfg_.blocks; ++b) {
     blocks_.push_back(std::make_unique<GlowCouplingBlock>(
         cfg_.dim, cfg_.condDim, cfg_.hidden, rng, cfg_.clamp));
-    perms_.emplace_back(cfg_.dim, rng);
+    perms_.emplace_back(cfg_.dim, permRng);
   }
 }
 

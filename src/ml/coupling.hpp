@@ -37,6 +37,11 @@ class GlowCouplingBlock : public Module {
   std::vector<Tensor> parameters() const override;
 
   long dim() const { return dim_; }
+  /// Introspection for graph-free executors (serve::InferenceEngine).
+  long half() const { return half_; }
+  Real clampValue() const { return clamp_; }
+  const Mlp& subnet1() const { return *s1_.net; }
+  const Mlp& subnet2() const { return *s2_.net; }
 
  private:
   struct Subnet {
@@ -60,6 +65,9 @@ class FeaturePermutation {
   Tensor forward(const Tensor& x) const;
   Tensor inverse(const Tensor& y) const;
 
+  /// Gather indices: forward output feature i reads input feature perm[i].
+  const std::vector<long>& permutation() const { return perm_; }
+
  private:
   std::vector<long> perm_, inversePerm_;
 };
@@ -73,6 +81,12 @@ class Inn : public Module {
     int blocks = 4;                   ///< paper: four Glow blocks
     std::vector<long> hidden{272, 256};  ///< subnet hidden sizes
     Real clamp = Real(2);
+    /// Seed for the fixed inter-block permutations. Kept in the config —
+    /// not drawn from the weight-init RNG — so that (config, checkpoint)
+    /// fully determines the network: a model restored from
+    /// ml::loadParameters reproduces the original bit for bit regardless
+    /// of the seed its weights were initialized with.
+    std::uint64_t permSeed = 0x70657253ULL;
   };
 
   Inn(Config cfg, Rng& rng);
@@ -84,6 +98,10 @@ class Inn : public Module {
 
   std::vector<Tensor> parameters() const override;
   const Config& config() const { return cfg_; }
+  /// Introspection for graph-free executors (serve::InferenceEngine).
+  int blockCount() const { return static_cast<int>(blocks_.size()); }
+  const GlowCouplingBlock& block(int i) const { return *blocks_.at(i); }
+  const FeaturePermutation& permutation(int i) const { return perms_.at(i); }
 
  private:
   Config cfg_;

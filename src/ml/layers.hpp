@@ -44,6 +44,8 @@ class Linear : public Module {
   long outFeatures() const { return out_; }
   Tensor& weight() { return weight_; }
   Tensor& biasTensor() { return bias_; }
+  const Tensor& weight() const { return weight_; }
+  const Tensor& biasTensor() const { return bias_; }
 
  private:
   long in_, out_;
@@ -63,6 +65,10 @@ class Mlp : public Module {
   std::vector<Tensor> parameters() const override;
 
   const std::vector<long>& dims() const { return dims_; }
+  /// Introspection for graph-free executors (serve::InferenceEngine).
+  const std::vector<Linear>& layers() const { return layers_; }
+  Activation hiddenActivation() const { return hidden_; }
+  Activation outputActivation() const { return output_; }
 
  private:
   std::vector<long> dims_;
@@ -97,6 +103,10 @@ class PointNetEncoder : public Module {
 
   std::vector<Tensor> parameters() const override;
   const Config& config() const { return cfg_; }
+  /// Introspection for graph-free executors (serve::InferenceEngine).
+  const std::vector<Linear>& pointLayers() const { return pointLayers_; }
+  const Mlp& muHead() const { return *muHead_; }
+  const Mlp& logvarHead() const { return *logvarHead_; }
 
  private:
   Config cfg_;

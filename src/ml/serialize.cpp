@@ -3,11 +3,25 @@
 #include <cstdint>
 #include <fstream>
 
+#include "common/log.hpp"
+
 namespace artsci::ml {
 
 namespace {
-constexpr std::uint64_t kMagic = 0x41525453'43495031ULL;  // "ARTSCIP1"
+constexpr std::uint64_t kMagicV1 = 0x41525453'43495031ULL;  // "ARTSCIP1"
+constexpr std::uint64_t kMagicV2 = 0x41525453'43495032ULL;  // "ARTSCIP2"
+constexpr std::uint64_t kVersion = 2;
+/// Reject absurd header words before allocating: a corrupt dimension count
+/// would otherwise turn into a multi-gigabyte resize.
+constexpr std::uint64_t kMaxNdim = 32;
+
+std::uint64_t totalElements(const std::vector<Tensor>& params) {
+  std::uint64_t n = 0;
+  for (const auto& p : params) n += static_cast<std::uint64_t>(p.numel());
+  return n;
 }
+
+}  // namespace
 
 void saveParameters(const std::string& path,
                     const std::vector<Tensor>& params) {
@@ -16,8 +30,10 @@ void saveParameters(const std::string& path,
   auto writeU64 = [&os](std::uint64_t v) {
     os.write(reinterpret_cast<const char*>(&v), sizeof(v));
   };
-  writeU64(kMagic);
+  writeU64(kMagicV2);
+  writeU64(kVersion);
   writeU64(params.size());
+  writeU64(totalElements(params));
   for (const auto& p : params) {
     writeU64(p.shape().size());
     for (long d : p.shape()) writeU64(static_cast<std::uint64_t>(d));
@@ -30,29 +46,93 @@ void saveParameters(const std::string& path,
 void loadParameters(const std::string& path, std::vector<Tensor>& params) {
   std::ifstream is(path, std::ios::binary);
   ARTSCI_CHECK_MSG(is.good(), "cannot open '" << path << "' for reading");
-  auto readU64 = [&is]() {
+  auto readU64 = [&is, &path](const char* what) {
     std::uint64_t v = 0;
     is.read(reinterpret_cast<char*>(&v), sizeof(v));
+    ARTSCI_CHECK_MSG(is.good(), "'" << path << "' is truncated (while reading "
+                                    << what << ")");
     return v;
   };
-  ARTSCI_CHECK_MSG(readU64() == kMagic,
+  const std::uint64_t magic = readU64("magic");
+  ARTSCI_CHECK_MSG(magic == kMagicV1 || magic == kMagicV2,
                    "'" << path << "' is not an artsci checkpoint");
-  const std::uint64_t count = readU64();
+  std::uint64_t declaredElements = 0;
+  const bool versioned = (magic == kMagicV2);
+  if (!versioned) {
+    // Legacy files predate config-derived INN permutations
+    // (Inn::Config::permSeed): they were written by builds that drew
+    // permutations from the weight-init RNG, which this build no longer
+    // reproduces. Shapes still match, so the load proceeds — but a model
+    // trained under the old scheme will pair these weights with different
+    // permutations and predict silently different values.
+    log::warn("serialize",
+              "'", path,
+              "' is a legacy (unversioned) checkpoint written before INN "
+              "permutations were derived from the model config; restored "
+              "predictions may not match the original trained network. "
+              "Re-save with saveParameters() to upgrade.");
+  }
+  if (versioned) {
+    const std::uint64_t version = readU64("version");
+    ARTSCI_CHECK_MSG(version == kVersion,
+                     "'" << path << "' has checkpoint version " << version
+                         << ", this build reads version " << kVersion
+                         << " (and the legacy unversioned format)");
+  }
+  const std::uint64_t count = readU64("tensor count");
   ARTSCI_CHECK_MSG(count == params.size(),
-                   "checkpoint has " << count << " tensors, expected "
-                                     << params.size());
+                   "checkpoint '" << path << "' has " << count
+                                  << " tensors, expected " << params.size());
+  if (versioned) {
+    declaredElements = readU64("element count");
+    ARTSCI_CHECK_MSG(
+        declaredElements == totalElements(params),
+        "checkpoint '" << path << "' holds " << declaredElements
+                       << " scalars, the target parameter list holds "
+                       << totalElements(params)
+                       << " — model architecture mismatch");
+  }
+  std::size_t index = 0;
   for (auto& p : params) {
-    const std::uint64_t nd = readU64();
+    const std::uint64_t nd = readU64("tensor rank");
+    ARTSCI_CHECK_MSG(nd <= kMaxNdim, "checkpoint '"
+                                         << path << "' tensor " << index
+                                         << " declares rank " << nd
+                                         << " — corrupt header");
     Shape shape(nd);
-    for (auto& d : shape) d = static_cast<long>(readU64());
+    for (auto& d : shape) d = static_cast<long>(readU64("tensor shape"));
     ARTSCI_CHECK_MSG(shape == p.shape(),
-                     "checkpoint shape " << shapeToString(shape)
-                                         << " != parameter shape "
-                                         << shapeToString(p.shape()));
+                     "checkpoint '" << path << "' tensor " << index
+                                    << " has shape " << shapeToString(shape)
+                                    << " != parameter shape "
+                                    << shapeToString(p.shape()));
     is.read(reinterpret_cast<char*>(p.data().data()),
             static_cast<std::streamsize>(p.data().size() * sizeof(Real)));
+    ARTSCI_CHECK_MSG(is.good(), "'" << path << "' is truncated inside tensor "
+                                    << index << " payload");
+    ++index;
   }
-  ARTSCI_CHECK_MSG(is.good(), "read from '" << path << "' failed");
+  // Trailing garbage means the file does not describe this parameter list
+  // (e.g. a checkpoint of a larger model with a coincidental prefix).
+  is.peek();
+  ARTSCI_CHECK_MSG(is.eof(), "checkpoint '"
+                                 << path
+                                 << "' has trailing bytes after the last "
+                                    "tensor — architecture mismatch");
+}
+
+void copyParameters(const std::vector<Tensor>& src, std::vector<Tensor>& dst) {
+  ARTSCI_EXPECTS_MSG(src.size() == dst.size(),
+                     "copyParameters: " << src.size() << " source vs "
+                                        << dst.size() << " target tensors");
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    ARTSCI_CHECK_MSG(src[i].shape() == dst[i].shape(),
+                     "copyParameters: tensor " << i << " shape "
+                                               << shapeToString(src[i].shape())
+                                               << " != "
+                                               << shapeToString(dst[i].shape()));
+    dst[i].data() = src[i].data();
+  }
 }
 
 }  // namespace artsci::ml

@@ -2,6 +2,16 @@
 /// Binary checkpointing of parameter lists. The paper's workflow keeps all
 /// *data* in memory, but model checkpoints are the one artifact written to
 /// disk on demand ("File I/O can certainly be initiated when desired").
+///
+/// On-disk format (version 2, magic "ARTSCIP2"):
+///   u64 magic | u64 version | u64 tensorCount | u64 totalElements
+///   then per tensor: u64 ndim | u64 dims[ndim] | f64 data[numel]
+/// Files written by the original unversioned format (magic "ARTSCIP1",
+/// no version/totalElements words) are still readable, with a logged
+/// warning: they predate config-derived INN permutations, so a legacy
+/// checkpoint of a *trained* INN may not reproduce the original network's
+/// predictions (the permutations it trained under were drawn from the
+/// weight-init RNG and are not recorded in the file).
 #pragma once
 
 #include <string>
@@ -12,10 +22,19 @@
 namespace artsci::ml {
 
 /// Write tensors (shapes + data) to `path`. Overwrites existing files.
+/// Always writes the current (version 2) format.
 void saveParameters(const std::string& path,
                     const std::vector<Tensor>& params);
 
-/// Load tensors saved by saveParameters into `params` (shapes must match).
+/// Load tensors saved by saveParameters into `params`. The checkpoint must
+/// hold exactly params.size() tensors whose shapes match element-wise;
+/// truncated, corrupt, or mismatched files fail with a ContractError that
+/// names the problem instead of reading garbage.
 void loadParameters(const std::string& path, std::vector<Tensor>& params);
+
+/// Copy parameter values src -> dst (shape-checked, element-wise). The
+/// in-memory sibling of save+load: used to clone trained weights into an
+/// immutable serving snapshot without touching the filesystem.
+void copyParameters(const std::vector<Tensor>& src, std::vector<Tensor>& dst);
 
 }  // namespace artsci::ml

@@ -1,0 +1,97 @@
+#include "serve/batcher.hpp"
+
+#include "common/error.hpp"
+
+namespace artsci::serve {
+
+MicroBatcher::MicroBatcher(BatchPolicy policy) : policy_(policy) {
+  ARTSCI_EXPECTS(policy.maxBatch >= 1);
+  ARTSCI_EXPECTS(policy.maxWaitMicros >= 0);
+  ARTSCI_EXPECTS(policy.maxQueueDepth >= 1);
+}
+
+bool MicroBatcher::enqueue(PendingRequest& r) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || queue_.size() >= policy_.maxQueueDepth) return false;
+    r.enqueuedAt = std::chrono::steady_clock::now();
+    queue_.push_back(std::move(r));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+std::vector<PendingRequest> MicroBatcher::nextBatch() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (queue_.empty()) {
+      if (stopping_) return {};
+      cv_.wait(lock);
+      continue;
+    }
+    if (stopping_ && !drain_) return {};
+
+    // Count requests batchable with the queue head.
+    long matching = 0;
+    for (const auto& r : queue_) {
+      if (compatible(queue_.front(), r)) {
+        if (++matching >= policy_.maxBatch) break;
+      }
+    }
+    const auto deadline =
+        queue_.front().enqueuedAt +
+        std::chrono::microseconds(policy_.maxWaitMicros);
+    const bool deadlinePassed = std::chrono::steady_clock::now() >= deadline;
+    if (matching >= policy_.maxBatch || deadlinePassed || stopping_) {
+      // Pop every request compatible with the head (up to maxBatch),
+      // preserving queue order for both the batch and the remainder.
+      // Key captured up front: the head itself is moved on iteration one.
+      const Endpoint keyEndpoint = queue_.front().endpoint;
+      const std::size_t keySize = queue_.front().input.size();
+      std::vector<PendingRequest> batch;
+      batch.reserve(static_cast<std::size_t>(matching));
+      std::deque<PendingRequest> rest;
+      for (auto& r : queue_) {
+        if (static_cast<long>(batch.size()) < policy_.maxBatch &&
+            r.endpoint == keyEndpoint && r.input.size() == keySize) {
+          batch.push_back(std::move(r));
+        } else {
+          rest.push_back(std::move(r));
+        }
+      }
+      queue_.swap(rest);
+      return batch;
+    }
+    cv_.wait_until(lock, deadline);
+  }
+}
+
+void MicroBatcher::stop(bool drainPending) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    drain_ = drainPending;
+  }
+  cv_.notify_all();
+}
+
+std::vector<PendingRequest> MicroBatcher::takePending() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PendingRequest> out;
+  out.reserve(queue_.size());
+  for (auto& r : queue_) out.push_back(std::move(r));
+  queue_.clear();
+  return out;
+}
+
+std::size_t MicroBatcher::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+bool MicroBatcher::stopped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stopping_;
+}
+
+}  // namespace artsci::serve

@@ -1,0 +1,105 @@
+/// \file batcher.hpp
+/// Dynamic micro-batching for the inference service: single requests are
+/// queued and coalesced into batches under a (max-batch-size,
+/// max-wait-microseconds) policy — the inference-time sibling of the DDP
+/// batch formation in ml/ddp.cpp. A batch closes as soon as max-batch
+/// compatible requests are queued, or when the oldest queued request has
+/// waited max-wait, whichever comes first: full load runs at peak
+/// batch efficiency, trickle load is bounded-latency.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace artsci::serve {
+
+enum class Endpoint { kPredictSpectrum, kInvertSpectrum };
+
+inline const char* endpointName(Endpoint e) {
+  return e == Endpoint::kPredictSpectrum ? "PredictSpectrum" : "InvertSpectrum";
+}
+
+/// What a client's future resolves to.
+struct InferenceResult {
+  /// PredictSpectrum: the spectrum [spectrumDim]. InvertSpectrum: one
+  /// posterior point-cloud draw, flattened [points x 6].
+  std::vector<ml::Real> values;
+  /// Version of the registry snapshot that computed this response; every
+  /// response is computed entirely by exactly one snapshot.
+  std::uint64_t snapshotVersion = 0;
+  /// Size of the micro-batch this request was coalesced into.
+  long batchSize = 0;
+  /// Time spent queued before its batch started executing.
+  double queueMicros = 0;
+};
+
+struct BatchPolicy {
+  long maxBatch = 32;          ///< close a batch at this many requests
+  long maxWaitMicros = 1000;   ///< ... or when the oldest has waited this long
+  std::size_t maxQueueDepth = 4096;  ///< enqueue beyond this is rejected
+};
+
+/// A queued request. Only same-kind requests can share a batch: the batch
+/// key is (endpoint, input element count), so clouds of equal size stack
+/// into one [B, N, 6] tensor and spectra into one [B, S].
+struct PendingRequest {
+  Endpoint endpoint = Endpoint::kPredictSpectrum;
+  std::vector<ml::Real> input;
+  std::promise<InferenceResult> promise;
+  std::chrono::steady_clock::time_point enqueuedAt{};
+};
+
+/// Thread-safe FIFO queue with batch-forming pop. Multiple workers may
+/// block in nextBatch() concurrently; each formed batch preserves the
+/// arrival order of its members, and the head-of-line request is always
+/// served in the earliest batch (FIFO fairness — a burst on one endpoint
+/// cannot starve the other indefinitely, because the queue head defines
+/// which batch forms next).
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(BatchPolicy policy);
+
+  /// Queue a request (stamps enqueuedAt). Returns false — leaving `r`
+  /// intact so the caller can fail its promise — when the queue is at
+  /// maxQueueDepth or the batcher is stopped.
+  bool enqueue(PendingRequest& r);
+
+  /// Block until a batch is ready under the policy; returns it in FIFO
+  /// order. An empty vector means "stopped and nothing left to serve":
+  /// the calling worker should exit.
+  std::vector<PendingRequest> nextBatch();
+
+  /// Stop accepting work. drainPending=true lets workers keep pulling
+  /// batches until the queue is empty (graceful drain); false makes
+  /// nextBatch() return empty immediately so the owner can reject the
+  /// remainder via takePending().
+  void stop(bool drainPending);
+
+  /// Remove and return everything still queued (for the reject path).
+  std::vector<PendingRequest> takePending();
+
+  std::size_t depth() const;
+  bool stopped() const;
+  const BatchPolicy& policy() const { return policy_; }
+
+ private:
+  static bool compatible(const PendingRequest& a, const PendingRequest& b) {
+    return a.endpoint == b.endpoint && a.input.size() == b.input.size();
+  }
+
+  BatchPolicy policy_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<PendingRequest> queue_;
+  bool stopping_ = false;
+  bool drain_ = true;
+};
+
+}  // namespace artsci::serve

@@ -1,0 +1,274 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace artsci::serve {
+
+namespace detail {
+namespace {
+
+/// Matches ml::activate()/the encoder's fixed leaky slope.
+constexpr ml::Real kLeakySlope = 0.01;
+
+/// GCC-on-Linux gets per-CPU clones of the hot kernel (ifunc dispatch);
+/// other toolchains and sanitized builds use the single portable version
+/// (ifunc resolvers predate sanitizer runtime init).
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    defined(__linux__) && !defined(__SANITIZE_ADDRESS__)
+#define ARTSCI_SERVE_CLONES \
+  __attribute__((target_clones("avx512f", "avx2,fma", "default")))
+#else
+#define ARTSCI_SERVE_CLONES
+#endif
+
+using ml::Activation;
+using ml::Real;
+
+inline void activateRow(Real* c, long n, Activation act) {
+  switch (act) {
+    case Activation::kNone:
+      break;
+    case Activation::kRelu:
+      for (long j = 0; j < n; ++j) c[j] = c[j] < 0 ? Real(0) : c[j];
+      break;
+    case Activation::kLeakyRelu:
+      for (long j = 0; j < n; ++j)
+        if (c[j] < 0) c[j] *= kLeakySlope;
+      break;
+    case Activation::kTanh:
+      for (long j = 0; j < n; ++j) c[j] = std::tanh(c[j]);
+      break;
+  }
+}
+
+/// Four-row block: the row accumulators live in C while the k-loop streams
+/// the shared W row once per four rows of A — ~4x the arithmetic intensity
+/// of a row-at-a-time loop, and the j-loops vectorize cleanly.
+ARTSCI_SERVE_CLONES
+void linearForwardImpl(const Real* __restrict a, const Real* __restrict w,
+                       const Real* __restrict bias, Real* __restrict c,
+                       long m, long k, long n, Activation act) {
+  long i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const Real* a0 = a + i * k;
+    const Real* a1 = a0 + k;
+    const Real* a2 = a1 + k;
+    const Real* a3 = a2 + k;
+    Real* c0 = c + i * n;
+    Real* c1 = c0 + n;
+    Real* c2 = c1 + n;
+    Real* c3 = c2 + n;
+    for (long j = 0; j < n; ++j) {
+      c0[j] = Real(0);
+      c1[j] = Real(0);
+      c2[j] = Real(0);
+      c3[j] = Real(0);
+    }
+    for (long kk = 0; kk < k; ++kk) {
+      const Real* wrow = w + kk * n;
+      const Real x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+      for (long j = 0; j < n; ++j) {
+        const Real b = wrow[j];
+        c0[j] += x0 * b;
+        c1[j] += x1 * b;
+        c2[j] += x2 * b;
+        c3[j] += x3 * b;
+      }
+    }
+    if (bias != nullptr) {
+      for (long j = 0; j < n; ++j) {
+        c0[j] += bias[j];
+        c1[j] += bias[j];
+        c2[j] += bias[j];
+        c3[j] += bias[j];
+      }
+    }
+    activateRow(c0, n, act);
+    activateRow(c1, n, act);
+    activateRow(c2, n, act);
+    activateRow(c3, n, act);
+  }
+  for (; i < m; ++i) {
+    Real* crow = c + i * n;
+    const Real* arow = a + i * k;
+    for (long j = 0; j < n; ++j) crow[j] = Real(0);
+    for (long kk = 0; kk < k; ++kk) {
+      const Real x = arow[kk];
+      const Real* wrow = w + kk * n;
+      for (long j = 0; j < n; ++j) crow[j] += x * wrow[j];
+    }
+    if (bias != nullptr)
+      for (long j = 0; j < n; ++j) crow[j] += bias[j];
+    activateRow(crow, n, act);
+  }
+}
+
+}  // namespace
+
+void linearForward(const ml::Real* a, const ml::Real* w, const ml::Real* bias,
+                   ml::Real* c, long m, long k, long n, ml::Activation act) {
+  linearForwardImpl(a, w, bias, c, m, k, n, act);
+}
+
+}  // namespace detail
+
+using ml::Activation;
+using ml::Real;
+
+void InferenceEngine::appendMlp(const ml::Mlp& mlp, std::vector<Dense>& seq) {
+  const auto& layers = mlp.layers();
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    Dense d;
+    d.w = layers[i].weight().data().data();
+    d.b = layers[i].biasTensor().defined()
+              ? layers[i].biasTensor().data().data()
+              : nullptr;
+    d.in = layers[i].inFeatures();
+    d.out = layers[i].outFeatures();
+    d.act = (i + 1 == layers.size()) ? mlp.outputActivation()
+                                     : mlp.hiddenActivation();
+    seq.push_back(d);
+  }
+}
+
+InferenceEngine::InferenceEngine(
+    std::shared_ptr<const core::ArtificialScientistModel> model)
+    : model_(std::move(model)) {
+  ARTSCI_EXPECTS_MSG(model_ != nullptr, "InferenceEngine needs a model");
+  const auto& enc = model_->encoder();
+  for (const auto& lin : enc.pointLayers()) {
+    Dense d;
+    d.w = lin.weight().data().data();
+    d.b = lin.biasTensor().defined() ? lin.biasTensor().data().data()
+                                     : nullptr;
+    d.in = lin.inFeatures();
+    d.out = lin.outFeatures();
+    d.act = Activation::kLeakyRelu;  // encoder applies leaky after each conv
+    conv_.push_back(d);
+  }
+  features_ = enc.config().channels.back();
+  appendMlp(enc.muHead(), muHead_);
+
+  const auto& inn = model_->inn();
+  ARTSCI_CHECK_MSG(inn.config().condDim == 0,
+                   "InferenceEngine supports unconditioned INNs only");
+  for (int b = 0; b < inn.blockCount(); ++b) {
+    const auto& block = inn.block(b);
+    Coupling cp;
+    appendMlp(block.subnet1(), cp.s1);
+    appendMlp(block.subnet2(), cp.s2);
+    cp.half = block.half();
+    cp.rest = block.dim() - block.half();
+    cp.clamp = block.clampValue();
+    cp.perm = inn.permutation(b).permutation().data();
+    blocks_.push_back(std::move(cp));
+  }
+  latentDim_ = enc.config().latentDim;
+  spectrumDim_ = model_->config().spectrumDim;
+}
+
+void InferenceEngine::runDenseSeq(const std::vector<Dense>& seq,
+                                  const Real* in, long rows, Real* out) {
+  const Real* cur = in;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    Real* dst;
+    if (i + 1 == seq.size()) {
+      dst = out;
+    } else {
+      auto& scratch = (i % 2 == 0) ? seqA_ : seqB_;
+      scratch.resize(static_cast<std::size_t>(rows * seq[i].out));
+      dst = scratch.data();
+    }
+    detail::linearForward(cur, seq[i].w, seq[i].b, dst, rows, seq[i].in,
+                          seq[i].out, seq[i].act);
+    cur = dst;
+  }
+}
+
+void InferenceEngine::predictSpectra(const Real* clouds, long batch,
+                                     long points, Real* out) {
+  ARTSCI_EXPECTS(batch >= 1 && points >= 1);
+  ARTSCI_EXPECTS(!conv_.empty() && conv_.front().in == 6);
+
+  // --- PointNet conv stack + max-pool, tiled so the per-tile activations
+  // stay cache-resident (the batch-32 conv intermediate would be ~2 MB).
+  pooled_.resize(static_cast<std::size_t>(batch * features_));
+  const long tileSamples = std::max<long>(1, (1L << 10) / points);
+  for (long b0 = 0; b0 < batch; b0 += tileSamples) {
+    const long nb = std::min(tileSamples, batch - b0);
+    const long rows = nb * points;
+    convOut_.resize(static_cast<std::size_t>(rows * features_));
+    runDenseSeq(conv_, clouds + b0 * points * 6, rows, convOut_.data());
+    // Pool over the particle axis (transposition invariance).
+    for (long s = 0; s < nb; ++s) {
+      Real* dst = pooled_.data() + (b0 + s) * features_;
+      const Real* src = convOut_.data() + s * points * features_;
+      for (long f = 0; f < features_; ++f) dst[f] = src[f];
+      for (long p = 1; p < points; ++p) {
+        const Real* row = src + p * features_;
+        for (long f = 0; f < features_; ++f)
+          dst[f] = row[f] > dst[f] ? row[f] : dst[f];
+      }
+    }
+  }
+
+  // --- mu head: pooled features -> latent mean.
+  h_.resize(static_cast<std::size_t>(batch * latentDim_));
+  runDenseSeq(muHead_, pooled_.data(), batch, h_.data());
+
+  // --- INN forward: z -> [I' || N'], block by block.
+  for (const auto& cp : blocks_) {
+    const long half = cp.half, rest = cp.rest, dim = half + rest;
+    const Real invClamp = Real(1) / cp.clamp;
+    x2_.resize(static_cast<std::size_t>(batch * rest));
+    y1_.resize(static_cast<std::size_t>(batch * half));
+    y2_.resize(static_cast<std::size_t>(batch * rest));
+    cat_.resize(static_cast<std::size_t>(batch * dim));
+    for (long i = 0; i < batch; ++i) {
+      const Real* hrow = h_.data() + i * dim;
+      std::copy(hrow + half, hrow + dim, x2_.data() + i * rest);
+    }
+    // y1 = x1 * exp(clamp * tanh(s1 / clamp)) + t1, with [s1||t1] from
+    // subnet1(x2) — identical math to GlowCouplingBlock::forward.
+    st_.resize(static_cast<std::size_t>(batch * 2 * half));
+    runDenseSeq(cp.s1, x2_.data(), batch, st_.data());
+    for (long i = 0; i < batch; ++i) {
+      const Real* x1 = h_.data() + i * dim;
+      const Real* st = st_.data() + i * 2 * half;
+      Real* y1 = y1_.data() + i * half;
+      for (long j = 0; j < half; ++j) {
+        const Real s = cp.clamp * std::tanh(st[j] * invClamp);
+        y1[j] = x1[j] * std::exp(s) + st[half + j];
+      }
+    }
+    st_.resize(static_cast<std::size_t>(batch * 2 * rest));
+    runDenseSeq(cp.s2, y1_.data(), batch, st_.data());
+    for (long i = 0; i < batch; ++i) {
+      const Real* x2 = x2_.data() + i * rest;
+      const Real* st = st_.data() + i * 2 * rest;
+      Real* y2 = y2_.data() + i * rest;
+      for (long j = 0; j < rest; ++j) {
+        const Real s = cp.clamp * std::tanh(st[j] * invClamp);
+        y2[j] = x2[j] * std::exp(s) + st[rest + j];
+      }
+    }
+    // h = permute([y1 || y2]) (gather: out feature j reads perm[j]).
+    for (long i = 0; i < batch; ++i) {
+      Real* crow = cat_.data() + i * dim;
+      std::copy(y1_.data() + i * half, y1_.data() + (i + 1) * half, crow);
+      std::copy(y2_.data() + i * rest, y2_.data() + (i + 1) * rest,
+                crow + half);
+      Real* hrow = h_.data() + i * dim;
+      for (long j = 0; j < dim; ++j) hrow[j] = crow[cp.perm[j]];
+    }
+  }
+
+  // --- spectrum slice: first spectrumDim features of the INN output.
+  for (long i = 0; i < batch; ++i) {
+    const Real* hrow = h_.data() + i * latentDim_;
+    std::copy(hrow, hrow + spectrumDim_, out + i * spectrumDim_);
+  }
+}
+
+}  // namespace artsci::serve

@@ -1,0 +1,85 @@
+/// \file engine.hpp
+/// Graph-free batched executor of ArtificialScientistModel::predictSpectra.
+///
+/// The autograd stack (ml/ops.hpp) allocates a result node per operation —
+/// the right trade for training, but pure overhead for inference. This
+/// engine walks the same architecture (PointNet conv stack -> max-pool ->
+/// mu head -> INN forward -> spectrum slice) against raw weight buffers
+/// with preallocated workspaces and a register-blocked, runtime-dispatched
+/// (AVX-512 / AVX2+FMA / baseline) matmul kernel, computing identical
+/// values up to floating-point reassociation (FMA contraction). This is
+/// what makes micro-batching pay: at batch 32 the fused path is several
+/// times cheaper per sample than per-request graph forwards.
+///
+/// Thread-safety: an engine owns mutable workspaces — one engine per
+/// serving worker. The referenced model snapshot is immutable and shared.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/model.hpp"
+
+namespace artsci::serve {
+
+namespace detail {
+/// C[m,n] = act(A[m,k] · W[k,n] + bias[n]); bias may be nullptr.
+/// Row-blocked kernel, dispatched at runtime to the widest SIMD the CPU
+/// has (GCC target_clones; plain build elsewhere). Accumulation order per
+/// output element matches ml::matmul (k ascending, bias added last).
+void linearForward(const ml::Real* a, const ml::Real* w, const ml::Real* bias,
+                   ml::Real* c, long m, long k, long n, ml::Activation act);
+}  // namespace detail
+
+class InferenceEngine {
+ public:
+  /// Binds to an immutable snapshot; the shared_ptr keeps the weight
+  /// buffers alive for the engine's lifetime.
+  explicit InferenceEngine(
+      std::shared_ptr<const core::ArtificialScientistModel> model);
+
+  /// clouds: [batch, points, 6] flattened, row-major. Writes spectra
+  /// [batch, spectrumDim] to `out`.
+  void predictSpectra(const ml::Real* clouds, long batch, long points,
+                      ml::Real* out);
+
+  long spectrumDim() const { return spectrumDim_; }
+  long latentDim() const { return latentDim_; }
+  const std::shared_ptr<const core::ArtificialScientistModel>& model() const {
+    return model_;
+  }
+
+ private:
+  struct Dense {
+    const ml::Real* w = nullptr;
+    const ml::Real* b = nullptr;
+    long in = 0, out = 0;
+    ml::Activation act = ml::Activation::kNone;
+  };
+  struct Coupling {
+    std::vector<Dense> s1, s2;  ///< subnet MLPs (x2 -> s,t ; y1 -> s,t)
+    long half = 0, rest = 0;
+    ml::Real clamp = 0;
+    const long* perm = nullptr;  ///< gather indices after the block
+  };
+
+  static void appendMlp(const ml::Mlp& mlp, std::vector<Dense>& seq);
+  /// Run `seq` over `rows` rows of `in`; final output lands in `out`.
+  void runDenseSeq(const std::vector<Dense>& seq, const ml::Real* in,
+                   long rows, ml::Real* out);
+
+  std::shared_ptr<const core::ArtificialScientistModel> model_;
+  std::vector<Dense> conv_;     ///< per-point layers, leaky-ReLU fused
+  std::vector<Dense> muHead_;   ///< pooled features -> latent mean
+  std::vector<Coupling> blocks_;
+  long latentDim_ = 0, spectrumDim_ = 0, features_ = 0;
+
+  // Workspaces (grow-only, reused across calls).
+  std::vector<ml::Real> seqA_, seqB_;  ///< dense-sequence ping-pong
+  std::vector<ml::Real> convOut_;      ///< conv-stack output for one tile
+  std::vector<ml::Real> pooled_;       ///< [batch, features]
+  std::vector<ml::Real> h_;            ///< INN state [batch, latent]
+  std::vector<ml::Real> x2_, y1_, y2_, st_, cat_;
+};
+
+}  // namespace artsci::serve

@@ -1,0 +1,65 @@
+#include "serve/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace artsci::serve {
+
+ServeMetrics::ServeMetrics(std::size_t latencyWindow) : window_(latencyWindow) {
+  ARTSCI_EXPECTS(latencyWindow >= 1);
+}
+
+void ServeMetrics::recordSubmitted(Endpoint e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++slot(e).submitted;
+}
+
+void ServeMetrics::recordRejected(Endpoint e) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++slot(e).rejected;
+}
+
+void ServeMetrics::recordBatch(Endpoint e, std::size_t batchSize,
+                               const std::vector<double>& latenciesMicros) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  PerEndpoint& p = slot(e);
+  ++p.batches;
+  p.completed += batchSize;
+  for (double l : latenciesMicros) {
+    if (p.window.size() < window_) {
+      p.window.push_back(l);
+    } else {
+      p.window[p.next] = l;
+    }
+    p.next = (p.next + 1) % window_;
+  }
+}
+
+void ServeMetrics::recordEngineSwap() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++engineSwaps_;
+}
+
+ServeMetrics::EndpointStats ServeMetrics::summarize(const PerEndpoint& p) {
+  EndpointStats s;
+  s.submitted = p.submitted;
+  s.completed = p.completed;
+  s.rejected = p.rejected;
+  s.batches = p.batches;
+  s.meanBatchSize =
+      p.batches > 0
+          ? static_cast<double>(p.completed) / static_cast<double>(p.batches)
+          : 0.0;
+  s.latencyMicros = stats::latencySummary(p.window);
+  return s;
+}
+
+ServeMetrics::Report ServeMetrics::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Report r;
+  r.predict = summarize(predict_);
+  r.invert = summarize(invert_);
+  r.engineSwaps = engineSwaps_;
+  return r;
+}
+
+}  // namespace artsci::serve

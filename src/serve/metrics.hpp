@@ -1,0 +1,69 @@
+/// \file metrics.hpp
+/// Per-endpoint serving metrics: request accounting (submitted / completed
+/// / rejected), batch-formation efficiency, and tail latency via
+/// stats::LatencySummary over a sliding window of recent requests.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "serve/batcher.hpp"
+
+namespace artsci::serve {
+
+class ServeMetrics {
+ public:
+  /// `latencyWindow` bounds the per-endpoint latency sample (ring buffer):
+  /// percentiles describe the most recent window, and a long-running
+  /// server's metrics stay O(window) in memory.
+  explicit ServeMetrics(std::size_t latencyWindow = 1 << 16);
+
+  void recordSubmitted(Endpoint e);
+  void recordRejected(Endpoint e);
+  /// One executed micro-batch: its size and the submit-to-completion
+  /// latency (microseconds) of each member.
+  void recordBatch(Endpoint e, std::size_t batchSize,
+                   const std::vector<double>& latenciesMicros);
+  /// A worker (re)built its execution engine against a new snapshot
+  /// (counts the initial build too).
+  void recordEngineSwap();
+
+  struct EndpointStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t batches = 0;
+    double meanBatchSize = 0;  ///< completed / batches
+    stats::LatencySummary latencyMicros;  ///< over the sliding window
+  };
+
+  struct Report {
+    EndpointStats predict;
+    EndpointStats invert;
+    std::uint64_t engineSwaps = 0;
+    std::size_t queueDepth = 0;  ///< filled in by the server
+  };
+
+  Report report() const;
+
+ private:
+  struct PerEndpoint {
+    std::uint64_t submitted = 0, completed = 0, rejected = 0, batches = 0;
+    std::vector<double> window;  ///< latency ring buffer
+    std::size_t next = 0;
+  };
+
+  PerEndpoint& slot(Endpoint e) {
+    return e == Endpoint::kPredictSpectrum ? predict_ : invert_;
+  }
+  static EndpointStats summarize(const PerEndpoint& p);
+
+  mutable std::mutex mutex_;
+  std::size_t window_;
+  PerEndpoint predict_, invert_;
+  std::uint64_t engineSwaps_ = 0;
+};
+
+}  // namespace artsci::serve

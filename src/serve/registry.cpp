@@ -1,0 +1,53 @@
+#include "serve/registry.hpp"
+
+#include "ml/serialize.hpp"
+
+namespace artsci::serve {
+
+std::uint64_t ModelRegistry::publish(
+    std::shared_ptr<const core::ArtificialScientistModel> model,
+    std::string tag) {
+  ARTSCI_EXPECTS_MSG(model != nullptr, "publish() of a null model");
+  auto snap = std::make_shared<ModelSnapshot>();
+  snap->model = std::move(model);
+  snap->version = ++versions_;
+  snap->tag = std::move(tag);
+  const std::uint64_t version = snap->version;
+  // CAS loop instead of a blind store: with concurrent publishers the
+  // installed snapshot must never move backwards in version.
+  std::shared_ptr<const ModelSnapshot> cur = current_.load();
+  while (!cur || cur->version < version) {
+    if (current_.compare_exchange_weak(cur, snap)) break;
+  }
+  return version;
+}
+
+std::shared_ptr<const ModelSnapshot> ModelRegistry::current() const {
+  return current_.load(std::memory_order_acquire);
+}
+
+std::uint64_t ModelRegistry::version() const {
+  const auto snap = current();
+  return snap ? snap->version : 0;
+}
+
+std::uint64_t publishCopy(ModelRegistry& registry,
+                          const core::ArtificialScientistModel& model,
+                          std::string tag) {
+  return registry.publish(core::cloneForInference(model), std::move(tag));
+}
+
+std::uint64_t publishCheckpoint(ModelRegistry& registry,
+                                core::ArtificialScientistModel::Config cfg,
+                                const std::string& path, std::string tag) {
+  Rng initRng(1);
+  auto model =
+      std::make_shared<core::ArtificialScientistModel>(std::move(cfg), initRng);
+  auto params = model->parameters();
+  ml::loadParameters(path, params);
+  for (auto& p : params) p.setRequiresGrad(false);
+  if (tag.empty()) tag = path;
+  return registry.publish(std::move(model), std::move(tag));
+}
+
+}  // namespace artsci::serve

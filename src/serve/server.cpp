@@ -1,0 +1,201 @@
+#include "serve/server.hpp"
+
+#include <cstring>
+
+namespace artsci::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double microsBetween(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::micro>(to - from).count();
+}
+
+std::future<InferenceResult> rejectedFuture(const std::string& why) {
+  std::promise<InferenceResult> p;
+  p.set_exception(std::make_exception_ptr(RuntimeError(why)));
+  return p.get_future();
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(ServerConfig cfg,
+                                 std::shared_ptr<ModelRegistry> registry)
+    : cfg_(cfg),
+      registry_(std::move(registry)),
+      batcher_(cfg.policy),
+      pool_(cfg.workers) {
+  ARTSCI_EXPECTS_MSG(registry_ != nullptr, "server needs a registry");
+  ARTSCI_EXPECTS(cfg_.workers >= 1);
+  workerDone_.reserve(cfg_.workers);
+  for (std::size_t w = 0; w < cfg_.workers; ++w)
+    workerDone_.push_back(pool_.submit([this, w] { workerLoop(w); }));
+}
+
+InferenceServer::~InferenceServer() { shutdown(ShutdownMode::kDrain); }
+
+std::future<InferenceResult> InferenceServer::predictSpectrum(
+    std::vector<ml::Real> cloud) {
+  if (cloud.empty() || cloud.size() % 6 != 0)
+    return rejectedFuture("PredictSpectrum input must be a non-empty "
+                          "flattened [points x 6] cloud");
+  return submit(Endpoint::kPredictSpectrum, std::move(cloud));
+}
+
+std::future<InferenceResult> InferenceServer::invertSpectrum(
+    std::vector<ml::Real> spectrum) {
+  if (spectrum.empty())
+    return rejectedFuture("InvertSpectrum input must be a non-empty spectrum");
+  return submit(Endpoint::kInvertSpectrum, std::move(spectrum));
+}
+
+std::future<InferenceResult> InferenceServer::submit(
+    Endpoint endpoint, std::vector<ml::Real> input) {
+  metrics_.recordSubmitted(endpoint);
+  PendingRequest r;
+  r.endpoint = endpoint;
+  r.input = std::move(input);
+  std::future<InferenceResult> fut = r.promise.get_future();
+  if (!accepting_.load(std::memory_order_acquire)) {
+    metrics_.recordRejected(endpoint);
+    r.promise.set_exception(
+        std::make_exception_ptr(RuntimeError("server is shut down")));
+    return fut;
+  }
+  if (!batcher_.enqueue(r)) {
+    metrics_.recordRejected(endpoint);
+    r.promise.set_exception(std::make_exception_ptr(RuntimeError(
+        batcher_.stopped() ? "server is shut down"
+                           : "inference queue is full")));
+  }
+  return fut;
+}
+
+void InferenceServer::workerLoop(std::size_t workerIndex) {
+  // Worker-local RNG: posterior draws are concurrent-safe and per-worker
+  // reproducible (not globally ordered — batch-to-worker assignment races).
+  Rng rng(cfg_.seed + 0x9e3779b9ULL * (workerIndex + 1));
+  std::shared_ptr<const ModelSnapshot> bound;
+  std::unique_ptr<InferenceEngine> engine;
+  for (;;) {
+    std::vector<PendingRequest> batch = batcher_.nextBatch();
+    if (batch.empty()) return;
+    // One snapshot per batch: the hot-swap consistency guarantee.
+    std::shared_ptr<const ModelSnapshot> snap = registry_->current();
+    if (!snap) {
+      for (auto& r : batch) {
+        metrics_.recordRejected(r.endpoint);
+        r.promise.set_exception(std::make_exception_ptr(
+            RuntimeError("no model published in the registry")));
+      }
+      continue;
+    }
+    if (snap != bound) {
+      engine = std::make_unique<InferenceEngine>(snap->model);
+      bound = snap;
+      metrics_.recordEngineSwap();
+    }
+    try {
+      if (batch.front().endpoint == Endpoint::kPredictSpectrum)
+        runPredictBatch(batch, *snap, *engine);
+      else
+        runInvertBatch(batch, *snap, rng);
+    } catch (...) {
+      const std::exception_ptr err = std::current_exception();
+      for (auto& r : batch) {
+        metrics_.recordRejected(r.endpoint);
+        r.promise.set_exception(err);
+      }
+    }
+  }
+}
+
+void InferenceServer::runPredictBatch(std::vector<PendingRequest>& batch,
+                                      const ModelSnapshot& snap,
+                                      InferenceEngine& engine) {
+  const auto started = Clock::now();
+  const long B = static_cast<long>(batch.size());
+  const long perInput = static_cast<long>(batch.front().input.size());
+  const long points = perInput / 6;
+  std::vector<ml::Real> clouds(static_cast<std::size_t>(B * perInput));
+  for (long i = 0; i < B; ++i)
+    std::memcpy(clouds.data() + i * perInput, batch[i].input.data(),
+                static_cast<std::size_t>(perInput) * sizeof(ml::Real));
+  const long S = engine.spectrumDim();
+  std::vector<ml::Real> spectra(static_cast<std::size_t>(B * S));
+  engine.predictSpectra(clouds.data(), B, points, spectra.data());
+  std::vector<std::vector<ml::Real>> values(batch.size());
+  for (long i = 0; i < B; ++i)
+    values[i].assign(spectra.begin() + i * S, spectra.begin() + (i + 1) * S);
+  finishBatch(batch, std::move(values), snap, started);
+}
+
+void InferenceServer::runInvertBatch(std::vector<PendingRequest>& batch,
+                                     const ModelSnapshot& snap, Rng& rng) {
+  const auto started = Clock::now();
+  const long B = static_cast<long>(batch.size());
+  const long S = static_cast<long>(batch.front().input.size());
+  ARTSCI_CHECK_MSG(S == snap.model->config().spectrumDim,
+                   "InvertSpectrum input has " << S << " bins, snapshot v"
+                                               << snap.version << " expects "
+                                               << snap.model->config()
+                                                      .spectrumDim);
+  std::vector<ml::Real> flat(static_cast<std::size_t>(B * S));
+  for (long i = 0; i < B; ++i)
+    std::memcpy(flat.data() + i * S, batch[i].input.data(),
+                static_cast<std::size_t>(S) * sizeof(ml::Real));
+  const ml::Tensor spectra =
+      ml::Tensor::fromVector({B, S}, std::move(flat));
+  // The inverse path (INN inverse + voxel decoder) runs through the graph
+  // ops — batched, so the per-op overhead amortizes across the batch.
+  const ml::Tensor clouds = snap.model->invertSpectra(spectra, rng);
+  const long per = clouds.numel() / B;
+  std::vector<std::vector<ml::Real>> values(batch.size());
+  for (long i = 0; i < B; ++i)
+    values[i].assign(clouds.data().begin() + i * per,
+                     clouds.data().begin() + (i + 1) * per);
+  finishBatch(batch, std::move(values), snap, started);
+}
+
+void InferenceServer::finishBatch(std::vector<PendingRequest>& batch,
+                                  std::vector<std::vector<ml::Real>> values,
+                                  const ModelSnapshot& snap,
+                                  Clock::time_point started) {
+  const auto done = Clock::now();
+  std::vector<double> latencies(batch.size());
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    latencies[i] = microsBetween(batch[i].enqueuedAt, done);
+  // Metrics before promises: a client that observed its future resolve
+  // must already see this batch accounted for.
+  metrics_.recordBatch(batch.front().endpoint, batch.size(), latencies);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    InferenceResult res;
+    res.values = std::move(values[i]);
+    res.snapshotVersion = snap.version;
+    res.batchSize = static_cast<long>(batch.size());
+    res.queueMicros = microsBetween(batch[i].enqueuedAt, started);
+    batch[i].promise.set_value(std::move(res));
+  }
+}
+
+void InferenceServer::shutdown(ShutdownMode mode) {
+  if (shutdownDone_.exchange(true)) return;
+  accepting_.store(false, std::memory_order_release);
+  batcher_.stop(mode == ShutdownMode::kDrain);
+  for (auto& f : workerDone_) f.wait();
+  // In kReject mode (or if a worker died), fail whatever never ran.
+  for (auto& r : batcher_.takePending()) {
+    metrics_.recordRejected(r.endpoint);
+    r.promise.set_exception(std::make_exception_ptr(
+        RuntimeError("request rejected: server shut down before execution")));
+  }
+}
+
+ServeMetrics::Report InferenceServer::metrics() const {
+  ServeMetrics::Report rep = metrics_.report();
+  rep.queueDepth = batcher_.depth();
+  return rep;
+}
+
+}  // namespace artsci::serve

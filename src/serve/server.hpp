@@ -1,0 +1,85 @@
+/// \file server.hpp
+/// The asynchronous surrogate-inference service. Clients submit single
+/// requests and get std::future results; a MicroBatcher coalesces queued
+/// requests into dynamic micro-batches that worker threads (a ThreadPool)
+/// execute against the current ModelRegistry snapshot — read once per
+/// batch, so every response is computed entirely by exactly one snapshot
+/// even while a trainer hot-swaps weights under load.
+#pragma once
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/batcher.hpp"
+#include "serve/engine.hpp"
+#include "serve/metrics.hpp"
+#include "serve/registry.hpp"
+
+namespace artsci::serve {
+
+struct ServerConfig {
+  BatchPolicy policy;
+  std::size_t workers = 1;   ///< inference worker threads
+  std::uint64_t seed = 0xced5ULL;  ///< base seed for posterior-draw RNGs
+};
+
+class InferenceServer {
+ public:
+  /// The registry may be empty at construction; requests submitted before
+  /// the first publish fail with "no model published".
+  InferenceServer(ServerConfig cfg, std::shared_ptr<ModelRegistry> registry);
+  ~InferenceServer();  ///< drains gracefully if shutdown() was not called
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Forward surrogate: cloud flattened [points x 6] -> spectrum future.
+  std::future<InferenceResult> predictSpectrum(std::vector<ml::Real> cloud);
+
+  /// Inverse problem: spectrum [spectrumDim] -> one posterior point-cloud
+  /// draw (fresh N ~ N(0,1) per request, worker-local RNG).
+  std::future<InferenceResult> invertSpectrum(std::vector<ml::Real> spectrum);
+
+  enum class ShutdownMode {
+    kDrain,   ///< stop accepting, execute everything already queued
+    kReject,  ///< stop accepting, fail everything still queued
+  };
+
+  /// Idempotent; returns once all workers have exited and (kReject) every
+  /// pending promise has been failed. Futures already handed out always
+  /// resolve — with a value or an exception, never dangling.
+  void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
+
+  /// Metrics snapshot (includes current queue depth).
+  ServeMetrics::Report metrics() const;
+
+  const ServerConfig& config() const { return cfg_; }
+
+ private:
+  std::future<InferenceResult> submit(Endpoint endpoint,
+                                      std::vector<ml::Real> input);
+  void workerLoop(std::size_t workerIndex);
+  void runPredictBatch(std::vector<PendingRequest>& batch,
+                       const ModelSnapshot& snap, InferenceEngine& engine);
+  void runInvertBatch(std::vector<PendingRequest>& batch,
+                      const ModelSnapshot& snap, Rng& rng);
+  void finishBatch(std::vector<PendingRequest>& batch,
+                   std::vector<std::vector<ml::Real>> values,
+                   const ModelSnapshot& snap,
+                   std::chrono::steady_clock::time_point started);
+
+  ServerConfig cfg_;
+  std::shared_ptr<ModelRegistry> registry_;
+  MicroBatcher batcher_;
+  ServeMetrics metrics_;
+  std::atomic<bool> accepting_{true};
+  std::atomic<bool> shutdownDone_{false};
+  // Declared last: destroyed first, after shutdown() joined the loops.
+  ThreadPool pool_;
+  std::vector<std::future<void>> workerDone_;
+};
+
+}  // namespace artsci::serve

@@ -67,6 +67,59 @@ TEST(Stats, RemoveOutliersIteratesUntilStable) {
   EXPECT_EQ(cleaned.size(), xs.size() - 2);
 }
 
+TEST(Stats, LatencySummaryOfEmptyIsZero) {
+  const LatencySummary s = latencySummary({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.p99, 0.0);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(Stats, LatencySummaryPercentiles) {
+  // 1..100: pXX interpolates over (n-1) gaps, matching quantile().
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  const LatencySummary s = latencySummary(xs);
+  EXPECT_DOUBLE_EQ(s.p50, quantile(xs, 0.50));
+  EXPECT_DOUBLE_EQ(s.p90, quantile(xs, 0.90));
+  EXPECT_DOUBLE_EQ(s.p95, quantile(xs, 0.95));
+  EXPECT_DOUBLE_EQ(s.p99, quantile(xs, 0.99));
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_EQ(s.count, 100u);
+}
+
+TEST(Stats, LatencySummaryIgnoresInputOrder) {
+  const std::vector<double> a{5, 1, 4, 2, 3};
+  const std::vector<double> b{1, 2, 3, 4, 5};
+  const LatencySummary sa = latencySummary(a);
+  const LatencySummary sb = latencySummary(b);
+  EXPECT_DOUBLE_EQ(sa.p50, sb.p50);
+  EXPECT_DOUBLE_EQ(sa.p99, sb.p99);
+  EXPECT_DOUBLE_EQ(sa.min, 1.0);
+  EXPECT_DOUBLE_EQ(sa.max, 5.0);
+}
+
+TEST(Stats, LatencySummaryTailDominatedByStraggler) {
+  // 99 fast requests + 1 straggler: p50 stays low, p99 reaches into the
+  // straggler, mean sits in between — the shape that motivates reporting
+  // percentiles instead of means for serving latencies.
+  std::vector<double> xs(99, 1.0);
+  xs.push_back(1000.0);
+  const LatencySummary s = latencySummary(xs);
+  EXPECT_DOUBLE_EQ(s.p50, 1.0);
+  EXPECT_GT(s.p99, 10.0);
+  EXPECT_NEAR(s.mean, 10.99, 1e-9);
+}
+
+TEST(Stats, FormatLatencySummaryMentionsPercentiles) {
+  const LatencySummary s = latencySummary({1, 2, 3, 4});
+  const std::string str = formatLatencySummary(s);
+  EXPECT_NE(str.find("p50"), std::string::npos);
+  EXPECT_NE(str.find("p99"), std::string::npos);
+  EXPECT_NE(str.find("n=4"), std::string::npos);
+}
+
 TEST(Stats, LinearFitRecoversLine) {
   std::vector<double> x{0, 1, 2, 3, 4};
   std::vector<double> y;

@@ -43,9 +43,9 @@ TEST(Integration, TrainedModelLearnsRegionSignatures) {
   auto cfg = PipelineConfig::quickDemo();
   cfg.producer.khi.grid = pic::GridSpec{16, 32, 4, 0.25, 0.25, 0.25};
   cfg.producer.warmupSteps = 5;
-  cfg.producer.totalSteps = 60;
+  cfg.producer.totalSteps = 100;
   cfg.producer.streamEvery = 2;
-  cfg.nRep = 6;
+  cfg.nRep = 8;
   cfg.trainer.ranks = 2;
   cfg.trainer.baseLearningRate = 4e-4;
   auto run = runPipeline(cfg);
@@ -91,7 +91,7 @@ TEST(Integration, TrainedModelLearnsRegionSignatures) {
 
   Rng rng(31);
   EvaluationConfig ecfg;
-  ecfg.inversionDraws = 8;
+  ecfg.inversionDraws = 24;
   const auto evals = evaluateInversion(run.trainer->model(),
                                        cfg.producer.transform, groundTruth,
                                        ecfg, rng);

@@ -94,7 +94,10 @@ TEST_P(InnInvertibility, RoundTripAcrossDepths) {
   Tensor x = Tensor::randn({6, 16}, rng);
   Tensor y = inn.forward(x);
   Tensor back = inn.inverse(y);
-  EXPECT_LT(maxAbsDiff(x, back), 1e-9) << "blocks=" << GetParam();
+  // The round-trip error grows with depth (each block multiplies by
+  // exp(±s), s soft-clamped to ±2) and depends on the random weight draw;
+  // 1e-8 leaves seed-independent headroom while still proving exactness.
+  EXPECT_LT(maxAbsDiff(x, back), 1e-8) << "blocks=" << GetParam();
 }
 
 INSTANTIATE_TEST_SUITE_P(Depths, InnInvertibility,

@@ -1,0 +1,459 @@
+/// Unit tests for the serving subsystem: micro-batch formation semantics,
+/// registry versioning, fused-engine parity with the autograd graph, and
+/// server request/response behavior including graceful shutdown.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/model.hpp"
+#include "ml/serialize.hpp"
+#include "serve/server.hpp"
+
+namespace artsci::serve {
+namespace {
+
+using core::ArtificialScientistModel;
+
+/// CPU-milliseconds model: every dimension shrunk far below reduced().
+ArtificialScientistModel::Config tinyConfig() {
+  ArtificialScientistModel::Config cfg;
+  cfg.encoder.channels = {6, 8, 16};
+  cfg.encoder.headHidden = 16;
+  cfg.encoder.latentDim = 16;
+  cfg.decoder.latentDim = 16;
+  cfg.decoder.baseGrid = 2;
+  cfg.decoder.channels = {8, 6};
+  cfg.inn.dim = 16;
+  cfg.inn.blocks = 2;
+  cfg.inn.hidden = {12, 12};
+  cfg.spectrumDim = 8;
+  return cfg;
+}
+
+std::shared_ptr<const ArtificialScientistModel> tinyModel(
+    std::uint64_t seed = 11) {
+  Rng rng(seed);
+  ArtificialScientistModel m(tinyConfig(), rng);
+  return core::cloneForInference(m);
+}
+
+std::vector<ml::Real> randomCloud(long points, Rng& rng) {
+  std::vector<ml::Real> c(static_cast<std::size_t>(points * 6));
+  for (auto& v : c) v = rng.normal();
+  return c;
+}
+
+PendingRequest makeRequest(Endpoint ep, std::size_t elements, double tag) {
+  PendingRequest r;
+  r.endpoint = ep;
+  r.input.assign(elements, tag);
+  return r;
+}
+
+// --- MicroBatcher ---------------------------------------------------------
+
+TEST(MicroBatcher, CoalescesUpToMaxBatch) {
+  MicroBatcher b({/*maxBatch=*/4, /*maxWaitMicros=*/1000000, 64});
+  for (int i = 0; i < 6; ++i) {
+    auto r = makeRequest(Endpoint::kPredictSpectrum, 12, i);
+    ASSERT_TRUE(b.enqueue(r));
+  }
+  auto batch = b.nextBatch();
+  ASSERT_EQ(batch.size(), 4u);  // closed by maxBatch, not by the deadline
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch[i].input[0], i);  // FIFO
+  EXPECT_EQ(b.depth(), 2u);
+}
+
+TEST(MicroBatcher, MaxWaitClosesPartialBatch) {
+  MicroBatcher b({/*maxBatch=*/32, /*maxWaitMicros=*/500, 64});
+  auto r0 = makeRequest(Endpoint::kPredictSpectrum, 12, 0);
+  auto r1 = makeRequest(Endpoint::kPredictSpectrum, 12, 1);
+  ASSERT_TRUE(b.enqueue(r0));
+  ASSERT_TRUE(b.enqueue(r1));
+  auto batch = b.nextBatch();  // blocks ~500us, then flushes the partial
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(b.depth(), 0u);
+}
+
+TEST(MicroBatcher, BatchesOnlyCompatibleRequests) {
+  // predict, invert, predict: head-of-line defines the batch key, so the
+  // two predicts coalesce and the invert forms its own later batch.
+  MicroBatcher b({8, 0, 64});
+  auto p0 = makeRequest(Endpoint::kPredictSpectrum, 12, 0);
+  auto iv = makeRequest(Endpoint::kInvertSpectrum, 8, 1);
+  auto p1 = makeRequest(Endpoint::kPredictSpectrum, 12, 2);
+  ASSERT_TRUE(b.enqueue(p0));
+  ASSERT_TRUE(b.enqueue(iv));
+  ASSERT_TRUE(b.enqueue(p1));
+  auto first = b.nextBatch();
+  ASSERT_EQ(first.size(), 2u);
+  EXPECT_EQ(first[0].endpoint, Endpoint::kPredictSpectrum);
+  EXPECT_EQ(first[0].input[0], 0);
+  EXPECT_EQ(first[1].input[0], 2);
+  auto second = b.nextBatch();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].endpoint, Endpoint::kInvertSpectrum);
+}
+
+TEST(MicroBatcher, DifferentCloudSizesDoNotMix) {
+  MicroBatcher b({8, 0, 64});
+  auto small = makeRequest(Endpoint::kPredictSpectrum, 12, 0);
+  auto large = makeRequest(Endpoint::kPredictSpectrum, 24, 1);
+  ASSERT_TRUE(b.enqueue(small));
+  ASSERT_TRUE(b.enqueue(large));
+  EXPECT_EQ(b.nextBatch().size(), 1u);
+  EXPECT_EQ(b.nextBatch().size(), 1u);
+}
+
+TEST(MicroBatcher, RejectsWhenQueueFull) {
+  MicroBatcher b({4, 1000000, /*maxQueueDepth=*/2});
+  auto r0 = makeRequest(Endpoint::kPredictSpectrum, 12, 0);
+  auto r1 = makeRequest(Endpoint::kPredictSpectrum, 12, 1);
+  auto r2 = makeRequest(Endpoint::kPredictSpectrum, 12, 2);
+  EXPECT_TRUE(b.enqueue(r0));
+  EXPECT_TRUE(b.enqueue(r1));
+  EXPECT_FALSE(b.enqueue(r2));
+  EXPECT_FALSE(r2.input.empty());  // rejected request left intact
+}
+
+TEST(MicroBatcher, StopWithDrainFlushesThenSignalsExit) {
+  MicroBatcher b({32, 1000000, 64});
+  auto r = makeRequest(Endpoint::kPredictSpectrum, 12, 0);
+  ASSERT_TRUE(b.enqueue(r));
+  b.stop(/*drainPending=*/true);
+  EXPECT_EQ(b.nextBatch().size(), 1u);  // pending work still served
+  EXPECT_TRUE(b.nextBatch().empty());   // then the exit signal
+  auto rejected = makeRequest(Endpoint::kPredictSpectrum, 12, 1);
+  EXPECT_FALSE(b.enqueue(rejected));
+}
+
+TEST(MicroBatcher, StopWithoutDrainLeavesPendingForTakePending) {
+  MicroBatcher b({32, 1000000, 64});
+  auto r0 = makeRequest(Endpoint::kPredictSpectrum, 12, 0);
+  auto r1 = makeRequest(Endpoint::kInvertSpectrum, 8, 1);
+  ASSERT_TRUE(b.enqueue(r0));
+  ASSERT_TRUE(b.enqueue(r1));
+  b.stop(/*drainPending=*/false);
+  EXPECT_TRUE(b.nextBatch().empty());
+  auto pending = b.takePending();
+  ASSERT_EQ(pending.size(), 2u);
+  EXPECT_EQ(pending[0].input[0], 0);
+  EXPECT_EQ(b.depth(), 0u);
+}
+
+// --- ModelRegistry --------------------------------------------------------
+
+TEST(ModelRegistry, VersionsIncreaseAndCurrentTracksLatest) {
+  ModelRegistry reg;
+  EXPECT_EQ(reg.version(), 0u);
+  EXPECT_EQ(reg.current(), nullptr);
+  EXPECT_EQ(reg.publish(tinyModel(1), "first"), 1u);
+  EXPECT_EQ(reg.publish(tinyModel(2), "second"), 2u);
+  auto snap = reg.current();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->version, 2u);
+  EXPECT_EQ(snap->tag, "second");
+  EXPECT_EQ(reg.version(), 2u);
+}
+
+TEST(ModelRegistry, InFlightSnapshotSurvivesRepublish) {
+  ModelRegistry reg;
+  reg.publish(tinyModel(1));
+  auto held = reg.current();
+  reg.publish(tinyModel(2));
+  EXPECT_EQ(held->version, 1u);  // the old snapshot stays alive and intact
+  EXPECT_EQ(reg.current()->version, 2u);
+}
+
+TEST(ModelRegistry, PublishCopyIsImmuneToLaterTraining) {
+  Rng rng(3);
+  ArtificialScientistModel m(tinyConfig(), rng);
+  Rng dataRng(5);
+  const ml::Tensor probe = ml::Tensor::randn({1, 8, 6}, dataRng);
+  const ml::Tensor before = m.predictSpectra(probe);
+
+  ModelRegistry reg;
+  publishCopy(reg, m, "pre-training");
+  // "Training step": perturb every weight of the source model.
+  for (auto& p : m.parameters())
+    for (auto& v : p.data()) v += 0.5;
+
+  const ml::Tensor after = reg.current()->model->predictSpectra(probe);
+  for (long i = 0; i < before.numel(); ++i)
+    EXPECT_EQ(before.at(i), after.at(i));
+}
+
+TEST(ModelRegistry, PublishCheckpointRestoresSavedWeights) {
+  const std::string path = ::testing::TempDir() + "registry_ckpt.ckpt";
+  Rng rng(17);
+  ArtificialScientistModel m(tinyConfig(), rng);
+  ml::saveParameters(path, m.parameters());
+
+  ModelRegistry reg;
+  EXPECT_EQ(publishCheckpoint(reg, tinyConfig(), path), 1u);
+  EXPECT_EQ(reg.current()->tag, path);
+
+  Rng dataRng(5);
+  const ml::Tensor probe = ml::Tensor::randn({2, 8, 6}, dataRng);
+  const ml::Tensor expected = m.predictSpectra(probe);
+  const ml::Tensor got = reg.current()->model->predictSpectra(probe);
+  for (long i = 0; i < expected.numel(); ++i)
+    EXPECT_EQ(expected.at(i), got.at(i));
+  std::remove(path.c_str());
+}
+
+// --- InferenceEngine ------------------------------------------------------
+
+TEST(InferenceEngine, LinearForwardMatchesHandRolledReference) {
+  Rng rng(21);
+  const long m = 9, k = 5, n = 13;  // deliberately off the 4-row block size
+  std::vector<ml::Real> a(m * k), w(k * n), bias(n), c(m * n);
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : w) v = rng.normal();
+  for (auto& v : bias) v = rng.normal();
+  for (ml::Activation act :
+       {ml::Activation::kNone, ml::Activation::kRelu,
+        ml::Activation::kLeakyRelu, ml::Activation::kTanh}) {
+    detail::linearForward(a.data(), w.data(), bias.data(), c.data(), m, k, n,
+                          act);
+    for (long i = 0; i < m; ++i) {
+      for (long j = 0; j < n; ++j) {
+        ml::Real acc = 0;
+        for (long kk = 0; kk < k; ++kk) acc += a[i * k + kk] * w[kk * n + j];
+        acc += bias[j];
+        switch (act) {
+          case ml::Activation::kNone: break;
+          case ml::Activation::kRelu: acc = acc < 0 ? 0 : acc; break;
+          case ml::Activation::kLeakyRelu: acc = acc < 0 ? acc * 0.01 : acc; break;
+          case ml::Activation::kTanh: acc = std::tanh(acc); break;
+        }
+        EXPECT_NEAR(c[i * n + j], acc, 1e-12) << "i=" << i << " j=" << j;
+      }
+    }
+  }
+}
+
+TEST(InferenceEngine, MatchesGraphPredictSpectra) {
+  auto model = tinyModel(31);
+  InferenceEngine engine(model);
+  Rng rng(7);
+  for (long batch : {1L, 3L, 5L, 32L}) {
+    const long points = 8;
+    ml::Tensor clouds = ml::Tensor::randn({batch, points, 6}, rng);
+    const ml::Tensor expected = model->predictSpectra(clouds);
+    std::vector<ml::Real> got(
+        static_cast<std::size_t>(batch * engine.spectrumDim()));
+    engine.predictSpectra(clouds.data().data(), batch, points, got.data());
+    for (long i = 0; i < expected.numel(); ++i)
+      EXPECT_NEAR(got[static_cast<std::size_t>(i)], expected.at(i), 1e-9)
+          << "batch=" << batch << " flat=" << i;
+  }
+}
+
+TEST(InferenceEngine, MatchesGraphOnReducedConfigAndOddPointCounts) {
+  Rng rng(41);
+  ArtificialScientistModel m(ArtificialScientistModel::Config::reduced(), rng);
+  auto snap = core::cloneForInference(m);
+  InferenceEngine engine(snap);
+  const long batch = 3, points = 7;  // non-multiple-of-tile everything
+  ml::Tensor clouds = ml::Tensor::randn({batch, points, 6}, rng);
+  const ml::Tensor expected = snap->predictSpectra(clouds);
+  std::vector<ml::Real> got(
+      static_cast<std::size_t>(batch * engine.spectrumDim()));
+  engine.predictSpectra(clouds.data().data(), batch, points, got.data());
+  for (long i = 0; i < expected.numel(); ++i)
+    EXPECT_NEAR(got[static_cast<std::size_t>(i)], expected.at(i), 1e-9);
+}
+
+// --- InferenceServer ------------------------------------------------------
+
+ServerConfig quickServerConfig(long maxBatch = 8, long maxWaitMicros = 2000,
+                               std::size_t workers = 1) {
+  ServerConfig cfg;
+  cfg.policy.maxBatch = maxBatch;
+  cfg.policy.maxWaitMicros = maxWaitMicros;
+  cfg.workers = workers;
+  return cfg;
+}
+
+TEST(InferenceServer, PredictMatchesDirectModelCall) {
+  auto registry = std::make_shared<ModelRegistry>();
+  auto model = tinyModel(51);
+  registry->publish(model);
+  InferenceServer server(quickServerConfig(), registry);
+
+  Rng rng(9);
+  const long points = 8;
+  auto cloud = randomCloud(points, rng);
+  auto fut = server.predictSpectrum(cloud);
+  InferenceResult res = fut.get();
+  EXPECT_EQ(res.snapshotVersion, 1u);
+  EXPECT_GE(res.batchSize, 1);
+
+  ml::Tensor t = ml::Tensor::fromVector({1, points, 6}, cloud);
+  const ml::Tensor expected = model->predictSpectra(t);
+  ASSERT_EQ(static_cast<long>(res.values.size()), expected.numel());
+  for (long i = 0; i < expected.numel(); ++i)
+    EXPECT_NEAR(res.values[static_cast<std::size_t>(i)], expected.at(i), 1e-9);
+}
+
+TEST(InferenceServer, CoalescesBurstIntoOneBatch) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(52));
+  // One worker, batch closes at 8 or after 100 ms: a fast 8-burst must
+  // land in a single batch.
+  InferenceServer server(quickServerConfig(8, 100000, 1), registry);
+  Rng rng(10);
+  const auto cloud = randomCloud(8, rng);
+  std::vector<std::future<InferenceResult>> futs;
+  for (int i = 0; i < 8; ++i) futs.push_back(server.predictSpectrum(cloud));
+  for (auto& f : futs) {
+    const InferenceResult r = f.get();
+    EXPECT_EQ(r.batchSize, 8);
+    EXPECT_EQ(r.snapshotVersion, 1u);
+  }
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.submitted, 8u);
+  EXPECT_EQ(rep.predict.completed, 8u);
+  EXPECT_EQ(rep.predict.batches, 1u);
+  EXPECT_DOUBLE_EQ(rep.predict.meanBatchSize, 8.0);
+}
+
+TEST(InferenceServer, InvertReturnsPosteriorCloud) {
+  auto registry = std::make_shared<ModelRegistry>();
+  auto model = tinyModel(53);
+  registry->publish(model);
+  InferenceServer server(quickServerConfig(), registry);
+  const long S = model->config().spectrumDim;
+  std::vector<ml::Real> spectrum(static_cast<std::size_t>(S), 0.25);
+  InferenceResult res = server.invertSpectrum(spectrum).get();
+  EXPECT_EQ(static_cast<long>(res.values.size()), model->cloudPoints() * 6);
+  for (ml::Real v : res.values) EXPECT_TRUE(std::isfinite(v));
+  EXPECT_EQ(res.snapshotVersion, 1u);
+}
+
+TEST(InferenceServer, RejectsMalformedInputs) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(54));
+  InferenceServer server(quickServerConfig(), registry);
+  EXPECT_THROW(server.predictSpectrum({}).get(), RuntimeError);
+  EXPECT_THROW(server.predictSpectrum({1.0, 2.0}).get(), RuntimeError);
+  EXPECT_THROW(server.invertSpectrum({}).get(), RuntimeError);
+}
+
+TEST(InferenceServer, FailsRequestsWhenNoModelPublished) {
+  auto registry = std::make_shared<ModelRegistry>();
+  InferenceServer server(quickServerConfig(), registry);
+  Rng rng(11);
+  auto fut = server.predictSpectrum(randomCloud(8, rng));
+  try {
+    fut.get();
+    FAIL() << "expected RuntimeError";
+  } catch (const RuntimeError& e) {
+    EXPECT_NE(std::string(e.what()).find("no model published"),
+              std::string::npos);
+  }
+}
+
+TEST(InferenceServer, HotSwapServesEachRequestFromExactlyOneVersion) {
+  auto registry = std::make_shared<ModelRegistry>();
+  auto m1 = tinyModel(61);
+  auto m2 = tinyModel(62);
+  registry->publish(m1);
+  InferenceServer server(quickServerConfig(4, 500, 1), registry);
+
+  Rng rng(12);
+  const long points = 8;
+  const auto cloud = randomCloud(points, rng);
+  ml::Tensor t = ml::Tensor::fromVector({1, points, 6}, cloud);
+  const ml::Tensor e1 = m1->predictSpectra(t);
+  const ml::Tensor e2 = m2->predictSpectra(t);
+
+  const InferenceResult r1 = server.predictSpectrum(cloud).get();
+  registry->publish(m2);  // hot swap while the server keeps running
+  const InferenceResult r2 = server.predictSpectrum(cloud).get();
+
+  EXPECT_EQ(r1.snapshotVersion, 1u);
+  EXPECT_EQ(r2.snapshotVersion, 2u);
+  for (long i = 0; i < e1.numel(); ++i) {
+    EXPECT_NEAR(r1.values[static_cast<std::size_t>(i)], e1.at(i), 1e-9);
+    EXPECT_NEAR(r2.values[static_cast<std::size_t>(i)], e2.at(i), 1e-9);
+  }
+  EXPECT_GE(server.metrics().engineSwaps, 2u);
+}
+
+TEST(InferenceServer, ShutdownDrainCompletesEverythingAccepted) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(55));
+  InferenceServer server(quickServerConfig(8, 200, 2), registry);
+  Rng rng(13);
+  const auto cloud = randomCloud(8, rng);
+  std::vector<std::future<InferenceResult>> futs;
+  for (int i = 0; i < 40; ++i) futs.push_back(server.predictSpectrum(cloud));
+  server.shutdown(InferenceServer::ShutdownMode::kDrain);
+  for (auto& f : futs) EXPECT_NO_THROW(f.get());  // drained, not rejected
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.completed, 40u);
+  EXPECT_EQ(rep.predict.rejected, 0u);
+  EXPECT_EQ(rep.queueDepth, 0u);
+}
+
+TEST(InferenceServer, ShutdownRejectResolvesEveryFuture) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(56));
+  InferenceServer server(quickServerConfig(1, 0, 1), registry);
+  Rng rng(14);
+  const auto cloud = randomCloud(8, rng);
+  std::vector<std::future<InferenceResult>> futs;
+  for (int i = 0; i < 64; ++i) futs.push_back(server.predictSpectrum(cloud));
+  server.shutdown(InferenceServer::ShutdownMode::kReject);
+  std::size_t ok = 0, rejected = 0;
+  for (auto& f : futs) {
+    try {
+      f.get();
+      ++ok;
+    } catch (const RuntimeError&) {
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, 64u);
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.submitted, 64u);
+  EXPECT_EQ(rep.predict.completed + rep.predict.rejected, 64u);
+  EXPECT_EQ(rep.predict.completed, ok);
+  EXPECT_EQ(rep.queueDepth, 0u);
+}
+
+TEST(InferenceServer, SubmitAfterShutdownIsRejected) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(57));
+  InferenceServer server(quickServerConfig(), registry);
+  server.shutdown();
+  Rng rng(15);
+  EXPECT_THROW(server.predictSpectrum(randomCloud(8, rng)).get(),
+               RuntimeError);
+  server.shutdown();  // idempotent
+}
+
+TEST(InferenceServer, LatencyMetricsPopulate) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(58));
+  InferenceServer server(quickServerConfig(4, 100, 1), registry);
+  Rng rng(16);
+  const auto cloud = randomCloud(8, rng);
+  std::vector<std::future<InferenceResult>> futs;
+  for (int i = 0; i < 12; ++i) futs.push_back(server.predictSpectrum(cloud));
+  for (auto& f : futs) {
+    const InferenceResult r = f.get();
+    EXPECT_GE(r.queueMicros, 0.0);
+  }
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.latencyMicros.count, 12u);
+  EXPECT_GT(rep.predict.latencyMicros.p50, 0.0);
+  EXPECT_LE(rep.predict.latencyMicros.p50, rep.predict.latencyMicros.p99);
+  EXPECT_GE(rep.predict.meanBatchSize, 1.0);
+}
+
+}  // namespace
+}  // namespace artsci::serve
