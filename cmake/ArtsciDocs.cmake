@@ -1,0 +1,36 @@
+# Optional Doxygen API docs for the documented subsystems (src/pic,
+# src/serve). Same degrade-gracefully pattern as bench_micro_ops: when
+# doxygen isn't installed the `docs` target simply doesn't exist and the
+# configure prints a status message.
+#
+#   cmake --build build --target docs   ->  build/docs/html/index.html
+#
+# Doc warnings are errors (the CI gate): a \param that doesn't match the
+# signature, an unresolved reference, or malformed markup fails the build.
+# WARN_IF_UNDOCUMENTED stays off — the gate enforces that what *is*
+# documented is correct, not that every trivial accessor carries a brief.
+
+find_package(Doxygen QUIET)
+
+if(DOXYGEN_FOUND)
+  set(DOXYGEN_OUTPUT_DIRECTORY "${PROJECT_BINARY_DIR}/docs")
+  set(DOXYGEN_GENERATE_HTML YES)
+  set(DOXYGEN_GENERATE_LATEX NO)
+  set(DOXYGEN_FILE_PATTERNS "*.hpp")
+  set(DOXYGEN_RECURSIVE YES)
+  set(DOXYGEN_EXTRACT_ALL NO)
+  set(DOXYGEN_WARN_IF_UNDOCUMENTED NO)
+  set(DOXYGEN_WARN_IF_DOC_ERROR YES)
+  set(DOXYGEN_WARN_AS_ERROR YES)
+  set(DOXYGEN_QUIET YES)
+  # Repo-rooted include style ("pic/deposit.hpp") for the file list.
+  set(DOXYGEN_STRIP_FROM_PATH "${PROJECT_SOURCE_DIR}/src")
+  set(DOXYGEN_PROJECT_BRIEF "${PROJECT_DESCRIPTION}")
+
+  doxygen_add_docs(docs
+    "${PROJECT_SOURCE_DIR}/src/pic"
+    "${PROJECT_SOURCE_DIR}/src/serve"
+    COMMENT "Rendering API docs (src/pic, src/serve) with warnings-as-errors")
+else()
+  message(STATUS "artsci: doxygen not found — skipping the docs target")
+endif()

@@ -1,20 +1,49 @@
 #include "pic/deposit.hpp"
 
-#include <cmath>
+#include "pic/deposit_buffer.hpp"
 
 namespace artsci::pic {
 
 namespace {
 
-/// CIC node weights of coordinate `x` on the 5-node stencil centered at
-/// node `ic` (relative offsets -2..+2). S(i) = max(0, 1 - |x - i|).
-inline void cicWeights5(double x, long ic, double out[5]) {
-  for (int r = 0; r < 5; ++r) {
-    const double xi = static_cast<double>(ic + r - 2);
-    const double d = std::abs(x - xi);
-    out[r] = d < 1.0 ? 1.0 - d : 0.0;
+/// Scatter sink committing straight into the global field with atomic
+/// adds (DepositMode::Atomic). Periodic wrapping happens per write via
+/// Field3::at.
+struct AtomicCurrentSink {
+  VectorField& J;
+  void addJx(long i, long j, long k, double v) const {
+    double& dst = J.x.at(i, j, k);
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+    dst += v;
   }
-}
+  void addJy(long i, long j, long k, double v) const {
+    double& dst = J.y.at(i, j, k);
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+    dst += v;
+  }
+  void addJz(long i, long j, long k, double v) const {
+    double& dst = J.z.at(i, j, k);
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+    dst += v;
+  }
+};
+
+struct AtomicChargeSink {
+  Field3& rho;
+  void add(long i, long j, long k, double v) const {
+    double& dst = rho.at(i, j, k);
+#ifdef _OPENMP
+#pragma omp atomic
+#endif
+    dst += v;
+  }
+};
 
 }  // namespace
 
@@ -23,93 +52,41 @@ void depositCurrentEsirkepov(VectorField& J, const GridSpec& grid,
                              double y1, double z1, double chargeWeight,
                              double dt) {
   ARTSCI_EXPECTS(dt > 0);
-  const long icx = static_cast<long>(std::floor(x0));
-  const long icy = static_cast<long>(std::floor(y0));
-  const long icz = static_cast<long>(std::floor(z0));
-
-  double S0x[5], S0y[5], S0z[5], S1x[5], S1y[5], S1z[5];
-  cicWeights5(x0, icx, S0x);
-  cicWeights5(y0, icy, S0y);
-  cicWeights5(z0, icz, S0z);
-  cicWeights5(x1, icx, S1x);
-  cicWeights5(y1, icy, S1y);
-  cicWeights5(z1, icz, S1z);
-
-  double DSx[5], DSy[5], DSz[5];
-  for (int r = 0; r < 5; ++r) {
-    DSx[r] = S1x[r] - S0x[r];
-    DSy[r] = S1y[r] - S0y[r];
-    DSz[r] = S1z[r] - S0z[r];
-  }
-
-  // Esirkepov density decomposition weights.
-  const double invVdt = 1.0 / (grid.cellVolume() * dt);
-  const double fx = chargeWeight * grid.dx * invVdt;
-  const double fy = chargeWeight * grid.dy * invVdt;
-  const double fz = chargeWeight * grid.dz * invVdt;
-
-  // Jx: accumulate along x for each (j,k).
-  for (int j = 0; j < 5; ++j) {
-    for (int k = 0; k < 5; ++k) {
-      const double wyz = S0y[j] * S0z[k] + 0.5 * DSy[j] * S0z[k] +
-                         0.5 * S0y[j] * DSz[k] + DSy[j] * DSz[k] / 3.0;
-      if (wyz == 0.0) continue;
-      double acc = 0.0;
-      for (int i = 0; i < 5; ++i) {
-        acc -= DSx[i] * wyz;
-        if (acc != 0.0) {
-          double& dst = J.x.at(icx + i - 2, icy + j - 2, icz + k - 2);
-#pragma omp atomic
-          dst += fx * acc;
-        }
-      }
-    }
-  }
-  // Jy.
-  for (int i = 0; i < 5; ++i) {
-    for (int k = 0; k < 5; ++k) {
-      const double wxz = S0x[i] * S0z[k] + 0.5 * DSx[i] * S0z[k] +
-                         0.5 * S0x[i] * DSz[k] + DSx[i] * DSz[k] / 3.0;
-      if (wxz == 0.0) continue;
-      double acc = 0.0;
-      for (int j = 0; j < 5; ++j) {
-        acc -= DSy[j] * wxz;
-        if (acc != 0.0) {
-          double& dst = J.y.at(icx + i - 2, icy + j - 2, icz + k - 2);
-#pragma omp atomic
-          dst += fy * acc;
-        }
-      }
-    }
-  }
-  // Jz.
-  for (int i = 0; i < 5; ++i) {
-    for (int j = 0; j < 5; ++j) {
-      const double wxy = S0x[i] * S0y[j] + 0.5 * DSx[i] * S0y[j] +
-                         0.5 * S0x[i] * DSy[j] + DSx[i] * DSy[j] / 3.0;
-      if (wxy == 0.0) continue;
-      double acc = 0.0;
-      for (int k = 0; k < 5; ++k) {
-        acc -= DSz[k] * wxy;
-        if (acc != 0.0) {
-          double& dst = J.z.at(icx + i - 2, icy + j - 2, icz + k - 2);
-#pragma omp atomic
-          dst += fz * acc;
-        }
-      }
-    }
-  }
+  detail::scatterEsirkepov(grid, x0, y0, z0, x1, y1, z1, chargeWeight, dt,
+                           AtomicCurrentSink{J});
 }
 
 void depositCurrent(VectorField& J, const GridSpec& grid,
                     const ParticleBuffer& buffer,
                     const std::vector<double>& oldX,
                     const std::vector<double>& oldY,
-                    const std::vector<double>& oldZ, double dt) {
+                    const std::vector<double>& oldZ, double dt,
+                    DepositMode mode, DepositBuffer* scratch) {
   ARTSCI_EXPECTS(oldX.size() == buffer.size());
+  if (mode == DepositMode::Tiled) {
+    if (scratch != nullptr) {
+      // Cell sizes must match too: the tiled kernels take every physics
+      // factor (cell volume, dx/dy/dz) from scratch->grid(), so a
+      // same-extent grid with different spacing would silently deposit
+      // wrongly scaled currents.
+      ARTSCI_EXPECTS(scratch->grid().nx == grid.nx &&
+                     scratch->grid().ny == grid.ny &&
+                     scratch->grid().nz == grid.nz &&
+                     scratch->grid().dx == grid.dx &&
+                     scratch->grid().dy == grid.dy &&
+                     scratch->grid().dz == grid.dz);
+      scratch->depositCurrent(J, buffer, oldX, oldY, oldZ, dt);
+    } else {
+      DepositBuffer local(grid);
+      local.depositCurrent(J, buffer, oldX, oldY, oldZ, dt);
+    }
+    return;
+  }
   const double q = buffer.info().charge;
   const long n = static_cast<long>(buffer.size());
+#ifdef _OPENMP
 #pragma omp parallel for schedule(static)
+#endif
   for (long i = 0; i < n; ++i) {
     const auto s = static_cast<std::size_t>(i);
     depositCurrentEsirkepov(J, grid, oldX[s], oldY[s], oldZ[s], buffer.x[s],
@@ -118,32 +95,34 @@ void depositCurrent(VectorField& J, const GridSpec& grid,
 }
 
 void depositCharge(Field3& rho, const GridSpec& grid,
-                   const ParticleBuffer& buffer) {
+                   const ParticleBuffer& buffer, DepositMode mode,
+                   DepositBuffer* scratch) {
+  if (mode == DepositMode::Tiled) {
+    if (scratch != nullptr) {
+      ARTSCI_EXPECTS(scratch->grid().nx == grid.nx &&
+                     scratch->grid().ny == grid.ny &&
+                     scratch->grid().nz == grid.nz &&
+                     scratch->grid().dx == grid.dx &&
+                     scratch->grid().dy == grid.dy &&
+                     scratch->grid().dz == grid.dz);
+      scratch->depositCharge(rho, buffer);
+    } else {
+      DepositBuffer local(grid);
+      local.depositCharge(rho, buffer);
+    }
+    return;
+  }
   const double q = buffer.info().charge;
   const double invV = 1.0 / grid.cellVolume();
   const long n = static_cast<long>(buffer.size());
+  const AtomicChargeSink sink{rho};
+#ifdef _OPENMP
 #pragma omp parallel for schedule(static)
+#endif
   for (long p = 0; p < n; ++p) {
     const auto s = static_cast<std::size_t>(p);
-    const long i0 = static_cast<long>(std::floor(buffer.x[s]));
-    const long j0 = static_cast<long>(std::floor(buffer.y[s]));
-    const long k0 = static_cast<long>(std::floor(buffer.z[s]));
-    const double fx = buffer.x[s] - static_cast<double>(i0);
-    const double fy = buffer.y[s] - static_cast<double>(j0);
-    const double fz = buffer.z[s] - static_cast<double>(k0);
-    const double qw = q * buffer.w[s] * invV;
-    for (int a = 0; a < 2; ++a) {
-      const double wx = a ? fx : 1.0 - fx;
-      for (int b = 0; b < 2; ++b) {
-        const double wy = b ? fy : 1.0 - fy;
-        for (int c = 0; c < 2; ++c) {
-          const double wz = c ? fz : 1.0 - fz;
-          double& dst = rho.at(i0 + a, j0 + b, k0 + c);
-#pragma omp atomic
-          dst += qw * wx * wy * wz;
-        }
-      }
-    }
+    detail::scatterCic(buffer.x[s], buffer.y[s], buffer.z[s],
+                       q * buffer.w[s] * invV, sink);
   }
 }
 

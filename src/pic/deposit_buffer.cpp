@@ -1,0 +1,219 @@
+#include "pic/deposit_buffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace artsci::pic {
+
+namespace {
+
+/// Scatter sink writing into one tile's halo-padded accumulator. Global
+/// node indices are translated by the padded origin — no wrapping here;
+/// the stencil guarantees every emitted index lies inside the padding,
+/// and the reduction wraps once per padded cell instead of once per write.
+struct TileSink {
+  double* jx;
+  double* jy;
+  double* jz;
+  long originX;  ///< global x of padded local index 0 (tile x0 - halo)
+  long originY;
+  long strideY;  ///< padY
+  long strideZ;  ///< padZ
+
+  long index(long i, long j, long k) const {
+    return ((i - originX) * strideY + (j - originY)) * strideZ +
+           (k + DepositBuffer::kHalo);
+  }
+  void addJx(long i, long j, long k, double v) const { jx[index(i, j, k)] += v; }
+  void addJy(long i, long j, long k, double v) const { jy[index(i, j, k)] += v; }
+  void addJz(long i, long j, long k, double v) const { jz[index(i, j, k)] += v; }
+  void add(long i, long j, long k, double v) const { jx[index(i, j, k)] += v; }
+};
+
+}  // namespace
+
+DepositBuffer::DepositBuffer(const GridSpec& grid, TileDepositConfig cfg)
+    : grid_(grid) {
+  ARTSCI_EXPECTS(grid.nx > 0 && grid.ny > 0 && grid.nz > 0);
+  ARTSCI_EXPECTS(cfg.tileEdgeX > 0 && cfg.tileEdgeY > 0);
+  edgeX_ = std::min(cfg.tileEdgeX, grid.nx);
+  edgeY_ = std::min(cfg.tileEdgeY, grid.ny);
+  tilesX_ = (grid.nx + edgeX_ - 1) / edgeX_;
+  tilesY_ = (grid.ny + edgeY_ - 1) / edgeY_;
+  padX_ = edgeX_ + 2 * kHalo;
+  padY_ = edgeY_ + 2 * kHalo;
+  padZ_ = grid.nz + 2 * kHalo;
+  tileStride_ = padX_ * padY_ * padZ_;
+  store_.resize(static_cast<std::size_t>(tileCount() * 3 * tileStride_));
+  wrapZ_.resize(static_cast<std::size_t>(padZ_));
+  for (long lk = 0; lk < padZ_; ++lk)
+    wrapZ_[static_cast<std::size_t>(lk)] = Field3::wrap(lk - kHalo, grid.nz);
+}
+
+DepositBuffer::TileExtent DepositBuffer::extentOf(long tile) const {
+  const long tx = tile / tilesY_;
+  const long ty = tile % tilesY_;
+  TileExtent e;
+  e.x0 = tx * edgeX_;
+  e.x1 = std::min(grid_.nx, e.x0 + edgeX_);
+  e.y0 = ty * edgeY_;
+  e.y1 = std::min(grid_.ny, e.y0 + edgeY_);
+  return e;
+}
+
+void DepositBuffer::binParticles(const std::vector<double>& xs,
+                                 const std::vector<double>& ys,
+                                 const std::vector<double>& zs) {
+  ARTSCI_EXPECTS(xs.size() == ys.size() && xs.size() == zs.size());
+  const long n = static_cast<long>(xs.size());
+  tileOf_.resize(xs.size());
+  perm_.resize(xs.size());
+  offsets_.assign(static_cast<std::size_t>(tileCount()) + 1, 0);
+
+  // Tile keys (parallel; order-independent). Out-of-domain positions are
+  // flagged rather than thrown here — throwing inside an OpenMP region
+  // would terminate.
+  bool inDomain = true;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(&& : inDomain)
+#endif
+  for (long i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    const long ci = static_cast<long>(std::floor(xs[s]));
+    const long cj = static_cast<long>(std::floor(ys[s]));
+    const long ck = static_cast<long>(std::floor(zs[s]));
+    const bool ok = ci >= 0 && ci < grid_.nx && cj >= 0 && cj < grid_.ny &&
+                    ck >= 0 && ck < grid_.nz;
+    inDomain = inDomain && ok;
+    tileOf_[s] = ok ? static_cast<std::int32_t>((ci / edgeX_) * tilesY_ +
+                                                cj / edgeY_)
+                    : 0;
+  }
+  ARTSCI_EXPECTS_MSG(inDomain,
+                     "tiled deposit: particle position outside [0, n) — "
+                     "positions must be periodically wrapped");
+
+  // Stable counting sort: per-tile order is ascending particle index.
+  // Serial: O(N) with trivial constants next to the scatter cost.
+  for (long i = 0; i < n; ++i)
+    ++offsets_[static_cast<std::size_t>(tileOf_[static_cast<std::size_t>(i)]) +
+               1];
+  for (long t = 0; t < tileCount(); ++t)
+    offsets_[static_cast<std::size_t>(t) + 1] +=
+        offsets_[static_cast<std::size_t>(t)];
+  cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  for (long i = 0; i < n; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    perm_[cursor_[static_cast<std::size_t>(tileOf_[s])]++] =
+        static_cast<std::uint32_t>(i);
+  }
+}
+
+void DepositBuffer::reduceComponent(Field3& dst, int comp) const {
+  const long nyz = grid_.ny * grid_.nz;
+  for (long t = 0; t < tileCount(); ++t) {
+    if (offsets_[static_cast<std::size_t>(t)] ==
+        offsets_[static_cast<std::size_t>(t) + 1])
+      continue;
+    const TileExtent e = extentOf(t);
+    const double* src = tileComponent(t, comp);
+    const long spanX = (e.x1 - e.x0) + 2 * kHalo;
+    const long spanY = (e.y1 - e.y0) + 2 * kHalo;
+    for (long li = 0; li < spanX; ++li) {
+      const long gi = Field3::wrap(e.x0 - kHalo + li, grid_.nx);
+      for (long lj = 0; lj < spanY; ++lj) {
+        const long gj = Field3::wrap(e.y0 - kHalo + lj, grid_.ny);
+        const double* row = src + (li * padY_ + lj) * padZ_;
+        const long base = gi * nyz + gj * grid_.nz;
+        for (long lk = 0; lk < padZ_; ++lk) {
+          const double v = row[lk];
+          // The skip is itself deterministic (tile values are), so it
+          // never perturbs the fixed summation order.
+          if (v != 0.0)
+            dst.flat(base + wrapZ_[static_cast<std::size_t>(lk)]) += v;
+        }
+      }
+    }
+  }
+}
+
+void DepositBuffer::depositCurrent(VectorField& J,
+                                   const ParticleBuffer& buffer,
+                                   const std::vector<double>& oldX,
+                                   const std::vector<double>& oldY,
+                                   const std::vector<double>& oldZ,
+                                   double dt) {
+  ARTSCI_EXPECTS(dt > 0);
+  ARTSCI_EXPECTS(oldX.size() == buffer.size() &&
+                 oldY.size() == buffer.size() && oldZ.size() == buffer.size());
+  ARTSCI_EXPECTS(J.x.nx() == grid_.nx && J.x.ny() == grid_.ny &&
+                 J.x.nz() == grid_.nz);
+  // Bin by the *old* position: the Esirkepov stencil is centered on
+  // floor(old), so every write lands within the +-kHalo padding no matter
+  // where the (sub-cell) move ended up.
+  binParticles(oldX, oldY, oldZ);
+
+  const double q = buffer.info().charge;
+  const long tiles = tileCount();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (long t = 0; t < tiles; ++t) {
+    const std::size_t begin = offsets_[static_cast<std::size_t>(t)];
+    const std::size_t end = offsets_[static_cast<std::size_t>(t) + 1];
+    if (begin == end) continue;
+    const TileExtent e = extentOf(t);
+    double* jx = tileComponent(t, 0);
+    double* jy = tileComponent(t, 1);
+    double* jz = tileComponent(t, 2);
+    std::fill(jx, jx + tileStride_, 0.0);
+    std::fill(jy, jy + tileStride_, 0.0);
+    std::fill(jz, jz + tileStride_, 0.0);
+    const TileSink sink{jx,          jy,          jz, e.x0 - kHalo,
+                        e.y0 - kHalo, padY_,      padZ_};
+    for (std::size_t s = begin; s < end; ++s) {
+      const auto i = static_cast<std::size_t>(perm_[s]);
+      detail::scatterEsirkepov(grid_, oldX[i], oldY[i], oldZ[i], buffer.x[i],
+                               buffer.y[i], buffer.z[i], q * buffer.w[i], dt,
+                               sink);
+    }
+  }
+
+  reduceComponent(J.x, 0);
+  reduceComponent(J.y, 1);
+  reduceComponent(J.z, 2);
+}
+
+void DepositBuffer::depositCharge(Field3& rho, const ParticleBuffer& buffer) {
+  ARTSCI_EXPECTS(rho.nx() == grid_.nx && rho.ny() == grid_.ny &&
+                 rho.nz() == grid_.nz);
+  binParticles(buffer.x, buffer.y, buffer.z);
+
+  // Same factorization as the atomic path (q * w * invV) so per-particle
+  // contributions are bit-identical between modes.
+  const double q = buffer.info().charge;
+  const double invV = 1.0 / grid_.cellVolume();
+  const long tiles = tileCount();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (long t = 0; t < tiles; ++t) {
+    const std::size_t begin = offsets_[static_cast<std::size_t>(t)];
+    const std::size_t end = offsets_[static_cast<std::size_t>(t) + 1];
+    if (begin == end) continue;
+    const TileExtent e = extentOf(t);
+    double* acc = tileComponent(t, 0);
+    std::fill(acc, acc + tileStride_, 0.0);
+    const TileSink sink{acc,          nullptr,     nullptr, e.x0 - kHalo,
+                        e.y0 - kHalo, padY_,       padZ_};
+    for (std::size_t s = begin; s < end; ++s) {
+      const auto i = static_cast<std::size_t>(perm_[s]);
+      detail::scatterCic(buffer.x[i], buffer.y[i], buffer.z[i],
+                         q * buffer.w[i] * invV, sink);
+    }
+  }
+
+  reduceComponent(rho, 0);
+}
+
+}  // namespace artsci::pic

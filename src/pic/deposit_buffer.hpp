@@ -1,0 +1,135 @@
+/// \file deposit_buffer.hpp
+/// Deterministic tiled deposition: per-tile halo-padded accumulators and a
+/// fixed-order reduction, replacing `omp atomic` float accumulation in the
+/// deposition hot loop (DepositMode::Tiled).
+///
+/// Why: the in-transit pipeline trains surrogates from live PIC output, so
+/// run-to-run bit-reproducibility of the producer is a correctness
+/// property. Atomic float adds commit in scheduling order; since FP
+/// addition is not associative, two runs (or two thread counts) produce
+/// different low-order bits. Atomics also serialize under high
+/// particle-per-cell contention, so this is a scaling lever too
+/// (bench/deposit_modes.cpp measures both effects).
+///
+/// How: the grid is partitioned into x/y tiles (full z columns — the KHI
+/// box is thin in z). Each deposition call
+///  1. *bins* particles by the tile of their (floor(x), floor(y)) cell
+///     with a stable counting sort — per-tile order is ascending particle
+///     index, independent of threads;
+///  2. *scatters* each tile's particles, one tile per task, into that
+///     tile's private halo-padded accumulator — no synchronization, since
+///     no other tile writes it (the +-2-cell Esirkepov stencil stays
+///     within the halo by construction);
+///  3. *reduces* the tile accumulators into the global field serially in
+///     ascending tile order, wrapping padded cells periodically.
+///
+/// Determinism invariant: every global cell receives its partial sums
+/// grouped per tile and ordered by (tile index, particle index within
+/// tile). Tile geometry depends only on (grid, config) and binning only
+/// on particle positions, so the summation order — hence every bit of the
+/// result — is invariant under OMP_NUM_THREADS and scheduling. Enforced
+/// by tests/pic/test_deposit_modes.cpp across 1/2/8 threads.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pic/deposit.hpp"
+#include "pic/grid.hpp"
+#include "pic/particles.hpp"
+
+namespace artsci::pic {
+
+/// Tile geometry knobs for DepositBuffer. The default 8x8 (x cells per
+/// tile in x/y) balances parallelism (enough tiles for the thread team)
+/// against reduction overhead (halo cells are reduced once per touching
+/// tile); edges are clamped to the grid extent.
+struct TileDepositConfig {
+  long tileEdgeX = 8;  ///< owned cells per tile along x (>= 1)
+  long tileEdgeY = 8;  ///< owned cells per tile along y (>= 1)
+};
+
+/// Reusable tile-accumulator storage + binning scratch for deterministic
+/// deposition on one grid. Not thread-safe: one DepositBuffer per
+/// concurrent depositing driver (it is itself internally OpenMP-parallel).
+/// Steady-state callers (Simulation) keep one instance alive across steps
+/// so no allocation happens in the hot loop.
+class DepositBuffer {
+ public:
+  /// Halo width in cells around each tile's owned region, per axis and
+  /// side. 2 covers the Esirkepov stencil (+-2 nodes around floor(old
+  /// position)) and the CIC charge stencil (+1 node).
+  static constexpr long kHalo = 2;
+
+  /// Sizes tile storage for `grid`; geometry is fixed for the lifetime of
+  /// the buffer (rebuild for a different grid).
+  explicit DepositBuffer(const GridSpec& grid, TileDepositConfig cfg = {});
+
+  /// Current deposition for all particles of `buffer` (same contract as
+  /// the free depositCurrent): `old*` are the wrapped pre-move positions
+  /// in [0, n) per axis, `buffer.x/y/z` the unwrapped post-move positions.
+  /// Accumulates into J (does not zero it first). Bit-identical for any
+  /// thread count.
+  void depositCurrent(VectorField& J, const ParticleBuffer& buffer,
+                      const std::vector<double>& oldX,
+                      const std::vector<double>& oldY,
+                      const std::vector<double>& oldZ, double dt);
+
+  /// CIC charge deposition (same contract as the free depositCharge):
+  /// positions wrapped into [0, n). Accumulates into rho. Bit-identical
+  /// for any thread count.
+  void depositCharge(Field3& rho, const ParticleBuffer& buffer);
+
+  const GridSpec& grid() const { return grid_; }
+  long tilesX() const { return tilesX_; }
+  long tilesY() const { return tilesY_; }
+  long tileCount() const { return tilesX_ * tilesY_; }
+
+ private:
+  /// Cell range [x0,x1) x [y0,y1) owned by one tile.
+  struct TileExtent {
+    long x0 = 0, x1 = 0, y0 = 0, y1 = 0;
+  };
+  TileExtent extentOf(long tile) const;
+
+  /// Stable counting sort of particle indices by owning tile (key:
+  /// floor(xs), floor(ys)). Fills offsets_/perm_; throws ContractError if
+  /// any position (z included — it doesn't affect the tile key but an
+  /// unwrapped z would scatter outside the padded column) lies outside
+  /// [0, n).
+  void binParticles(const std::vector<double>& xs,
+                    const std::vector<double>& ys,
+                    const std::vector<double>& zs);
+
+  /// Base pointer of component `comp` (0..2) of tile `tile`.
+  double* tileComponent(long tile, int comp) {
+    return store_.data() +
+           static_cast<std::size_t>((tile * 3 + comp) * tileStride_);
+  }
+  const double* tileComponent(long tile, int comp) const {
+    return store_.data() +
+           static_cast<std::size_t>((tile * 3 + comp) * tileStride_);
+  }
+
+  /// Serially add `comp` of every non-empty tile into `dst` in ascending
+  /// tile order (the determinism-critical step), wrapping halo cells.
+  void reduceComponent(Field3& dst, int comp) const;
+
+  GridSpec grid_;
+  long edgeX_ = 0, edgeY_ = 0;    ///< owned tile extent (clamped to grid)
+  long tilesX_ = 0, tilesY_ = 0;  ///< tile grid shape
+  long padX_ = 0, padY_ = 0, padZ_ = 0;  ///< padded accumulator extents
+  long tileStride_ = 0;                  ///< padX_ * padY_ * padZ_
+  /// Accumulators, [tile][component][padX_ x padY_ x padZ_] row-major.
+  std::vector<double> store_;
+  /// Precomputed periodic wrap of padded z index -> global z index.
+  std::vector<long> wrapZ_;
+
+  // Binning scratch (grow-only, reused across calls).
+  std::vector<std::int32_t> tileOf_;   ///< particle -> tile id
+  std::vector<std::uint32_t> perm_;    ///< tile-sorted particle indices
+  std::vector<std::size_t> offsets_;   ///< tile -> [begin, end) into perm_
+  std::vector<std::size_t> cursor_;    ///< counting-sort write heads
+};
+
+}  // namespace artsci::pic

@@ -6,6 +6,12 @@
 /// per-rank mailboxes; current deposition near slab boundaries overlaps
 /// into the neighbour slab (the halo), handled by atomic accumulation.
 ///
+/// Determinism: unlike the single-rank Simulation (whose tiled deposition
+/// is bit-reproducible across thread counts, see pic/deposit_buffer.hpp),
+/// the cross-rank halo overlap here commits atomic float adds in rank
+/// arrival order, so halo cells are *not* bit-reproducible across runs —
+/// see docs/ARCHITECTURE.md's invariant table.
+///
 /// The Fig 4 bench measures this driver's weak scaling: FOM vs ranks with
 /// the grid grown proportionally.
 #pragma once
@@ -21,12 +27,13 @@ class DistributedSimulation {
  public:
   struct Config {
     GridSpec grid;
-    double dt = 0.05;
-    std::size_t ranks = 2;
+    double dt = 0.05;        ///< 1/omega_pe units; must satisfy CFL
+    std::size_t ranks = 2;   ///< slab count; requires grid.nx >= ranks
   };
 
   explicit DistributedSimulation(Config cfg);
 
+  /// Register a species; returns its index (shared by all ranks).
   std::size_t addSpecies(const SpeciesInfo& info);
 
   /// Stage particles for the whole domain (any rank's slab); distribute()
@@ -38,11 +45,14 @@ class DistributedSimulation {
   void run(long steps);
 
   const GridSpec& grid() const { return cfg_.grid; }
+  /// Number of rank slabs (thread-team size during run()).
   std::size_t ranks() const { return cfg_.ranks; }
   const VectorField& fieldE() const { return E_; }
   const VectorField& fieldB() const { return B_; }
   const FieldSolver& solver() const { return solver_; }
+  /// Number of completed steps.
   long stepIndex() const { return step_; }
+  /// Accumulated FOM work counters (wall-clock dependent).
   const FomCounters& fom() const { return fom_; }
 
   /// Concatenate all ranks' particles of one species (diagnostics).

@@ -20,11 +20,14 @@ namespace artsci::pic {
 
 /// Grid extent in cells plus the (uniform) cell size in plasma units.
 struct GridSpec {
-  long nx = 16, ny = 16, nz = 16;
-  double dx = 0.2, dy = 0.2, dz = 0.2;
+  long nx = 16, ny = 16, nz = 16;     ///< cells per axis (all > 0)
+  double dx = 0.2, dy = 0.2, dz = 0.2;  ///< cell size in c/omega_pe
 
+  /// Total number of cells (nx * ny * nz).
   long cellCount() const { return nx * ny * nz; }
+  /// Volume of one cell in (c/omega_pe)^3.
   double cellVolume() const { return dx * dy * dz; }
+  /// Physical box extent per axis.
   Vec3d extent() const { return {nx * dx, ny * dy, nz * dz}; }
 };
 
@@ -63,8 +66,11 @@ class Field3 {
     return (i * ny_ + j) * nz_ + k;
   }
 
+  /// Set every element to `v`.
   void fill(double v) { std::fill(data_.begin(), data_.end(), v); }
 
+  /// Underlying storage, row-major with z fastest (for I/O and bitwise
+  /// comparisons in the determinism tests).
   std::vector<double>& raw() { return data_; }
   const std::vector<double>& raw() const { return data_; }
 
@@ -75,6 +81,7 @@ class Field3 {
     return s;
   }
 
+  /// Periodic wrap of index `i` into [0, n); n must be > 0.
   static long wrap(long i, long n) {
     i %= n;
     return i < 0 ? i + n : i;
@@ -87,17 +94,20 @@ class Field3 {
 
 /// A vector field: three staggered components.
 struct VectorField {
-  Field3 x, y, z;
+  Field3 x, y, z;  ///< per-component scalar fields (Yee-staggered)
 
   VectorField() = default;
+  /// Allocate all three components on `g`'s extent, zero-initialized.
   explicit VectorField(const GridSpec& g)
       : x(g.nx, g.ny, g.nz), y(g.nx, g.ny, g.nz), z(g.nx, g.ny, g.nz) {}
 
+  /// Set every element of every component to `v`.
   void fill(double v) {
     x.fill(v);
     y.fill(v);
     z.fill(v);
   }
+  /// 1/2 sum |F|^2 over all nodes (caller multiplies by cell volume).
   double energy() const {
     // 1/2 integral of |F|^2, caller multiplies by cell volume.
     return 0.5 * (x.sumSquares() + y.sumSquares() + z.sumSquares());

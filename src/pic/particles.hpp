@@ -23,9 +23,9 @@ namespace artsci::pic {
 
 /// Physical species parameters in normalized units (electron: q=-1, m=1).
 struct SpeciesInfo {
-  double charge = -1.0;
-  double mass = 1.0;
-  const char* name = "e";
+  double charge = -1.0;    ///< charge in units of e
+  double mass = 1.0;       ///< mass in units of m_e
+  const char* name = "e";  ///< label for logs/openPMD records
 };
 
 /// SoA particle container.
@@ -34,10 +34,13 @@ class ParticleBuffer {
   ParticleBuffer() = default;
   explicit ParticleBuffer(SpeciesInfo info) : info_(info) {}
 
+  /// Number of particles stored.
   std::size_t size() const { return x.size(); }
   bool empty() const { return x.empty(); }
 
+  /// Reserve capacity for `n` particles in every SoA column.
   void reserve(std::size_t n);
+  /// Drop all particles (capacity kept).
   void clear();
 
   /// Append one particle; position in cell units, momentum u = gamma beta.

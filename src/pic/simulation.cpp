@@ -13,6 +13,8 @@ Simulation::Simulation(SimulationConfig cfg)
   const double cfl = solver_.cflNumber(cfg_.dt);
   ARTSCI_EXPECTS_MSG(cfl < 1.0, "CFL violation: dt=" << cfg_.dt
                                                      << " gives CFL " << cfl);
+  if (cfg_.depositMode == DepositMode::Tiled)
+    depositBuffer_ = std::make_unique<DepositBuffer>(cfg_.grid);
 }
 
 std::size_t Simulation::addSpecies(const SpeciesInfo& info) {
@@ -97,8 +99,10 @@ void Simulation::pushAndDeposit(std::size_t speciesIdx) {
     p.z[i] += uNew.z / gNew * dt / g.dz;
   }
 
-  // Charge-conserving deposit from the *unwrapped* displacement.
-  depositCurrent(J_, g, p, scr.oldX, scr.oldY, scr.oldZ, dt);
+  // Charge-conserving deposit from the *unwrapped* displacement (old
+  // positions are wrapped, as the tiled binning requires).
+  depositCurrent(J_, g, p, scr.oldX, scr.oldY, scr.oldZ, dt,
+                 cfg_.depositMode, depositBuffer_.get());
 
   // Periodic wrap after the deposit.
   const double lx = static_cast<double>(g.nx);

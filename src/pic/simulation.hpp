@@ -11,6 +11,7 @@
 
 #include "common/timer.hpp"
 #include "pic/deposit.hpp"
+#include "pic/deposit_buffer.hpp"
 #include "pic/fields.hpp"
 #include "pic/particles.hpp"
 
@@ -23,7 +24,9 @@ class Simulation;
 class Plugin {
  public:
   virtual ~Plugin() = default;
+  /// Stable identifier for logs and diagnostics.
   virtual const char* name() const = 0;
+  /// Called once after every completed step() with the synchronized state.
   virtual void onStepEnd(Simulation& sim) = 0;
 };
 
@@ -33,13 +36,19 @@ struct SimulationConfig {
   /// Record per-particle acceleration (d beta / dt) during the push; the
   /// far-field radiation plugin needs it (costs 3 extra arrays/species).
   bool recordBetaDot = false;
+  /// Current-deposition strategy. Tiled (default) makes a whole step —
+  /// gather, push, and field update are order-invariant already —
+  /// bit-reproducible across OMP thread counts; Atomic keeps the legacy
+  /// scatter for A/B comparison (bench/deposit_modes.cpp).
+  DepositMode depositMode = DepositMode::Tiled;
 };
 
-/// Accumulated work counters for the FOM (paper Fig 4).
+/// Accumulated work counters for the FOM (paper Fig 4). Wall-clock
+/// dependent — deliberately outside the determinism guarantees.
 struct FomCounters {
-  double particleUpdates = 0;
-  double cellUpdates = 0;
-  double seconds = 0;
+  double particleUpdates = 0;  ///< total particle pushes
+  double cellUpdates = 0;      ///< total cell updates (FDTD)
+  double seconds = 0;          ///< wall time spent in step()
 
   /// Weighted FOM in updates/s: 90% particle + 10% cell updates.
   double fom() const {
@@ -60,16 +69,23 @@ class Simulation {
   ParticleBuffer& species(std::size_t i);
   const ParticleBuffer& species(std::size_t i) const;
 
+  /// Electric field, synchronized at integer steps (mutable for setup).
   VectorField& fieldE() { return E_; }
   const VectorField& fieldE() const { return E_; }
+  /// Magnetic field, synchronized at integer steps (mutable for setup).
   VectorField& fieldB() { return B_; }
   const VectorField& fieldB() const { return B_; }
+  /// Current density deposited by the most recent step().
   const VectorField& currentJ() const { return J_; }
 
   const GridSpec& grid() const { return cfg_.grid; }
   const FieldSolver& solver() const { return solver_; }
+  /// Active deposition strategy (SimulationConfig::depositMode).
+  DepositMode depositMode() const { return cfg_.depositMode; }
   double dt() const { return cfg_.dt; }
+  /// Number of completed steps.
   long stepIndex() const { return step_; }
+  /// Simulated time in 1/omega_pe.
   double time() const { return static_cast<double>(step_) * cfg_.dt; }
 
   void addPlugin(std::shared_ptr<Plugin> plugin);
@@ -95,6 +111,8 @@ class Simulation {
 
   SimulationConfig cfg_;
   FieldSolver solver_;
+  /// Tile accumulators reused every step (allocated only in Tiled mode).
+  std::unique_ptr<DepositBuffer> depositBuffer_;
   VectorField E_, B_, J_;
   std::vector<ParticleBuffer> species_;
   std::vector<std::shared_ptr<Plugin>> plugins_;

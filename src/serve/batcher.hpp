@@ -20,8 +20,11 @@
 
 namespace artsci::serve {
 
+/// The two service endpoints: forward surrogate (cloud -> spectrum) and
+/// inverse problem (spectrum -> posterior point-cloud draw).
 enum class Endpoint { kPredictSpectrum, kInvertSpectrum };
 
+/// Human-readable endpoint label for logs and metrics reports.
 inline const char* endpointName(Endpoint e) {
   return e == Endpoint::kPredictSpectrum ? "PredictSpectrum" : "InvertSpectrum";
 }
@@ -85,7 +88,9 @@ class MicroBatcher {
   /// Remove and return everything still queued (for the reject path).
   std::vector<PendingRequest> takePending();
 
+  /// Current queue depth (requests not yet batched out).
   std::size_t depth() const;
+  /// True once stop() was called.
   bool stopped() const;
   const BatchPolicy& policy() const { return policy_; }
 

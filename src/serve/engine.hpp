@@ -43,8 +43,11 @@ class InferenceEngine {
   void predictSpectra(const ml::Real* clouds, long batch, long points,
                       ml::Real* out);
 
+  /// Output spectrum length per sample.
   long spectrumDim() const { return spectrumDim_; }
+  /// INN latent width (the VAE latent dimension).
   long latentDim() const { return latentDim_; }
+  /// The bound immutable snapshot.
   const std::shared_ptr<const core::ArtificialScientistModel>& model() const {
     return model_;
   }
