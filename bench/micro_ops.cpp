@@ -2,9 +2,24 @@
 /// stack: tensor ops, the losses of Eq.(1), the PIC inner loops and the
 /// radiation kernel. These guard against performance regressions in the
 /// substrate and calibrate the bench harness constants.
+///
+/// Besides the google-benchmark suite, `--acceptance[=ratio]` runs a
+/// self-contained GEMM acceptance gate: ml::matmul forward+backward (the
+/// shared blocked kernels of ml/kernels/gemm.hpp) must beat the naive
+/// triple-loop reference by the given factor (default 2.5x; the local
+/// target in ROADMAP is 3x). `--json <path>` writes the measurement as a
+/// JSON document (CI uploads it as the BENCH_micro_ops artifact).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
+#include "common/timer.hpp"
 #include "ml/coupling.hpp"
 #include "ml/layers.hpp"
 #include "ml/losses.hpp"
@@ -18,6 +33,50 @@ using namespace artsci::ml;
 
 namespace {
 
+// --- naive GEMM reference --------------------------------------------------
+// The pre-kernel-library ml::matmul loops, kept verbatim (including the
+// OpenMP row parallelism) as the acceptance baseline and the BM_MatmulNaive
+// A/B partner.
+
+void naiveForward(const Real* A, const Real* B, Real* C, long M, long N,
+                  long K) {
+#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
+  for (long i = 0; i < M; ++i) {
+    Real* crow = C + i * N;
+    std::fill(crow, crow + N, Real(0));
+    for (long k = 0; k < K; ++k) {
+      const Real aik = A[i * K + k];
+      const Real* brow = B + k * N;
+      for (long j = 0; j < N; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void naiveBackward(const Real* A, const Real* B, const Real* G, Real* GA,
+                   Real* GB, long M, long N, long K) {
+  // dA = G * B^T
+#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
+  for (long i = 0; i < M; ++i) {
+    for (long k = 0; k < K; ++k) {
+      Real s = Real(0);
+      const Real* grow = G + i * N;
+      const Real* brow = B + k * N;
+      for (long j = 0; j < N; ++j) s += grow[j] * brow[j];
+      GA[i * K + k] += s;
+    }
+  }
+  // dB = A^T * G
+#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
+  for (long k = 0; k < K; ++k) {
+    Real* gbrow = GB + k * N;
+    for (long i = 0; i < M; ++i) {
+      const Real aik = A[i * K + k];
+      const Real* grow = G + i * N;
+      for (long j = 0; j < N; ++j) gbrow[j] += aik * grow[j];
+    }
+  }
+}
+
 void BM_Matmul(benchmark::State& state) {
   const long n = state.range(0);
   Rng rng(1);
@@ -30,6 +89,37 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulNaive(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  std::vector<Real> c(static_cast<std::size_t>(n * n));
+  for (auto _ : state) {
+    naiveForward(a.data().data(), b.data().data(), c.data(), n, n, n);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatmulNaive)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulBackward(benchmark::State& state) {
+  const long n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({n, n}, rng, 1, /*requiresGrad=*/true);
+  Tensor b = Tensor::randn({n, n}, rng, 1, /*requiresGrad=*/true);
+  for (auto _ : state) {
+    a.zeroGrad();
+    b.zeroGrad();
+    Tensor loss = sumAll(matmul(a, b));
+    loss.backward();
+    benchmark::DoNotOptimize(a.grad().data());
+  }
+  // forward + two backward products
+  state.SetItemsProcessed(state.iterations() * 3 * n * n * n);
+}
+BENCHMARK(BM_MatmulBackward)->Arg(64)->Arg(128)->Arg(256);
 
 void BM_ChamferDistance(benchmark::State& state) {
   const long n = state.range(0);
@@ -146,6 +236,138 @@ void BM_RadiationKernel(benchmark::State& state) {
 }
 BENCHMARK(BM_RadiationKernel)->Arg(256)->Arg(1024);
 
+// --- GEMM acceptance gate --------------------------------------------------
+
+struct GemmShapeSpec {
+  long M, N, K;
+};
+
+struct AcceptanceResult {
+  double naiveGflops = 0;
+  double blockedGflops = 0;
+  double ratio = 0;
+  bool pass = false;
+};
+
+/// Seconds per iteration of `body`, auto-calibrated to ~0.3 s of work.
+template <typename Fn>
+double secondsPerIter(Fn&& body) {
+  body();  // warm-up / first-touch
+  long iters = 1;
+  for (;;) {
+    Timer t;
+    for (long r = 0; r < iters; ++r) body();
+    const double s = t.seconds();
+    if (s > 0.3 || iters > (1L << 20)) return s / static_cast<double>(iters);
+    iters *= 4;
+  }
+}
+
+/// Forward + backward GF/s of the naive loops vs the blocked autograd path
+/// over the given shapes (6*M*N*K flops per iteration each).
+AcceptanceResult runGemmAcceptance(double threshold) {
+  const GemmShapeSpec shapes[] = {{256, 256, 256}, {200, 120, 72}};
+  double naiveSeconds = 0, blockedSeconds = 0, flops = 0;
+  for (const auto& s : shapes) {
+    Rng rng(1);
+    Tensor a = Tensor::randn({s.M, s.K}, rng, 1, /*requiresGrad=*/true);
+    Tensor b = Tensor::randn({s.K, s.N}, rng, 1, /*requiresGrad=*/true);
+    std::vector<Real> c(static_cast<std::size_t>(s.M * s.N));
+    std::vector<Real> g(static_cast<std::size_t>(s.M * s.N), Real(1));
+    std::vector<Real> ga(static_cast<std::size_t>(s.M * s.K));
+    std::vector<Real> gb(static_cast<std::size_t>(s.K * s.N));
+
+    naiveSeconds += secondsPerIter([&] {
+      naiveForward(a.data().data(), b.data().data(), c.data(), s.M, s.N, s.K);
+      std::fill(ga.begin(), ga.end(), Real(0));
+      std::fill(gb.begin(), gb.end(), Real(0));
+      naiveBackward(a.data().data(), b.data().data(), g.data(), ga.data(),
+                    gb.data(), s.M, s.N, s.K);
+    });
+    blockedSeconds += secondsPerIter([&] {
+      a.zeroGrad();
+      b.zeroGrad();
+      Tensor loss = sumAll(matmul(a, b));
+      loss.backward();
+    });
+    flops += 6.0 * static_cast<double>(s.M) * static_cast<double>(s.N) *
+             static_cast<double>(s.K);
+  }
+  AcceptanceResult r;
+  r.naiveGflops = flops / naiveSeconds * 1e-9;
+  r.blockedGflops = flops / blockedSeconds * 1e-9;
+  r.ratio = naiveSeconds / blockedSeconds;
+  r.pass = r.ratio >= threshold;
+  return r;
+}
+
+int acceptanceMain(double threshold, const char* jsonPath) {
+  std::printf(
+      "GEMM acceptance: ml::matmul fwd+bwd (shared blocked kernels) vs the "
+      "naive triple loop, shapes 256^3 + 200x120x72\n");
+  const AcceptanceResult r = runGemmAcceptance(threshold);
+  std::printf("  naive   : %7.2f GF/s\n", r.naiveGflops);
+  std::printf("  blocked : %7.2f GF/s\n", r.blockedGflops);
+  std::printf("acceptance (blocked >= %.2fx naive): %.2fx -> %s\n", threshold,
+              r.ratio, r.pass ? "PASS" : "FAIL");
+  if (jsonPath != nullptr) {
+    std::FILE* f = std::fopen(jsonPath, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_ops_gemm_acceptance\",\n"
+                 "  \"shapes\": [[256, 256, 256], [200, 120, 72]],\n"
+                 "  \"naive_gflops\": %.4f,\n"
+                 "  \"blocked_gflops\": %.4f,\n"
+                 "  \"ratio\": %.4f,\n"
+                 "  \"threshold\": %.4f,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 r.naiveGflops, r.blockedGflops, r.ratio, threshold,
+                 r.pass ? "true" : "false");
+    std::fclose(f);
+  }
+  return r.pass ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  double threshold = -1;
+  const char* jsonPath = nullptr;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--acceptance") == 0) {
+      threshold = 2.5;
+    } else if (std::strncmp(arg, "--acceptance=", 13) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(arg + 13, &end);
+      if (end == arg + 13 || *end != '\0' || !(threshold > 0)) {
+        std::fprintf(stderr,
+                     "invalid %s — expected --acceptance=<ratio> with "
+                     "ratio > 0 (e.g. --acceptance=2.5)\n",
+                     arg);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      jsonPath = arg + 7;
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (threshold > 0) return acceptanceMain(threshold, jsonPath);
+
+  int count = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&count, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(count, passthrough.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,301 @@
+#include "ml/kernels/gemm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace artsci::ml::kernels {
+namespace {
+
+/// GCC-on-Linux gets per-CPU clones of each hot kernel (ifunc dispatch);
+/// other toolchains and sanitized builds use the single portable version
+/// (ifunc resolvers predate sanitizer runtime init).
+#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
+    defined(__linux__) && !defined(__SANITIZE_ADDRESS__)
+#define ARTSCI_GEMM_CLONES \
+  __attribute__((target_clones("avx512f", "avx2,fma", "default")))
+#else
+#define ARTSCI_GEMM_CLONES
+#endif
+
+/// Row-chunk size of the OpenMP partition. A multiple of the 4-row
+/// register block so interior chunks never hit the tail path; the fixed
+/// chunk (rather than nthreads-derived) makes the partition — not just
+/// the result — thread-count-independent.
+constexpr long kParChunk = 32;
+
+/// Strided partial sums per dot product: lane u accumulates k = q*8 + u.
+/// One AVX-512 register of doubles / two AVX2 registers; the tail below
+/// the last full group lands in lanes 0.. in order, so the decomposition
+/// depends on K alone.
+constexpr long kDotLanes = 8;
+
+inline void activateRow(Real* c, long n, Act act) {
+  switch (act) {
+    case Act::kNone:
+      break;
+    case Act::kRelu:
+      for (long j = 0; j < n; ++j) c[j] = c[j] < 0 ? Real(0) : c[j];
+      break;
+    case Act::kLeakyRelu:
+      for (long j = 0; j < n; ++j)
+        if (c[j] < 0) c[j] *= kLeakySlope;
+      break;
+    case Act::kTanh:
+      for (long j = 0; j < n; ++j) c[j] = std::tanh(c[j]);
+      break;
+  }
+}
+
+/// Four-row, two-k block of C = A·B over `rows` rows: the row accumulators
+/// live in C; each j-sweep loads every C vector once, applies two FMAs
+/// (k and k+1), and stores it — ~8 FMAs per 10 vector memory ops versus
+/// 4 per 9 for the row-at-a-time loop, and the j-loops vectorize cleanly.
+/// The k-unroll does not reassociate: each element still accumulates
+/// strictly k-ascending from its initial value, in *every* path (4-row
+/// block, row tail, odd-K step), so blocking never changes bits.
+ARTSCI_GEMM_CLONES
+void nnBlock(const Real* __restrict a, const Real* __restrict b,
+             Real* __restrict c, long rows, long N, long K, bool accumulate) {
+  long i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const Real* a0 = a + i * K;
+    const Real* a1 = a0 + K;
+    const Real* a2 = a1 + K;
+    const Real* a3 = a2 + K;
+    Real* c0 = c + i * N;
+    Real* c1 = c0 + N;
+    Real* c2 = c1 + N;
+    Real* c3 = c2 + N;
+    if (!accumulate) {
+      for (long j = 0; j < N; ++j) {
+        c0[j] = Real(0);
+        c1[j] = Real(0);
+        c2[j] = Real(0);
+        c3[j] = Real(0);
+      }
+    }
+    long kk = 0;
+    for (; kk + 2 <= K; kk += 2) {
+      const Real* b0 = b + kk * N;
+      const Real* b1 = b0 + N;
+      const Real x00 = a0[kk], x01 = a0[kk + 1];
+      const Real x10 = a1[kk], x11 = a1[kk + 1];
+      const Real x20 = a2[kk], x21 = a2[kk + 1];
+      const Real x30 = a3[kk], x31 = a3[kk + 1];
+      for (long j = 0; j < N; ++j) {
+        const Real w0 = b0[j], w1 = b1[j];
+        c0[j] = (c0[j] + x00 * w0) + x01 * w1;
+        c1[j] = (c1[j] + x10 * w0) + x11 * w1;
+        c2[j] = (c2[j] + x20 * w0) + x21 * w1;
+        c3[j] = (c3[j] + x30 * w0) + x31 * w1;
+      }
+    }
+    if (kk < K) {
+      const Real* brow = b + kk * N;
+      const Real x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
+      for (long j = 0; j < N; ++j) {
+        const Real w = brow[j];
+        c0[j] += x0 * w;
+        c1[j] += x1 * w;
+        c2[j] += x2 * w;
+        c3[j] += x3 * w;
+      }
+    }
+  }
+  for (; i < rows; ++i) {
+    const Real* arow = a + i * K;
+    Real* crow = c + i * N;
+    if (!accumulate) std::fill(crow, crow + N, Real(0));
+    for (long kk = 0; kk < K; ++kk) {
+      const Real x = arow[kk];
+      const Real* brow = b + kk * N;
+      for (long j = 0; j < N; ++j) crow[j] += x * brow[j];
+    }
+  }
+}
+
+/// One output element of A·Bᵀ: both rows are contiguous length-K, summed
+/// into kDotLanes strided partials reduced in ascending lane order. Both
+/// the 4-row block and the tail call this same routine, so the bit
+/// pattern per element is independent of blocking and partitioning.
+/// Deliberately not cloned: it inlines into each ntBlock clone and is
+/// vectorized there under that clone's ISA.
+inline Real dotLanes(const Real* __restrict x, const Real* __restrict y,
+                     long K) {
+  Real acc[kDotLanes] = {};
+  long kk = 0;
+  for (; kk + kDotLanes <= K; kk += kDotLanes)
+    for (long u = 0; u < kDotLanes; ++u) acc[u] += x[kk + u] * y[kk + u];
+  for (long u = 0; kk < K; ++kk, ++u) acc[u] += x[kk] * y[kk];
+  Real s = Real(0);
+  for (long u = 0; u < kDotLanes; ++u) s += acc[u];
+  return s;
+}
+
+/// `rows` rows of C = A·Bᵀ. Four A rows share each streamed B row; every
+/// (i,j) element is one dotLanes() call.
+ARTSCI_GEMM_CLONES
+void ntBlock(const Real* __restrict a, const Real* __restrict b,
+             Real* __restrict c, long rows, long N, long K, bool accumulate) {
+  long i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const Real* a0 = a + i * K;
+    Real* c0 = c + i * N;
+    for (long j = 0; j < N; ++j) {
+      const Real* brow = b + j * K;
+      const Real s0 = dotLanes(a0, brow, K);
+      const Real s1 = dotLanes(a0 + K, brow, K);
+      const Real s2 = dotLanes(a0 + 2 * K, brow, K);
+      const Real s3 = dotLanes(a0 + 3 * K, brow, K);
+      if (accumulate) {
+        c0[j] += s0;
+        c0[N + j] += s1;
+        c0[2 * N + j] += s2;
+        c0[3 * N + j] += s3;
+      } else {
+        c0[j] = s0;
+        c0[N + j] = s1;
+        c0[2 * N + j] = s2;
+        c0[3 * N + j] = s3;
+      }
+    }
+  }
+  for (; i < rows; ++i) {
+    const Real* arow = a + i * K;
+    Real* crow = c + i * N;
+    for (long j = 0; j < N; ++j) {
+      const Real s = dotLanes(arow, b + j * K, K);
+      crow[j] = accumulate ? crow[j] + s : s;
+    }
+  }
+}
+
+/// `rows` rows of C = Aᵀ·B starting at A column `a` (row stride
+/// `strideA`). Same 4-row/2-k streaming block as nnBlock with strided A
+/// loads; per-element order is k ascending in every path.
+ARTSCI_GEMM_CLONES
+void tnBlock(const Real* __restrict a, const Real* __restrict b,
+             Real* __restrict c, long rows, long N, long K, long strideA,
+             bool accumulate) {
+  long i = 0;
+  for (; i + 4 <= rows; i += 4) {
+    const Real* acol = a + i;
+    Real* c0 = c + i * N;
+    Real* c1 = c0 + N;
+    Real* c2 = c1 + N;
+    Real* c3 = c2 + N;
+    if (!accumulate) {
+      for (long j = 0; j < N; ++j) {
+        c0[j] = Real(0);
+        c1[j] = Real(0);
+        c2[j] = Real(0);
+        c3[j] = Real(0);
+      }
+    }
+    long kk = 0;
+    for (; kk + 2 <= K; kk += 2) {
+      const Real* ap0 = acol + kk * strideA;
+      const Real* ap1 = ap0 + strideA;
+      const Real x00 = ap0[0], x10 = ap0[1], x20 = ap0[2], x30 = ap0[3];
+      const Real x01 = ap1[0], x11 = ap1[1], x21 = ap1[2], x31 = ap1[3];
+      const Real* b0 = b + kk * N;
+      const Real* b1 = b0 + N;
+      for (long j = 0; j < N; ++j) {
+        const Real w0 = b0[j], w1 = b1[j];
+        c0[j] = (c0[j] + x00 * w0) + x01 * w1;
+        c1[j] = (c1[j] + x10 * w0) + x11 * w1;
+        c2[j] = (c2[j] + x20 * w0) + x21 * w1;
+        c3[j] = (c3[j] + x30 * w0) + x31 * w1;
+      }
+    }
+    if (kk < K) {
+      const Real* ap = acol + kk * strideA;
+      const Real x0 = ap[0], x1 = ap[1], x2 = ap[2], x3 = ap[3];
+      const Real* brow = b + kk * N;
+      for (long j = 0; j < N; ++j) {
+        const Real w = brow[j];
+        c0[j] += x0 * w;
+        c1[j] += x1 * w;
+        c2[j] += x2 * w;
+        c3[j] += x3 * w;
+      }
+    }
+  }
+  for (; i < rows; ++i) {
+    Real* crow = c + i * N;
+    if (!accumulate) std::fill(crow, crow + N, Real(0));
+    for (long kk = 0; kk < K; ++kk) {
+      const Real x = a[kk * strideA + i];
+      const Real* brow = b + kk * N;
+      for (long j = 0; j < N; ++j) crow[j] += x * brow[j];
+    }
+  }
+}
+
+/// The serving epilogue: bias rows + activation over the GEMM result.
+/// One extra O(m·n) pass over C (which just left the register tile, so it
+/// is cache-hot) — the O(m·n·k) product itself is nnBlock, unduplicated.
+ARTSCI_GEMM_CLONES
+void biasActEpilogue(const Real* __restrict bias, Real* __restrict c, long m,
+                     long n, Act act) {
+  for (long i = 0; i < m; ++i) {
+    Real* crow = c + i * n;
+    if (bias != nullptr)
+      for (long j = 0; j < n; ++j) crow[j] += bias[j];
+    activateRow(crow, n, act);
+  }
+}
+
+}  // namespace
+
+void gemm_nn(const Real* a, const Real* b, Real* c, long M, long N, long K,
+             bool accumulate, bool parallel) {
+  if (!parallel || M <= kParChunk) {
+    nnBlock(a, b, c, M, N, K, accumulate);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (long i0 = 0; i0 < M; i0 += kParChunk)
+    nnBlock(a + i0 * K, b, c + i0 * N, std::min(kParChunk, M - i0), N, K,
+            accumulate);
+}
+
+void gemm_nt(const Real* a, const Real* b, Real* c, long M, long N, long K,
+             bool accumulate, bool parallel) {
+  if (!parallel || M <= kParChunk) {
+    ntBlock(a, b, c, M, N, K, accumulate);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (long i0 = 0; i0 < M; i0 += kParChunk)
+    ntBlock(a + i0 * K, b, c + i0 * N, std::min(kParChunk, M - i0), N, K,
+            accumulate);
+}
+
+void gemm_tn(const Real* a, const Real* b, Real* c, long M, long N, long K,
+             bool accumulate, bool parallel) {
+  if (!parallel || M <= kParChunk) {
+    tnBlock(a, b, c, M, N, K, /*strideA=*/M, accumulate);
+    return;
+  }
+#pragma omp parallel for schedule(static)
+  for (long i0 = 0; i0 < M; i0 += kParChunk)
+    tnBlock(a + i0, b, c + i0 * N, std::min(kParChunk, M - i0), N, K,
+            /*strideA=*/M, accumulate);
+}
+
+void linear_forward(const Real* a, const Real* w, const Real* bias, Real* c,
+                    long m, long k, long n, Act act) {
+  nnBlock(a, w, c, m, n, k, /*accumulate=*/false);
+  if (bias != nullptr || act != Act::kNone) biasActEpilogue(bias, c, m, n, act);
+}
+
+void colsum(const Real* g, Real* out, long m, long n, bool accumulate) {
+  if (!accumulate) std::fill(out, out + n, Real(0));
+  for (long i = 0; i < m; ++i) {
+    const Real* grow = g + i * n;
+    for (long j = 0; j < n; ++j) out[j] += grow[j];
+  }
+}
+
+}  // namespace artsci::ml::kernels

@@ -1,0 +1,67 @@
+/// \file gemm.hpp
+/// Standalone register-blocked GEMM kernel library shared by the training
+/// stack (ml/ops.cpp: matmul forward + both backward products, the fused
+/// Linear op) and the serving engine (serve/engine.cpp: fused
+/// linear+bias+activation). Deliberately dependency-free — no tensor,
+/// autograd, or logging headers — so both layers link the exact same hot
+/// loops and a unit test can drive them on raw buffers.
+///
+/// All matrices are dense row-major. Every kernel covers ragged M/N/K
+/// (tail rows/columns take a scalar path that performs the *same*
+/// per-element operation sequence as the blocked body, see below).
+///
+/// Dispatch: on GCC/x86-64/Linux (non-sanitized) each inner kernel is
+/// compiled as GCC `target_clones("avx512f","avx2,fma","default")` — the
+/// dynamic linker picks the widest ISA once at load via ifunc. Elsewhere a
+/// single portable version is built.
+///
+/// Determinism invariant (mirrors the PR 3 tiled-deposition contract):
+/// every output element's floating-point accumulation order is a function
+/// of (kernel, shape) only. The optional OpenMP path partitions output
+/// *rows* in fixed chunks with a static schedule and rows never share an
+/// accumulator, so results are bit-identical across OMP thread counts,
+/// schedules, and repeated runs — enforced by
+/// tests/ml/test_gemm_kernels.cpp at 1/2/8 threads.
+#pragma once
+
+namespace artsci::ml::kernels {
+
+/// Matches ml::Real (static_asserted where both headers meet, ml/ops.cpp).
+using Real = double;
+
+/// Epilogue activation fused into linear_forward. Enumerator order matches
+/// ml::Activation so the mapping is a checked static_cast.
+enum class Act { kNone, kRelu, kLeakyRelu, kTanh };
+
+/// The fixed leaky-ReLU slope used across the stack (ml::activate).
+inline constexpr Real kLeakySlope = 0.01;
+
+/// C[M,N] = A[M,K] · B[K,N] (accumulate=false) or += (accumulate=true).
+/// Per-element order: k ascending — identical to the naive triple loop.
+void gemm_nn(const Real* a, const Real* b, Real* c, long M, long N, long K,
+             bool accumulate, bool parallel);
+
+/// C[M,N] (+)= A[M,K] · B[N,K]ᵀ — both operands row-contiguous along the
+/// contraction axis (the grad-A product G·Bᵀ of matmul backward).
+/// Per-element order: fixed 8-lane strided partial sums over k, reduced in
+/// lane order (independent of ISA clone and of row blocking).
+void gemm_nt(const Real* a, const Real* b, Real* c, long M, long N, long K,
+             bool accumulate, bool parallel);
+
+/// C[M,N] (+)= A[K,M]ᵀ · B[K,N] — A read down its columns (the grad-B
+/// product Aᵀ·G of matmul backward). Per-element order: k ascending.
+void gemm_tn(const Real* a, const Real* b, Real* c, long M, long N, long K,
+             bool accumulate, bool parallel);
+
+/// Fused serving/inference epilogue: C[m,n] = act(A[m,k] · W[k,n] + bias);
+/// bias may be nullptr. Serial by design — serving runs one engine per
+/// worker thread. Accumulation order matches gemm_nn (k ascending, bias
+/// added last, activation applied after).
+void linear_forward(const Real* a, const Real* w, const Real* bias, Real* c,
+                    long m, long k, long n, Act act);
+
+/// out[j] (+)= sum_i g[i*n + j] — the bias gradient of a Linear layer.
+/// i ascends per column, so the result is partition-independent.
+void colsum(const Real* g, Real* out, long m, long n, bool accumulate);
+
+}  // namespace artsci::ml::kernels

@@ -43,8 +43,9 @@ Tensor Linear::forward(const Tensor& x) const {
   Shape original = x.shape();
   const bool needReshape = x.ndim() != 2;
   if (needReshape) h = reshape(h, {x.numel() / in_, in_});
-  Tensor y = matmul(h, weight_);
-  if (bias_.defined()) y = add(y, bias_);
+  // Fused matmul+bias node on the shared blocked kernels (same bits as
+  // matmul-then-add: k-ascending accumulation, bias last).
+  Tensor y = linear(h, weight_, bias_);
   if (needReshape) {
     Shape outShape = original;
     outShape.back() = out_;

@@ -3,8 +3,16 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <type_traits>
+
+#include "ml/kernels/gemm.hpp"
 
 namespace artsci::ml {
+
+// The kernel library is dependency-free and declares its own scalar type;
+// the two must agree for the raw-buffer calls below.
+static_assert(std::is_same_v<Real, kernels::Real>,
+              "ml::Real and kernels::Real diverged");
 
 namespace {
 
@@ -52,6 +60,12 @@ std::vector<Real>* gradOf(const std::shared_ptr<TensorImpl>& p) {
   if (!p->requiresGrad) return nullptr;
   p->ensureGrad();
   return &p->grad;
+}
+
+/// Work threshold above which the GEMM kernels go OpenMP row-parallel
+/// (the same gate the former naive loops used).
+inline bool gemmParallel(long M, long N, long K) {
+  return M * N * K > (1L << 16);
 }
 
 template <typename FwdOp, typename DA, typename DB>
@@ -277,53 +291,73 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
                                   << shapeToString(a.shape()) << " x "
                                   << shapeToString(b.shape()));
   Tensor out = makeResult({M, N}, {a, b}, "matmul");
-  const Real* A = a.data().data();
-  const Real* B = b.data().data();
-  Real* C = out.data().data();
-#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
-  for (long i = 0; i < M; ++i) {
-    Real* crow = C + i * N;
-    std::fill(crow, crow + N, Real(0));
-    for (long k = 0; k < K; ++k) {
-      const Real aik = A[i * K + k];
-      const Real* brow = B + k * N;
-      for (long j = 0; j < N; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  kernels::gemm_nn(a.data().data(), b.data().data(), out.data().data(), M, N,
+                   K, /*accumulate=*/false, gemmParallel(M, N, K));
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     auto pb = b.impl_;
     out.impl_->backwardFn = [pa, pb, M, K, N](TensorImpl& self) {
       const Real* G = self.grad.data();
-      // dA = G * B^T
-      if (auto* ga = gradOf(pa)) {
-        const Real* B2 = pb->data.data();
-        Real* GA = ga->data();
-#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
-        for (long i = 0; i < M; ++i) {
-          for (long k = 0; k < K; ++k) {
-            Real s = Real(0);
-            const Real* grow = G + i * N;
-            const Real* brow = B2 + k * N;
-            for (long j = 0; j < N; ++j) s += grow[j] * brow[j];
-            GA[i * K + k] += s;
-          }
-        }
-      }
-      // dB = A^T * G
-      if (auto* gb = gradOf(pb)) {
-        const Real* A2 = pa->data.data();
-        Real* GB = gb->data();
-#pragma omp parallel for schedule(static) if (M * N * K > (1L << 16))
-        for (long k = 0; k < K; ++k) {
-          Real* gbrow = GB + k * N;
-          for (long i = 0; i < M; ++i) {
-            const Real aik = A2[i * K + k];
-            const Real* grow = G + i * N;
-            for (long j = 0; j < N; ++j) gbrow[j] += aik * grow[j];
-          }
-        }
-      }
+      const bool par = gemmParallel(M, N, K);
+      // dA[M,K] += G[M,N] · B[K,N]ᵀ
+      if (auto* ga = gradOf(pa))
+        kernels::gemm_nt(G, pb->data.data(), ga->data(), M, K, N,
+                         /*accumulate=*/true, par);
+      // dB[K,N] += A[M,K]ᵀ · G[M,N]
+      if (auto* gb = gradOf(pb))
+        kernels::gemm_tn(pa->data.data(), G, gb->data(), K, N, M,
+                         /*accumulate=*/true, par);
+    };
+  }
+  return out;
+}
+
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  ARTSCI_EXPECTS_MSG(x.ndim() == 2 && w.ndim() == 2,
+                     "linear expects 2D tensors, got "
+                         << shapeToString(x.shape()) << " x "
+                         << shapeToString(w.shape()));
+  const long M = x.dim(0), K = x.dim(1), N = w.dim(1);
+  ARTSCI_EXPECTS_MSG(w.dim(0) == K, "linear inner dims mismatch: "
+                                        << shapeToString(x.shape()) << " x "
+                                        << shapeToString(w.shape()));
+  const bool hasBias = bias.defined();
+  if (hasBias)
+    ARTSCI_EXPECTS_MSG(bias.ndim() == 1 && bias.dim(0) == N,
+                       "linear bias must be [" << N << "], got "
+                                               << shapeToString(bias.shape()));
+  Tensor out = hasBias ? makeResult({M, N}, {x, w, bias}, "linear")
+                       : makeResult({M, N}, {x, w}, "linear");
+  const bool par = gemmParallel(M, N, K);
+  Real* C = out.data().data();
+  kernels::gemm_nn(x.data().data(), w.data().data(), C, M, N, K,
+                   /*accumulate=*/false, par);
+  if (hasBias) {
+    // Bias rides after the k-accumulation, exactly like matmul+add did —
+    // per-element bit pattern is unchanged by the fusion.
+    const Real* bptr = bias.data().data();
+#pragma omp parallel for schedule(static) if (par)
+    for (long i = 0; i < M; ++i) {
+      Real* crow = C + i * N;
+      for (long j = 0; j < N; ++j) crow[j] += bptr[j];
+    }
+  }
+  if (out.requiresGrad()) {
+    auto px = x.impl_;
+    auto pw = w.impl_;
+    auto pb = hasBias ? bias.impl_ : nullptr;
+    out.impl_->backwardFn = [px, pw, pb, M, K, N](TensorImpl& self) {
+      const Real* G = self.grad.data();
+      const bool par2 = gemmParallel(M, N, K);
+      if (auto* gx = gradOf(px))
+        kernels::gemm_nt(G, pw->data.data(), gx->data(), M, K, N,
+                         /*accumulate=*/true, par2);
+      if (auto* gw = gradOf(pw))
+        kernels::gemm_tn(px->data.data(), G, gw->data(), K, N, M,
+                         /*accumulate=*/true, par2);
+      if (pb)
+        if (auto* gb = gradOf(pb))
+          kernels::colsum(G, gb->data(), M, N, /*accumulate=*/true);
     };
   }
   return out;

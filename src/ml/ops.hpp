@@ -46,8 +46,17 @@ Tensor reciprocal(const Tensor& a);
 Tensor softplus(const Tensor& a);
 
 // --- linear algebra --------------------------------------------------------
-/// Matrix product [M,K] x [K,N] -> [M,N]; OpenMP-parallel over rows.
+/// Matrix product [M,K] x [K,N] -> [M,N]. Forward and both backward
+/// products run on the shared register-blocked SIMD kernels
+/// (ml/kernels/gemm.hpp); the OpenMP path partitions output rows with a
+/// fixed static chunking, so results are bit-identical across thread
+/// counts.
 Tensor matmul(const Tensor& a, const Tensor& b);
+/// Fused linear layer x[rows,in] · w[in,out] (+ bias[out]) -> [rows,out]:
+/// one graph node instead of matmul+add, on the same shared kernels.
+/// `bias` may be an undefined Tensor (no-bias layer). This is the training
+/// hot path — ml::Linear routes through it.
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias);
 /// [M,N] -> [N,M].
 Tensor transpose2d(const Tensor& a);
 

@@ -3,112 +3,28 @@
 #include <algorithm>
 #include <cmath>
 
+#include "ml/kernels/gemm.hpp"
+
 namespace artsci::serve {
 
 namespace detail {
-namespace {
 
-/// Matches ml::activate()/the encoder's fixed leaky slope.
-constexpr ml::Real kLeakySlope = 0.01;
-
-/// GCC-on-Linux gets per-CPU clones of the hot kernel (ifunc dispatch);
-/// other toolchains and sanitized builds use the single portable version
-/// (ifunc resolvers predate sanitizer runtime init).
-#if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
-    defined(__linux__) && !defined(__SANITIZE_ADDRESS__)
-#define ARTSCI_SERVE_CLONES \
-  __attribute__((target_clones("avx512f", "avx2,fma", "default")))
-#else
-#define ARTSCI_SERVE_CLONES
-#endif
-
-using ml::Activation;
-using ml::Real;
-
-inline void activateRow(Real* c, long n, Activation act) {
-  switch (act) {
-    case Activation::kNone:
-      break;
-    case Activation::kRelu:
-      for (long j = 0; j < n; ++j) c[j] = c[j] < 0 ? Real(0) : c[j];
-      break;
-    case Activation::kLeakyRelu:
-      for (long j = 0; j < n; ++j)
-        if (c[j] < 0) c[j] *= kLeakySlope;
-      break;
-    case Activation::kTanh:
-      for (long j = 0; j < n; ++j) c[j] = std::tanh(c[j]);
-      break;
-  }
-}
-
-/// Four-row block: the row accumulators live in C while the k-loop streams
-/// the shared W row once per four rows of A — ~4x the arithmetic intensity
-/// of a row-at-a-time loop, and the j-loops vectorize cleanly.
-ARTSCI_SERVE_CLONES
-void linearForwardImpl(const Real* __restrict a, const Real* __restrict w,
-                       const Real* __restrict bias, Real* __restrict c,
-                       long m, long k, long n, Activation act) {
-  long i = 0;
-  for (; i + 4 <= m; i += 4) {
-    const Real* a0 = a + i * k;
-    const Real* a1 = a0 + k;
-    const Real* a2 = a1 + k;
-    const Real* a3 = a2 + k;
-    Real* c0 = c + i * n;
-    Real* c1 = c0 + n;
-    Real* c2 = c1 + n;
-    Real* c3 = c2 + n;
-    for (long j = 0; j < n; ++j) {
-      c0[j] = Real(0);
-      c1[j] = Real(0);
-      c2[j] = Real(0);
-      c3[j] = Real(0);
-    }
-    for (long kk = 0; kk < k; ++kk) {
-      const Real* wrow = w + kk * n;
-      const Real x0 = a0[kk], x1 = a1[kk], x2 = a2[kk], x3 = a3[kk];
-      for (long j = 0; j < n; ++j) {
-        const Real b = wrow[j];
-        c0[j] += x0 * b;
-        c1[j] += x1 * b;
-        c2[j] += x2 * b;
-        c3[j] += x3 * b;
-      }
-    }
-    if (bias != nullptr) {
-      for (long j = 0; j < n; ++j) {
-        c0[j] += bias[j];
-        c1[j] += bias[j];
-        c2[j] += bias[j];
-        c3[j] += bias[j];
-      }
-    }
-    activateRow(c0, n, act);
-    activateRow(c1, n, act);
-    activateRow(c2, n, act);
-    activateRow(c3, n, act);
-  }
-  for (; i < m; ++i) {
-    Real* crow = c + i * n;
-    const Real* arow = a + i * k;
-    for (long j = 0; j < n; ++j) crow[j] = Real(0);
-    for (long kk = 0; kk < k; ++kk) {
-      const Real x = arow[kk];
-      const Real* wrow = w + kk * n;
-      for (long j = 0; j < n; ++j) crow[j] += x * wrow[j];
-    }
-    if (bias != nullptr)
-      for (long j = 0; j < n; ++j) crow[j] += bias[j];
-    activateRow(crow, n, act);
-  }
-}
-
-}  // namespace
+// The kernel library fuses the activation epilogue itself; the dispatch
+// below is a static_cast, so the enum layouts must stay in lockstep.
+static_assert(static_cast<int>(ml::Activation::kNone) ==
+                  static_cast<int>(ml::kernels::Act::kNone) &&
+              static_cast<int>(ml::Activation::kRelu) ==
+                  static_cast<int>(ml::kernels::Act::kRelu) &&
+              static_cast<int>(ml::Activation::kLeakyRelu) ==
+                  static_cast<int>(ml::kernels::Act::kLeakyRelu) &&
+              static_cast<int>(ml::Activation::kTanh) ==
+                  static_cast<int>(ml::kernels::Act::kTanh),
+              "ml::Activation and kernels::Act layouts diverged");
 
 void linearForward(const ml::Real* a, const ml::Real* w, const ml::Real* bias,
                    ml::Real* c, long m, long k, long n, ml::Activation act) {
-  linearForwardImpl(a, w, bias, c, m, k, n, act);
+  ml::kernels::linear_forward(a, w, bias, c, m, k, n,
+                              static_cast<ml::kernels::Act>(act));
 }
 
 }  // namespace detail

@@ -24,9 +24,11 @@ namespace artsci::serve {
 
 namespace detail {
 /// C[m,n] = act(A[m,k] · W[k,n] + bias[n]); bias may be nullptr.
-/// Row-blocked kernel, dispatched at runtime to the widest SIMD the CPU
-/// has (GCC target_clones; plain build elsewhere). Accumulation order per
-/// output element matches ml::matmul (k ascending, bias added last).
+/// Thin adaptor over the shared kernel library's fused epilogue
+/// (ml/kernels/gemm.hpp::linear_forward) — the exact same register-blocked,
+/// runtime-SIMD-dispatched loops that ml::matmul / ml::linear train with.
+/// Accumulation order per output element matches ml::matmul (k ascending,
+/// bias added last).
 void linearForward(const ml::Real* a, const ml::Real* w, const ml::Real* bias,
                    ml::Real* c, long m, long k, long n, ml::Activation act);
 }  // namespace detail
