@@ -1,0 +1,200 @@
+/// Particle-pipeline A/B benchmark: the legacy split particle update
+/// (scalar wrapped gather + push sweep, re-binning tiled deposit, wrap
+/// sweep) vs the supercell-fused single pass (pic/fused_pipeline.hpp),
+/// on the quick-demo KHI box (32x64x8, 9 ppc, the paper's reduced setup).
+/// The figure of merit is particle updates per second over whole
+/// Simulation::step() calls — the paper's dominant FOM term.
+///
+/// Also verifies the A/B contract on the way: after the timed steps the
+/// two pipelines' E/B/J fields must be bit-identical.
+///
+///   ./bench/bench_particle_pipeline [--acceptance[=ratio]]
+///                                   [--json <path>] [steps] [repeats]
+///
+/// --acceptance gates fused >= ratio x split (default 1.5) at 8 threads
+/// and exits nonzero on failure; --json writes the measurement (CI
+/// uploads it as the BENCH_particle_pipeline artifact).
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+
+#include "common/timer.hpp"
+#include "pic/khi.hpp"
+#include "pic/simulation.hpp"
+
+using namespace artsci;
+using pic::ParticlePipeline;
+
+namespace {
+
+std::unique_ptr<pic::Simulation> makeKhi(ParticlePipeline pipeline) {
+  pic::KhiConfig kcfg;  // quick-demo box 32x64x8, 9 ppc
+  pic::SimulationConfig scfg;
+  scfg.grid = kcfg.grid;
+  scfg.dt = kcfg.dt;
+  scfg.pipeline = pipeline;
+  auto sim = std::make_unique<pic::Simulation>(scfg);
+  pic::initializeKhi(*sim, kcfg);
+  return sim;
+}
+
+/// Best-of-`repeats` particle updates/s over `steps` full step() calls.
+/// A fresh simulation per repeat keeps the workloads identical (same
+/// start state, same trajectory) across pipelines and repeats.
+double particleUpdateRate(ParticlePipeline pipeline, int steps, int repeats) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    auto sim = makeKhi(pipeline);
+    sim->step();  // warm-up: first-touch of tile stores and caches
+    const double updates =
+        static_cast<double>(sim->particleCount()) * steps;
+    Timer timer;
+    sim->run(steps);
+    best = std::max(best, updates / timer.seconds());
+  }
+  return best;
+}
+
+bool fieldsBitIdentical(const pic::Simulation& a, const pic::Simulation& b) {
+  const auto same = [](const pic::Field3& x, const pic::Field3& y) {
+    return x.raw().size() == y.raw().size() &&
+           std::memcmp(x.raw().data(), y.raw().data(),
+                       x.raw().size() * sizeof(double)) == 0;
+  };
+  const auto sameVec = [&](const pic::VectorField& x,
+                           const pic::VectorField& y) {
+    return same(x.x, y.x) && same(x.y, y.y) && same(x.z, y.z);
+  };
+  return sameVec(a.fieldE(), b.fieldE()) && sameVec(a.fieldB(), b.fieldB()) &&
+         sameVec(a.currentJ(), b.currentJ());
+}
+
+void setThreads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold = -1;
+  const char* jsonPath = nullptr;
+  int steps = 6, repeats = 3;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--acceptance") == 0) {
+      threshold = 1.5;
+    } else if (std::strncmp(arg, "--acceptance=", 13) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(arg + 13, &end);
+      if (end == arg + 13 || *end != '\0' || !(threshold > 0)) {
+        std::fprintf(stderr,
+                     "invalid %s — expected --acceptance=<ratio> with "
+                     "ratio > 0 (e.g. --acceptance=1.5)\n",
+                     arg);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      jsonPath = arg + 7;
+    } else if (arg[0] == '-') {
+      // A typo'd flag must not silently become steps=0 and disable the
+      // gate (exit like the --acceptance parse error does).
+      std::fprintf(stderr,
+                   "unknown option %s — usage: bench_particle_pipeline "
+                   "[--acceptance[=ratio]] [--json <path>] "
+                   "[steps] [repeats]\n",
+                   arg);
+      return 2;
+    } else {
+      (positional == 0 ? steps : repeats) = std::atoi(arg);
+      ++positional;
+    }
+  }
+  if (steps < 1 || repeats < 1) {
+    std::fprintf(stderr, "steps and repeats must be >= 1\n");
+    return 2;
+  }
+
+#ifdef _OPENMP
+  const bool haveOmp = true;
+#else
+  const bool haveOmp = false;
+#endif
+  std::printf(
+      "particle-pipeline A/B: quick-demo KHI 32x64x8 ppc 9, %d steps, "
+      "best of %d%s\n",
+      steps, repeats, haveOmp ? "" : " (no OpenMP: serial only)");
+
+  // A/B contract check first (1 thread is enough — both paths are
+  // thread-count invariant): fields bit-identical after 3 steps.
+  setThreads(1);
+  bool identical;
+  {
+    auto split = makeKhi(ParticlePipeline::Split);
+    auto fused = makeKhi(ParticlePipeline::Fused);
+    split->run(3);
+    fused->run(3);
+    identical = fieldsBitIdentical(*split, *fused);
+  }
+  std::printf("fused vs split E/B/J after 3 steps: %s\n\n",
+              identical ? "bit-identical" : "MISMATCH");
+
+  std::printf("%8s | %14s %14s | %8s\n", "threads", "split p/s", "fused p/s",
+              "fused/x");
+  double gateRatio = 0.0;
+  const int gateThreads = haveOmp ? 8 : 1;
+  for (int threads : {1, 2, 8}) {
+    if (!haveOmp && threads > 1) continue;
+    setThreads(threads);
+    const double splitRate =
+        particleUpdateRate(ParticlePipeline::Split, steps, repeats);
+    const double fusedRate =
+        particleUpdateRate(ParticlePipeline::Fused, steps, repeats);
+    const double ratio = fusedRate / splitRate;
+    std::printf("%8d | %14.3e %14.3e | %7.2fx\n", threads, splitRate,
+                fusedRate, ratio);
+    if (threads == gateThreads) gateRatio = ratio;
+  }
+
+  const double gate = threshold > 0 ? threshold : 1.5;
+  const bool pass = identical && gateRatio >= gate;
+  std::printf(
+      "\nacceptance (bit-identical A/B, fused >= %.2fx split @ %d "
+      "threads): %.2fx -> %s\n",
+      gate, gateThreads, gateRatio, pass ? "PASS" : "FAIL");
+
+  if (jsonPath != nullptr) {
+    std::FILE* f = std::fopen(jsonPath, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"particle_pipeline_acceptance\",\n"
+                 "  \"setup\": \"khi_quick_demo_32x64x8_ppc9\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"steps\": %d,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"ratio\": %.4f,\n"
+                 "  \"threshold\": %.4f,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 gateThreads, steps, identical ? "true" : "false", gateRatio,
+                 gate, pass ? "true" : "false");
+    std::fclose(f);
+  }
+  if (threshold > 0) return pass ? 0 : 1;
+  return identical ? 0 : 1;
+}

@@ -7,13 +7,23 @@
 /// Acceptance target: served throughput at max-batch 32 >= 5x the
 /// single-request (batch 1) baseline.
 ///
+/// Also reports the fused engine's intra-request OpenMP scaling: the
+/// batch-32 predictSpectra loop routes linear_forward over fixed 32-row
+/// static chunks (ml/kernels/gemm.hpp), so multi-core hosts speed up a
+/// single batch with bit-identical results.
+///
 ///   ./bench/bench_serve_throughput [requests=768] [points=128] [repeats=3]
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include <cstdio>
 #include <vector>
 
 #include "common/config.hpp"
 #include "common/timer.hpp"
 #include "core/model.hpp"
+#include "serve/engine.hpp"
 #include "serve/server.hpp"
 
 using namespace artsci;
@@ -106,6 +116,42 @@ int main(int argc, char** argv) {
       if (maxBatch == 32 && workers == 1) served32w1 = best;
     }
   }
+
+  // --- Engine OpenMP row-parallelism: one batch-32 forward ---------------
+#ifdef _OPENMP
+  {
+    serve::InferenceEngine::Options opts;
+    opts.ompRowParallel = true;
+    serve::InferenceEngine engine(snapshot, opts);
+    const long batch = 32;
+    std::vector<ml::Real> clouds(static_cast<std::size_t>(batch) *
+                                 static_cast<std::size_t>(points) * 6);
+    Rng crng(2);
+    for (auto& v : clouds) v = crng.normal();
+    std::vector<ml::Real> out(
+        static_cast<std::size_t>(batch * engine.spectrumDim()));
+    const int savedThreads = omp_get_max_threads();
+    std::printf("\nfused engine, one batch-32 predictSpectra "
+                "(OMP row chunks):\n");
+    double oneThread = 0;
+    for (int threads : {1, 2, 4, 8}) {
+      if (threads > 1 && threads > savedThreads) continue;
+      omp_set_num_threads(threads);
+      engine.predictSpectra(clouds.data(), batch, points, out.data());
+      double best = 0;
+      for (int r = 0; r < repeats; ++r) {
+        Timer timer;
+        for (int it = 0; it < 50; ++it)
+          engine.predictSpectra(clouds.data(), batch, points, out.data());
+        best = std::max(best, 50.0 * batch / timer.seconds());
+      }
+      if (threads == 1) oneThread = best;
+      std::printf("  %2d threads: %9.0f samples/s (%.2fx vs 1 thread)\n",
+                  threads, best, best / oneThread);
+    }
+    omp_set_num_threads(savedThreads);
+  }
+#endif
 
   const double speedup = served32w1 / baseline;
   std::printf("\nbatched throughput (maxBatch 32, 1 worker) vs "

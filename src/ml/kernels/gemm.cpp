@@ -285,9 +285,22 @@ void gemm_tn(const Real* a, const Real* b, Real* c, long M, long N, long K,
 }
 
 void linear_forward(const Real* a, const Real* w, const Real* bias, Real* c,
-                    long m, long k, long n, Act act) {
-  nnBlock(a, w, c, m, n, k, /*accumulate=*/false);
-  if (bias != nullptr || act != Act::kNone) biasActEpilogue(bias, c, m, n, act);
+                    long m, long k, long n, Act act, bool parallel) {
+  const bool epilogue = bias != nullptr || act != Act::kNone;
+  if (!parallel || m <= kParChunk) {
+    nnBlock(a, w, c, m, n, k, /*accumulate=*/false);
+    if (epilogue) biasActEpilogue(bias, c, m, n, act);
+    return;
+  }
+  // Same fixed-chunk partition as gemm_nn; the epilogue rides in the
+  // chunk while C is still cache-hot. Per-row results are independent of
+  // the row blocking, so this is bit-identical to the serial path.
+#pragma omp parallel for schedule(static)
+  for (long i0 = 0; i0 < m; i0 += kParChunk) {
+    const long rows = std::min(kParChunk, m - i0);
+    nnBlock(a + i0 * k, w, c + i0 * n, rows, n, k, /*accumulate=*/false);
+    if (epilogue) biasActEpilogue(bias, c + i0 * n, rows, n, act);
+  }
 }
 
 void colsum(const Real* g, Real* out, long m, long n, bool accumulate) {

@@ -54,11 +54,14 @@ void gemm_tn(const Real* a, const Real* b, Real* c, long M, long N, long K,
              bool accumulate, bool parallel);
 
 /// Fused serving/inference epilogue: C[m,n] = act(A[m,k] · W[k,n] + bias);
-/// bias may be nullptr. Serial by design — serving runs one engine per
-/// worker thread. Accumulation order matches gemm_nn (k ascending, bias
-/// added last, activation applied after).
+/// bias may be nullptr. Accumulation order matches gemm_nn (k ascending,
+/// bias added last, activation applied after). With parallel=true the
+/// row loop runs over the same fixed 32-row static OpenMP chunks as the
+/// gemm_* kernels — rows never share an accumulator and the per-row op
+/// sequence is partition-independent, so results stay bit-identical
+/// across thread counts (and to the serial path).
 void linear_forward(const Real* a, const Real* w, const Real* bias, Real* c,
-                    long m, long k, long n, Act act);
+                    long m, long k, long n, Act act, bool parallel = false);
 
 /// out[j] (+)= sum_i g[i*n + j] — the bias gradient of a Linear layer.
 /// i ascends per column, so the result is partition-independent.

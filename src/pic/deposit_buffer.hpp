@@ -54,6 +54,11 @@ struct TileDepositConfig {
 /// concurrent depositing driver (it is itself internally OpenMP-parallel).
 /// Steady-state callers (Simulation) keep one instance alive across steps
 /// so no allocation happens in the hot loop.
+///
+/// Binning is a SupercellIndex with full-z tile columns (one stable
+/// counting sort shared with the supercell sort of the fused pipeline);
+/// the fused pipeline scatters into the same accumulators through
+/// zeroedTile()/reduce() below instead of calling depositCurrent.
 class DepositBuffer {
  public:
   /// Halo width in cells around each tile's owned region, per axis and
@@ -81,22 +86,85 @@ class DepositBuffer {
   void depositCharge(Field3& rho, const ParticleBuffer& buffer);
 
   const GridSpec& grid() const { return grid_; }
-  long tilesX() const { return tilesX_; }
-  long tilesY() const { return tilesY_; }
-  long tileCount() const { return tilesX_ * tilesY_; }
+  long tilesX() const { return bins_.tilesX(); }
+  long tilesY() const { return bins_.tilesY(); }
+  long tileCount() const { return bins_.tileCount(); }
+  long tileEdgeX() const { return bins_.tileEdgeX(); }
+  long tileEdgeY() const { return bins_.tileEdgeY(); }
 
- private:
-  /// Cell range [x0,x1) x [y0,y1) owned by one tile.
+  /// Cell range [x0,x1) x [y0,y1) owned by one tile (full z column).
+  /// Public so the fused pipeline can size its tile field caches.
   struct TileExtent {
     long x0 = 0, x1 = 0, y0 = 0, y1 = 0;
   };
   TileExtent extentOf(long tile) const;
 
-  /// Stable counting sort of particle indices by owning tile (key:
-  /// floor(xs), floor(ys)). Fills offsets_/perm_; throws ContractError if
-  /// any position (z included — it doesn't affect the tile key but an
-  /// unwrapped z would scatter outside the padded column) lies outside
-  /// [0, n).
+  /// Raw scatter view into one tile's halo-padded accumulator: the exact
+  /// sink the internal deposit loops use. Indices are *global* cell
+  /// coordinates — translation by the padded origin replaces per-write
+  /// periodic wrapping (the reduction wraps once per padded cell). Every
+  /// index within +-kHalo of a cell the tile owns is valid; nothing else.
+  struct TileAccum {
+    double* jx;    ///< x-component accumulator (also the charge plane)
+    double* jy;    ///< y-component accumulator
+    double* jz;    ///< z-component accumulator
+    long originX;  ///< global x of padded local index 0 (tile x0 - halo)
+    long originY;  ///< global y of padded local index 0 (tile y0 - halo)
+    long strideY;  ///< padded y extent
+    long strideZ;  ///< padded z extent
+
+    /// Flat offset of global cell (i, j, k) inside the padded tile.
+    long index(long i, long j, long k) const {
+      return ((i - originX) * strideY + (j - originY)) * strideZ +
+             (k + DepositBuffer::kHalo);
+    }
+    void addJx(long i, long j, long k, double v) const {
+      jx[index(i, j, k)] += v;
+    }
+    void addJy(long i, long j, long k, double v) const {
+      jy[index(i, j, k)] += v;
+    }
+    void addJz(long i, long j, long k, double v) const {
+      jz[index(i, j, k)] += v;
+    }
+    /// Scalar-deposit alias (charge lands in the jx plane).
+    void add(long i, long j, long k, double v) const {
+      jx[index(i, j, k)] += v;
+    }
+  };
+
+  /// Fast-path Esirkepov scatter for a tile accumulator: emits the exact
+  /// same contribution values in the exact same order as
+  /// detail::scatterEsirkepov would into the same sink — it only skips
+  /// the iterations the reference kernel's `== 0.0` guards skip (the
+  /// shape functions' zero support) and hoists the strided row pointers
+  /// out of the inner loops. The fused pipeline's per-particle scatter;
+  /// tests/pic/test_fused_pipeline.cpp asserts bitwise equality against
+  /// the reference kernel.
+  static void scatterEsirkepovTile(const GridSpec& grid, double x0, double y0,
+                                   double z0, double x1, double y1, double z1,
+                                   double chargeWeight, double dt,
+                                   const TileAccum& sink);
+
+  /// Zero the first `components` planes (1..3) of tile `tile`'s
+  /// accumulator and return a scatter view into it (charge deposits only
+  /// touch the jx plane; pass 1 to skip zeroing the other two). Safe to
+  /// call from concurrent threads for *distinct* tiles (the fused
+  /// pipeline's per-tile pass); the view stays valid until the next
+  /// geometry-changing call.
+  TileAccum zeroedTile(long tile, int components = 3);
+
+  /// Fixed-order reduction of every tile `occupancy` marks non-empty into
+  /// J (ascending tile order, serial — the determinism-critical step).
+  /// `occupancy` must share this buffer's tile geometry; the fused
+  /// pipeline passes its post-sort SupercellIndex.
+  void reduce(VectorField& J, const SupercellIndex& occupancy);
+
+ private:
+  /// Stable counting sort of particle indices by owning tile, delegated
+  /// to the SupercellIndex member. Throws ContractError if any position
+  /// (z included — it doesn't affect the tile key but an unwrapped z
+  /// would scatter outside the padded column) lies outside [0, n).
   void binParticles(const std::vector<double>& xs,
                     const std::vector<double>& ys,
                     const std::vector<double>& zs);
@@ -111,25 +179,21 @@ class DepositBuffer {
            static_cast<std::size_t>((tile * 3 + comp) * tileStride_);
   }
 
-  /// Serially add `comp` of every non-empty tile into `dst` in ascending
-  /// tile order (the determinism-critical step), wrapping halo cells.
-  void reduceComponent(Field3& dst, int comp) const;
+  /// Serially add `comp` of every tile `occ` marks non-empty into `dst`
+  /// in ascending tile order, wrapping padded cells periodically.
+  void reduceComponent(Field3& dst, int comp,
+                       const SupercellIndex& occ) const;
 
   GridSpec grid_;
-  long edgeX_ = 0, edgeY_ = 0;    ///< owned tile extent (clamped to grid)
-  long tilesX_ = 0, tilesY_ = 0;  ///< tile grid shape
+  /// Unified binning: x/y tiles over full z columns. Also the occupancy
+  /// source for the internal deposit entry points.
+  SupercellIndex bins_;
   long padX_ = 0, padY_ = 0, padZ_ = 0;  ///< padded accumulator extents
   long tileStride_ = 0;                  ///< padX_ * padY_ * padZ_
   /// Accumulators, [tile][component][padX_ x padY_ x padZ_] row-major.
   std::vector<double> store_;
   /// Precomputed periodic wrap of padded z index -> global z index.
   std::vector<long> wrapZ_;
-
-  // Binning scratch (grow-only, reused across calls).
-  std::vector<std::int32_t> tileOf_;   ///< particle -> tile id
-  std::vector<std::uint32_t> perm_;    ///< tile-sorted particle indices
-  std::vector<std::size_t> offsets_;   ///< tile -> [begin, end) into perm_
-  std::vector<std::size_t> cursor_;    ///< counting-sort write heads
 };
 
 }  // namespace artsci::pic

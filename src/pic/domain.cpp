@@ -116,16 +116,11 @@ void DistributedSimulation::stepRank(std::size_t rank, Barrier& barrier) {
       p.z[i] += uNew.z / gNew * dt / g.dz;
       depositCurrentEsirkepov(J_, g, ox, oy, oz, p.x[i], p.y[i], p.z[i],
                               q * p.w[i], dt);
-      // Periodic wrap.
-      const double lx = static_cast<double>(g.nx);
-      const double ly = static_cast<double>(g.ny);
-      const double lz = static_cast<double>(g.nz);
-      if (p.x[i] < 0) p.x[i] += lx;
-      if (p.x[i] >= lx) p.x[i] -= lx;
-      if (p.y[i] < 0) p.y[i] += ly;
-      if (p.y[i] >= ly) p.y[i] -= ly;
-      if (p.z[i] < 0) p.z[i] += lz;
-      if (p.z[i] >= lz) p.z[i] -= lz;
+      // Periodic wrap (shared helper: bit-identical to the single-rank
+      // paths).
+      p.x[i] = wrapCoordinate(p.x[i], static_cast<double>(g.nx));
+      p.y[i] = wrapCoordinate(p.y[i], static_cast<double>(g.ny));
+      p.z[i] = wrapCoordinate(p.z[i], static_cast<double>(g.nz));
       if (p.x[i] < static_cast<double>(x0) ||
           p.x[i] >= static_cast<double>(x1))
         leaving.push_back(i);

@@ -8,10 +8,17 @@
 
 namespace artsci::pic {
 
-/// Trilinear interpolation of a scalar field sampled at grid positions
-/// (i + sx, j + sy, k + sz), where s* in {0, 0.5} encode the staggering.
-inline double gatherStaggered(const Field3& f, double px, double py,
-                              double pz, double sx, double sy, double sz) {
+/// Trilinear interpolation of a staggered sample read through an
+/// arbitrary accessor `at(i, j, k)` (global node indices, possibly
+/// outside [0, n) — the accessor resolves them, e.g. by periodic wrap or
+/// by translating into a halo-padded tile cache). Every gather entry
+/// point shares this body, so the direct and cached (fused-pipeline)
+/// paths accumulate in the exact same floating-point order and stay
+/// bit-identical. Sample positions are (i + sx, j + sy, k + sz) with
+/// s* in {0, 0.5} encoding the Yee staggering.
+template <class At>
+inline double gatherStaggeredAt(At&& at, double px, double py, double pz,
+                                double sx, double sy, double sz) {
   const double gx = px - sx;
   const double gy = py - sy;
   const double gz = pz - sz;
@@ -28,11 +35,21 @@ inline double gatherStaggered(const Field3& f, double px, double py,
       const double wyp = b ? fy : 1.0 - fy;
       for (int c = 0; c < 2; ++c) {
         const double wzp = c ? fz : 1.0 - fz;
-        acc += wxp * wyp * wzp * f.at(i0 + a, j0 + b, k0 + c);
+        acc += wxp * wyp * wzp * at(i0 + a, j0 + b, k0 + c);
       }
     }
   }
   return acc;
+}
+
+/// Trilinear interpolation of a scalar field sampled at grid positions
+/// (i + sx, j + sy, k + sz), where s* in {0, 0.5} encode the staggering.
+/// Periodic wrapping happens per node read (Field3::at).
+inline double gatherStaggered(const Field3& f, double px, double py,
+                              double pz, double sx, double sy, double sz) {
+  return gatherStaggeredAt(
+      [&f](long i, long j, long k) { return f.at(i, j, k); }, px, py, pz, sx,
+      sy, sz);
 }
 
 /// Gather E at a particle position (Yee staggering of E components).

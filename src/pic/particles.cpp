@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
-#include <numeric>
+#include <cstdint>
 
 namespace artsci::pic {
 
@@ -93,18 +93,33 @@ Vec3d ParticleBuffer::totalMomentum() const {
   return p;
 }
 
+namespace {
+
+long clampedEdge(long edge, long cells) {
+  ARTSCI_EXPECTS(edge >= 1 && cells >= 1);
+  return std::min(edge, cells);
+}
+
+}  // namespace
+
 SupercellIndex::SupercellIndex(const GridSpec& grid, long tileEdge)
-    : tileEdge_(tileEdge), grid_(grid) {
-  ARTSCI_EXPECTS(tileEdge >= 1);
-  tilesX_ = (grid.nx + tileEdge - 1) / tileEdge;
-  tilesY_ = (grid.ny + tileEdge - 1) / tileEdge;
-  tilesZ_ = (grid.nz + tileEdge - 1) / tileEdge;
+    : SupercellIndex(grid, tileEdge, tileEdge, tileEdge) {}
+
+SupercellIndex::SupercellIndex(const GridSpec& grid, long edgeX, long edgeY,
+                               long edgeZ)
+    : edgeX_(clampedEdge(edgeX, grid.nx)),
+      edgeY_(clampedEdge(edgeY, grid.ny)),
+      edgeZ_(clampedEdge(edgeZ, grid.nz)),
+      grid_(grid) {
+  tilesX_ = (grid.nx + edgeX_ - 1) / edgeX_;
+  tilesY_ = (grid.ny + edgeY_ - 1) / edgeY_;
+  tilesZ_ = (grid.nz + edgeZ_ - 1) / edgeZ_;
 }
 
 long SupercellIndex::tileOf(double xCell, double yCell, double zCell) const {
-  long ti = static_cast<long>(std::floor(xCell)) / tileEdge_;
-  long tj = static_cast<long>(std::floor(yCell)) / tileEdge_;
-  long tk = static_cast<long>(std::floor(zCell)) / tileEdge_;
+  long ti = static_cast<long>(std::floor(xCell)) / edgeX_;
+  long tj = static_cast<long>(std::floor(yCell)) / edgeY_;
+  long tk = static_cast<long>(std::floor(zCell)) / edgeZ_;
   ti = std::clamp(ti, 0L, tilesX_ - 1);
   tj = std::clamp(tj, 0L, tilesY_ - 1);
   tk = std::clamp(tk, 0L, tilesZ_ - 1);
@@ -116,50 +131,102 @@ Vec3d SupercellIndex::tileCenter(long tile) const {
   const long tk = tile % tilesZ_;
   const long tj = (tile / tilesZ_) % tilesY_;
   const long ti = tile / (tilesY_ * tilesZ_);
-  const double e = static_cast<double>(tileEdge_);
-  return {(static_cast<double>(ti) + 0.5) * e,
-          (static_cast<double>(tj) + 0.5) * e,
-          (static_cast<double>(tk) + 0.5) * e};
+  return {(static_cast<double>(ti) + 0.5) * static_cast<double>(edgeX_),
+          (static_cast<double>(tj) + 0.5) * static_cast<double>(edgeY_),
+          (static_cast<double>(tk) + 0.5) * static_cast<double>(edgeZ_)};
 }
 
-void SupercellIndex::sort(ParticleBuffer& buffer) {
-  const std::size_t n = buffer.size();
+bool SupercellIndex::bin(const double* xs, const double* ys, const double* zs,
+                         std::size_t n) {
+  ARTSCI_EXPECTS(n <= static_cast<std::size_t>(UINT32_MAX));
+  const long nl = static_cast<long>(n);
+  tileOf_.resize(n);
+  perm_.resize(n);
+
+  // Tile keys (parallel; order-independent). Out-of-domain positions are
+  // flagged rather than thrown here — throwing inside an OpenMP region
+  // would terminate — and their keys clamped so the ranges stay valid.
+  bool inDomain = true;
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static) reduction(&& : inDomain)
+#endif
+  for (long i = 0; i < nl; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    const long ci = static_cast<long>(std::floor(xs[s]));
+    const long cj = static_cast<long>(std::floor(ys[s]));
+    const long ck = static_cast<long>(std::floor(zs[s]));
+    const bool ok = ci >= 0 && ci < grid_.nx && cj >= 0 && cj < grid_.ny &&
+                    ck >= 0 && ck < grid_.nz;
+    inDomain = inDomain && ok;
+    // Same key arithmetic as tileOf(), reusing the floors computed for
+    // the domain check above.
+    const long ti = std::clamp(ci / edgeX_, 0L, tilesX_ - 1);
+    const long tj = std::clamp(cj / edgeY_, 0L, tilesY_ - 1);
+    const long tk = std::clamp(ck / edgeZ_, 0L, tilesZ_ - 1);
+    tileOf_[s] = static_cast<std::int32_t>((ti * tilesY_ + tj) * tilesZ_ + tk);
+  }
+
+  // Stable counting sort: per-tile order is ascending particle index.
+  // Serial: O(N) with trivial constants next to the per-particle physics.
   const long tiles = tileCount();
-  std::vector<long> tileIds(n);
-  std::vector<std::size_t> counts(static_cast<std::size_t>(tiles) + 1, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    tileIds[i] = tileOf(buffer.x[i], buffer.y[i], buffer.z[i]);
-    counts[static_cast<std::size_t>(tileIds[i]) + 1]++;
-  }
-  std::partial_sum(counts.begin(), counts.end(), counts.begin());
-
+  cursor_.assign(static_cast<std::size_t>(tiles) + 1, 0);
+  for (long i = 0; i < nl; ++i)
+    ++cursor_[static_cast<std::size_t>(tileOf_[static_cast<std::size_t>(i)]) +
+              1];
+  for (long t = 0; t < tiles; ++t)
+    cursor_[static_cast<std::size_t>(t) + 1] +=
+        cursor_[static_cast<std::size_t>(t)];
   ranges_.assign(static_cast<std::size_t>(tiles), Range{});
-  for (long t = 0; t < tiles; ++t) {
-    ranges_[static_cast<std::size_t>(t)] = {counts[static_cast<std::size_t>(t)],
-                                            counts[static_cast<std::size_t>(t) + 1]};
+  for (long t = 0; t < tiles; ++t)
+    ranges_[static_cast<std::size_t>(t)] = {
+        cursor_[static_cast<std::size_t>(t)],
+        cursor_[static_cast<std::size_t>(t) + 1]};
+  for (long i = 0; i < nl; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    perm_[cursor_[static_cast<std::size_t>(tileOf_[s])]++] =
+        static_cast<std::uint32_t>(i);
   }
+  return inDomain;
+}
 
-  // Scatter into a fresh buffer (counting sort, stable).
-  ParticleBuffer sorted(buffer.info());
-  sorted.x.resize(n);
-  sorted.y.resize(n);
-  sorted.z.resize(n);
-  sorted.ux.resize(n);
-  sorted.uy.resize(n);
-  sorted.uz.resize(n);
-  sorted.w.resize(n);
-  std::vector<std::size_t> cursor(counts.begin(), counts.end() - 1);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t dst = cursor[static_cast<std::size_t>(tileIds[i])]++;
-    sorted.x[dst] = buffer.x[i];
-    sorted.y[dst] = buffer.y[i];
-    sorted.z[dst] = buffer.z[i];
-    sorted.ux[dst] = buffer.ux[i];
-    sorted.uy[dst] = buffer.uy[i];
-    sorted.uz[dst] = buffer.uz[i];
-    sorted.w[dst] = buffer.w[i];
+bool SupercellIndex::sort(ParticleBuffer& buffer) {
+  const std::size_t n = buffer.size();
+  const bool inDomain =
+      bin(buffer.x.data(), buffer.y.data(), buffer.z.data(), n);
+
+  // Apply the permutation as a gather (parallel-safe: every destination
+  // is written exactly once) into the staging buffer, then swap the
+  // columns so both allocations are reused on the next call.
+  scratch_.x.resize(n);
+  scratch_.y.resize(n);
+  scratch_.z.resize(n);
+  scratch_.ux.resize(n);
+  scratch_.uy.resize(n);
+  scratch_.uz.resize(n);
+  scratch_.w.resize(n);
+  const long nl = static_cast<long>(n);
+#ifdef _OPENMP
+#pragma omp parallel for schedule(static)
+#endif
+  for (long i = 0; i < nl; ++i) {
+    const auto dst = static_cast<std::size_t>(i);
+    const auto src = static_cast<std::size_t>(perm_[dst]);
+    scratch_.x[dst] = buffer.x[src];
+    scratch_.y[dst] = buffer.y[src];
+    scratch_.z[dst] = buffer.z[src];
+    scratch_.ux[dst] = buffer.ux[src];
+    scratch_.uy[dst] = buffer.uy[src];
+    scratch_.uz[dst] = buffer.uz[src];
+    scratch_.w[dst] = buffer.w[src];
   }
-  buffer = std::move(sorted);
+  buffer.x.swap(scratch_.x);
+  buffer.y.swap(scratch_.y);
+  buffer.z.swap(scratch_.z);
+  buffer.ux.swap(scratch_.ux);
+  buffer.uy.swap(scratch_.uy);
+  buffer.uz.swap(scratch_.uz);
+  buffer.w.swap(scratch_.w);
+  return inDomain;
 }
 
 }  // namespace artsci::pic

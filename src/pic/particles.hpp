@@ -72,18 +72,54 @@ class ParticleBuffer {
   SpeciesInfo info_;
 };
 
+/// Wrap one particle coordinate into [0, n), assuming it moved less than
+/// one domain length since it was last wrapped (the CFL displacement
+/// bound guarantees far less). Shared by every particle driver so the
+/// split, fused, and rank-decomposed paths wrap bit-identically.
+inline double wrapCoordinate(double v, double n) {
+  if (v < 0) v += n;
+  if (v >= n) v -= n;
+  return v;
+}
+
 /// Supercell index: after sort(), particles are ordered by tile and
-/// tileRange() gives each tile's contiguous [begin, end) range.
+/// tileRange() gives each tile's contiguous [begin, end) range. bin()
+/// provides the same stable counting sort as an index permutation
+/// without moving particle data (the deposition buffer's binning).
+///
+/// Determinism: binning depends only on positions and the tile geometry,
+/// and the per-tile order is ascending input index, so both entry points
+/// are invariant under OMP thread counts and schedules.
 class SupercellIndex {
  public:
-  /// Tile edge in cells (PIConGPU typically uses 8x8x4; we default 4^3).
+  /// Cubic tiles: edge in cells per axis (PIConGPU typically uses 8x8x4;
+  /// we default 4^3).
   SupercellIndex(const GridSpec& grid, long tileEdge = 4);
 
+  /// Per-axis tile edges (each clamped to the grid extent). Pass
+  /// edgeZ = grid.nz for full-z tile columns — the geometry DepositBuffer
+  /// and the fused particle pipeline share.
+  SupercellIndex(const GridSpec& grid, long edgeX, long edgeY, long edgeZ);
+
   long tileCount() const { return tilesX_ * tilesY_ * tilesZ_; }
+  /// Owning tile of a position in cell units (clamped into the grid).
   long tileOf(double xCell, double yCell, double zCell) const;
 
-  /// Counting-sort the buffer by tile id; O(N). Returns per-tile ranges.
-  void sort(ParticleBuffer& buffer);
+  /// Stable counting-sort binning of `n` positions into an index
+  /// permutation; no particle data moves. Fills tileRange() and
+  /// permutation(); per-tile order is ascending input index. Returns
+  /// false when any position lies outside [0, extent) on some axis (its
+  /// tile key is clamped, so the ranges stay valid either way).
+  bool bin(const double* xs, const double* ys, const double* zs,
+           std::size_t n);
+
+  /// Tile-sorted particle indices of the latest bin()/sort() call.
+  const std::vector<std::uint32_t>& permutation() const { return perm_; }
+
+  /// Counting-sort the buffer by tile id; O(N), stable (per-tile order is
+  /// ascending pre-sort index). Returns bin()'s in-domain flag;
+  /// out-of-domain particles are sorted into their clamped tile.
+  bool sort(ParticleBuffer& buffer);
 
   struct Range {
     std::size_t begin = 0, end = 0;
@@ -96,16 +132,24 @@ class SupercellIndex {
   long tilesX() const { return tilesX_; }
   long tilesY() const { return tilesY_; }
   long tilesZ() const { return tilesZ_; }
-  long tileEdge() const { return tileEdge_; }
+  /// Tile edge along x (== the edge on every axis for the cubic ctor).
+  long tileEdge() const { return edgeX_; }
+  long tileEdgeX() const { return edgeX_; }
+  long tileEdgeY() const { return edgeY_; }
+  long tileEdgeZ() const { return edgeZ_; }
 
   /// Center of a tile in cell units.
   Vec3d tileCenter(long tile) const;
 
  private:
-  long tileEdge_;
+  long edgeX_, edgeY_, edgeZ_;
   long tilesX_, tilesY_, tilesZ_;
   GridSpec grid_;
   std::vector<Range> ranges_;
+  std::vector<std::uint32_t> perm_;  ///< tile-sorted particle indices
+  std::vector<std::int32_t> tileOf_;  ///< binning scratch: particle -> tile
+  std::vector<std::size_t> cursor_;   ///< counting-sort write heads
+  ParticleBuffer scratch_;            ///< sort() staging (storage reused)
 };
 
 }  // namespace artsci::pic

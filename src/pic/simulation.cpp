@@ -13,8 +13,21 @@ Simulation::Simulation(SimulationConfig cfg)
   const double cfl = solver_.cflNumber(cfg_.dt);
   ARTSCI_EXPECTS_MSG(cfl < 1.0, "CFL violation: dt=" << cfg_.dt
                                                      << " gives CFL " << cfl);
-  if (cfg_.depositMode == DepositMode::Tiled)
+  if (cfg_.depositMode == DepositMode::Tiled) {
     depositBuffer_ = std::make_unique<DepositBuffer>(cfg_.grid);
+    if (cfg_.pipeline == ParticlePipeline::Fused) {
+      fused_ = std::make_unique<FusedPipeline>(cfg_.grid);
+    } else {
+      // The split path shares the once-per-step supercell sort (same tile
+      // geometry as the deposit buffer): with the buffer tile-ordered,
+      // the deposit's internal re-binning becomes the identity, so the
+      // per-tile accumulation order — hence every bit of J — matches the
+      // fused path at every step.
+      const TileDepositConfig tileCfg{};
+      supercell_ = std::make_unique<SupercellIndex>(
+          cfg_.grid, tileCfg.tileEdgeX, tileCfg.tileEdgeY, cfg_.grid.nz);
+    }
+  }
 }
 
 std::size_t Simulation::addSpecies(const SpeciesInfo& info) {
@@ -62,6 +75,20 @@ void Simulation::pushAndDeposit(std::size_t speciesIdx) {
   Scratch& scr = scratch_[speciesIdx];
   const long n = static_cast<long>(p.size());
   if (n == 0) return;
+
+  if (fused_) {
+    // Supercell-fused path: one stable sort, one per-tile pass, shared
+    // fixed-order reduction. No old-position snapshots, no re-binning,
+    // no separate wrap sweep.
+    std::vector<double>* bdx = cfg_.recordBetaDot ? &scr.bdx : nullptr;
+    std::vector<double>* bdy = cfg_.recordBetaDot ? &scr.bdy : nullptr;
+    std::vector<double>* bdz = cfg_.recordBetaDot ? &scr.bdz : nullptr;
+    fused_->pushAndDeposit(p, E_, B_, J_, cfg_.dt, *depositBuffer_, bdx, bdy,
+                           bdz);
+    return;
+  }
+
+  if (supercell_) supercell_->sort(p);
 
   scr.oldX.assign(p.x.begin(), p.x.end());
   scr.oldY.assign(p.y.begin(), p.y.end());
@@ -111,12 +138,9 @@ void Simulation::pushAndDeposit(std::size_t speciesIdx) {
 #pragma omp parallel for schedule(static)
   for (long ip = 0; ip < n; ++ip) {
     const auto i = static_cast<std::size_t>(ip);
-    if (p.x[i] < 0) p.x[i] += lx;
-    if (p.x[i] >= lx) p.x[i] -= lx;
-    if (p.y[i] < 0) p.y[i] += ly;
-    if (p.y[i] >= ly) p.y[i] -= ly;
-    if (p.z[i] < 0) p.z[i] += lz;
-    if (p.z[i] >= lz) p.z[i] -= lz;
+    p.x[i] = wrapCoordinate(p.x[i], lx);
+    p.y[i] = wrapCoordinate(p.y[i], ly);
+    p.z[i] = wrapCoordinate(p.z[i], lz);
   }
 }
 

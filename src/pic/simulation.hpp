@@ -13,6 +13,7 @@
 #include "pic/deposit.hpp"
 #include "pic/deposit_buffer.hpp"
 #include "pic/fields.hpp"
+#include "pic/fused_pipeline.hpp"
 #include "pic/particles.hpp"
 
 namespace artsci::pic {
@@ -41,6 +42,14 @@ struct SimulationConfig {
   /// bit-reproducible across OMP thread counts; Atomic keeps the legacy
   /// scatter for A/B comparison (bench/deposit_modes.cpp).
   DepositMode depositMode = DepositMode::Tiled;
+  /// Particle-update path. Fused (default) runs the supercell-fused
+  /// single pass of fused_pipeline.hpp and requires DepositMode::Tiled;
+  /// with DepositMode::Atomic the split path always runs, whatever this
+  /// says. Both Tiled paths supercell-sort each species once per step
+  /// (so particles are reordered) and produce bit-identical fields and
+  /// particle state (bench/particle_pipeline.cpp measures the A/B;
+  /// tests/pic/test_fused_pipeline.cpp enforces the identity).
+  ParticlePipeline pipeline = ParticlePipeline::Fused;
 };
 
 /// Accumulated work counters for the FOM (paper Fig 4). Wall-clock
@@ -82,6 +91,11 @@ class Simulation {
   const FieldSolver& solver() const { return solver_; }
   /// Active deposition strategy (SimulationConfig::depositMode).
   DepositMode depositMode() const { return cfg_.depositMode; }
+  /// The particle-update path actually running (Fused only when both
+  /// SimulationConfig::pipeline requests it and depositMode is Tiled).
+  ParticlePipeline particlePipeline() const {
+    return fused_ ? ParticlePipeline::Fused : ParticlePipeline::Split;
+  }
   double dt() const { return cfg_.dt; }
   /// Number of completed steps.
   long stepIndex() const { return step_; }
@@ -113,6 +127,13 @@ class Simulation {
   FieldSolver solver_;
   /// Tile accumulators reused every step (allocated only in Tiled mode).
   std::unique_ptr<DepositBuffer> depositBuffer_;
+  /// Fused-pipeline driver (allocated only when it is the active path).
+  std::unique_ptr<FusedPipeline> fused_;
+  /// Split + Tiled only: the shared once-per-step supercell sort (the
+  /// fused driver owns its own index). Keeps the split path's per-tile
+  /// deposit order equal to the fused path's, so the two stay
+  /// bit-identical (see fused_pipeline.hpp).
+  std::unique_ptr<SupercellIndex> supercell_;
   VectorField E_, B_, J_;
   std::vector<ParticleBuffer> species_;
   std::vector<std::shared_ptr<Plugin>> plugins_;

@@ -22,9 +22,10 @@ static_assert(static_cast<int>(ml::Activation::kNone) ==
               "ml::Activation and kernels::Act layouts diverged");
 
 void linearForward(const ml::Real* a, const ml::Real* w, const ml::Real* bias,
-                   ml::Real* c, long m, long k, long n, ml::Activation act) {
+                   ml::Real* c, long m, long k, long n, ml::Activation act,
+                   bool parallel) {
   ml::kernels::linear_forward(a, w, bias, c, m, k, n,
-                              static_cast<ml::kernels::Act>(act));
+                              static_cast<ml::kernels::Act>(act), parallel);
 }
 
 }  // namespace detail
@@ -49,8 +50,9 @@ void InferenceEngine::appendMlp(const ml::Mlp& mlp, std::vector<Dense>& seq) {
 }
 
 InferenceEngine::InferenceEngine(
-    std::shared_ptr<const core::ArtificialScientistModel> model)
-    : model_(std::move(model)) {
+    std::shared_ptr<const core::ArtificialScientistModel> model,
+    Options options)
+    : model_(std::move(model)), options_(options) {
   ARTSCI_EXPECTS_MSG(model_ != nullptr, "InferenceEngine needs a model");
   const auto& enc = model_->encoder();
   for (const auto& lin : enc.pointLayers()) {
@@ -97,7 +99,7 @@ void InferenceEngine::runDenseSeq(const std::vector<Dense>& seq,
       dst = scratch.data();
     }
     detail::linearForward(cur, seq[i].w, seq[i].b, dst, rows, seq[i].in,
-                          seq[i].out, seq[i].act);
+                          seq[i].out, seq[i].act, options_.ompRowParallel);
     cur = dst;
   }
 }

@@ -28,17 +28,35 @@ namespace detail {
 /// (ml/kernels/gemm.hpp::linear_forward) — the exact same register-blocked,
 /// runtime-SIMD-dispatched loops that ml::matmul / ml::linear train with.
 /// Accumulation order per output element matches ml::matmul (k ascending,
-/// bias added last).
+/// bias added last). `parallel` turns on the kernel library's fixed
+/// 32-row static OpenMP chunking — bit-identical to serial for any
+/// thread count; the engine enables it so multi-core hosts scale the
+/// row-heavy conv stack.
 void linearForward(const ml::Real* a, const ml::Real* w, const ml::Real* bias,
-                   ml::Real* c, long m, long k, long n, ml::Activation act);
+                   ml::Real* c, long m, long k, long n, ml::Activation act,
+                   bool parallel = false);
 }  // namespace detail
 
 class InferenceEngine {
  public:
+  /// Execution knobs.
+  struct Options {
+    /// Run the fused linear_forward loops over fixed 32-row static OpenMP
+    /// chunks (bit-identical results for any thread count; see
+    /// ml/kernels/gemm.hpp). Turn on when the engine owns the host's
+    /// cores — e.g. a single-worker server on a multi-core machine; leave
+    /// off when many engine-owning workers already saturate them.
+    bool ompRowParallel = false;
+  };
+
   /// Binds to an immutable snapshot; the shared_ptr keeps the weight
   /// buffers alive for the engine's lifetime.
   explicit InferenceEngine(
-      std::shared_ptr<const core::ArtificialScientistModel> model);
+      std::shared_ptr<const core::ArtificialScientistModel> model)
+      : InferenceEngine(std::move(model), Options{}) {}
+  /// Same, with explicit execution options.
+  InferenceEngine(std::shared_ptr<const core::ArtificialScientistModel> model,
+                  Options options);
 
   /// clouds: [batch, points, 6] flattened, row-major. Writes spectra
   /// [batch, spectrumDim] to `out`.
@@ -74,6 +92,7 @@ class InferenceEngine {
                    long rows, ml::Real* out);
 
   std::shared_ptr<const core::ArtificialScientistModel> model_;
+  Options options_;
   std::vector<Dense> conv_;     ///< per-point layers, leaky-ReLU fused
   std::vector<Dense> muHead_;   ///< pooled features -> latent mean
   std::vector<Coupling> blocks_;

@@ -92,7 +92,9 @@ void InferenceServer::workerLoop(std::size_t workerIndex) {
       continue;
     }
     if (snap != bound) {
-      engine = std::make_unique<InferenceEngine>(snap->model);
+      InferenceEngine::Options opts;
+      opts.ompRowParallel = cfg_.ompRowParallel && cfg_.workers == 1;
+      engine = std::make_unique<InferenceEngine>(snap->model, opts);
       bound = snap;
       metrics_.recordEngineSwap();
     }

@@ -24,6 +24,14 @@ struct ServerConfig {
   BatchPolicy policy;
   std::size_t workers = 1;   ///< inference worker threads
   std::uint64_t seed = 0xced5ULL;  ///< base seed for posterior-draw RNGs
+  /// Let a *single-worker* server's engine parallelize each batch over
+  /// OpenMP row chunks (bit-identical results; InferenceEngine::Options).
+  /// Opt-in: enable on hosts dedicated to serving so a multi-core box
+  /// speeds up individual batches; leave off (default) when the server
+  /// co-runs with other OpenMP work — the in-transit pipeline's usual
+  /// deployment — or with workers > 1 (ignored there anyway: the worker
+  /// threads already own the cores).
+  bool ompRowParallel = false;
 };
 
 class InferenceServer {

@@ -1,0 +1,185 @@
+/// Edge-case tests of the particle container and the supercell index:
+/// counting-sort stability (the fused pipeline's bit-identity rests on
+/// it), the bin()/sort() agreement, per-axis tile geometry, and the
+/// ParticleBuffer::swapRemove/append interactions (empty buffer,
+/// all-one-tile, remove-last) that the rank-migration path exercises.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pic/particles.hpp"
+
+namespace artsci::pic {
+namespace {
+
+ParticleBuffer randomParticles(const GridSpec& g, int n, std::uint64_t seed) {
+  ParticleBuffer p({-1.0, 1.0, "e"});
+  Rng rng(seed);
+  for (int i = 0; i < n; ++i)
+    p.push({rng.uniform(0.0, static_cast<double>(g.nx)),
+            rng.uniform(0.0, static_cast<double>(g.ny)),
+            rng.uniform(0.0, static_cast<double>(g.nz))},
+           {rng.normal(), rng.normal(), rng.normal()},
+           static_cast<double>(i));  // weight tags the insertion order
+  return p;
+}
+
+TEST(SupercellSort, StableWithinEveryTile) {
+  const GridSpec g{16, 16, 8, 0.2, 0.2, 0.2};
+  ParticleBuffer p = randomParticles(g, 2000, 3);
+  SupercellIndex idx(g, 8, 8, g.nz);
+  EXPECT_TRUE(idx.sort(p));
+  std::size_t seen = 0;
+  for (long t = 0; t < idx.tileCount(); ++t) {
+    const auto r = idx.tileRange(t);
+    for (std::size_t i = r.begin; i < r.end; ++i, ++seen) {
+      EXPECT_EQ(idx.tileOf(p.x[i], p.y[i], p.z[i]), t);
+      // Stability: the insertion-order tag must ascend within the tile.
+      if (i > r.begin) {
+        EXPECT_LT(p.w[i - 1], p.w[i]);
+      }
+    }
+  }
+  EXPECT_EQ(seen, p.size());
+}
+
+TEST(SupercellSort, AllOneTileKeepsOrderExactly) {
+  const GridSpec g{32, 32, 8, 0.2, 0.2, 0.2};
+  ParticleBuffer p({-1.0, 1.0, "e"});
+  Rng rng(5);
+  for (int i = 0; i < 300; ++i)
+    p.push({rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0),
+            rng.uniform(0.0, 8.0)},
+           {}, static_cast<double>(i));
+  SupercellIndex idx(g, 8, 8, g.nz);
+  EXPECT_TRUE(idx.sort(p));
+  // Everything lives in tile 0; the sort must be the identity.
+  EXPECT_EQ(idx.tileRange(0).end, p.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    EXPECT_DOUBLE_EQ(p.w[i], static_cast<double>(i));
+}
+
+TEST(SupercellSort, EmptyBufferIsFine) {
+  const GridSpec g{8, 8, 8, 0.2, 0.2, 0.2};
+  ParticleBuffer p({-1.0, 1.0, "e"});
+  SupercellIndex idx(g, 4);
+  EXPECT_TRUE(idx.sort(p));
+  EXPECT_TRUE(p.empty());
+  for (long t = 0; t < idx.tileCount(); ++t)
+    EXPECT_EQ(idx.tileRange(t).begin, idx.tileRange(t).end);
+}
+
+TEST(SupercellSort, BinPermutationAgreesWithSort) {
+  const GridSpec g{16, 16, 4, 0.2, 0.2, 0.2};
+  ParticleBuffer p = randomParticles(g, 500, 7);
+  SupercellIndex idx(g, 8, 8, g.nz);
+  EXPECT_TRUE(idx.bin(p.x.data(), p.y.data(), p.z.data(), p.size()));
+  const std::vector<std::uint32_t> perm = idx.permutation();
+  ParticleBuffer sorted = p;
+  EXPECT_TRUE(idx.sort(sorted));
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sorted.x[i], p.x[perm[i]]);
+    EXPECT_DOUBLE_EQ(sorted.w[i], p.w[perm[i]]);
+  }
+}
+
+TEST(SupercellSort, FlagsOutOfDomainButStaysValid) {
+  const GridSpec g{8, 8, 8, 0.2, 0.2, 0.2};
+  ParticleBuffer p({-1.0, 1.0, "e"});
+  p.push({2.0, 2.0, 2.0}, {}, 0.0);
+  p.push({-0.5, 2.0, 2.0}, {}, 1.0);  // unwrapped x
+  p.push({2.0, 2.0, 9.5}, {}, 2.0);   // unwrapped z
+  SupercellIndex idx(g, 4);
+  EXPECT_FALSE(idx.sort(p));
+  EXPECT_EQ(p.size(), 3u);  // clamped into valid tiles, nothing lost
+  std::size_t counted = 0;
+  for (long t = 0; t < idx.tileCount(); ++t)
+    counted += idx.tileRange(t).end - idx.tileRange(t).begin;
+  EXPECT_EQ(counted, 3u);
+}
+
+TEST(SupercellIndexGeometry, PerAxisEdgesAndFullZColumns) {
+  const GridSpec g{32, 64, 8, 0.2, 0.2, 0.2};
+  SupercellIndex idx(g, 8, 8, g.nz);
+  EXPECT_EQ(idx.tilesX(), 4);
+  EXPECT_EQ(idx.tilesY(), 8);
+  EXPECT_EQ(idx.tilesZ(), 1);
+  EXPECT_EQ(idx.tileCount(), 32);
+  // z never affects the tile id (full columns).
+  EXPECT_EQ(idx.tileOf(10.0, 20.0, 0.5), idx.tileOf(10.0, 20.0, 7.5));
+  // Edges are clamped to the grid extent.
+  SupercellIndex small(GridSpec{4, 4, 4, 0.2, 0.2, 0.2}, 8, 8, 4);
+  EXPECT_EQ(small.tileCount(), 1);
+  EXPECT_EQ(small.tileEdgeX(), 4);
+}
+
+TEST(ParticleBuffer, SwapRemoveLastAndSingle) {
+  ParticleBuffer p({-1.0, 1.0, "e"});
+  p.push({1, 1, 1}, {0.1, 0, 0}, 10.0);
+  p.push({2, 2, 2}, {0.2, 0, 0}, 20.0);
+  p.push({3, 3, 3}, {0.3, 0, 0}, 30.0);
+  p.swapRemove(2);  // remove-last: no swap partner beyond itself
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_DOUBLE_EQ(p.w[0], 10.0);
+  EXPECT_DOUBLE_EQ(p.w[1], 20.0);
+  p.swapRemove(0);  // middle/first: last slides in
+  ASSERT_EQ(p.size(), 1u);
+  EXPECT_DOUBLE_EQ(p.w[0], 20.0);
+  EXPECT_DOUBLE_EQ(p.x[0], 2.0);
+  p.swapRemove(0);  // singleton -> empty
+  EXPECT_TRUE(p.empty());
+  EXPECT_THROW(p.swapRemove(0), ContractError);  // empty buffer
+}
+
+TEST(ParticleBuffer, AppendEdgeCases) {
+  ParticleBuffer empty({-1.0, 1.0, "e"});
+  ParticleBuffer a({-1.0, 1.0, "e"});
+  a.append(empty);  // empty onto empty
+  EXPECT_TRUE(a.empty());
+  ParticleBuffer b({-1.0, 1.0, "e"});
+  b.push({1, 2, 3}, {0.1, 0.2, 0.3}, 1.5);
+  a.append(b);  // onto empty
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_DOUBLE_EQ(a.uy[0], 0.2);
+  a.append(b);
+  a.append(empty);  // empty onto non-empty: no change
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.z[1], 3.0);
+}
+
+TEST(ParticleBuffer, AppendSortSwapRemoveInteraction) {
+  // The migration pattern: append incoming particles, sort for the next
+  // step, remove leavers — counts and content must stay consistent.
+  const GridSpec g{8, 8, 8, 0.2, 0.2, 0.2};
+  ParticleBuffer p = randomParticles(g, 40, 11);
+  ParticleBuffer incoming = randomParticles(g, 10, 13);
+  p.append(incoming);
+  ASSERT_EQ(p.size(), 50u);
+  SupercellIndex idx(g, 4);
+  EXPECT_TRUE(idx.sort(p));
+  const auto sumW = [](const ParticleBuffer& b) {
+    double s = 0;
+    for (double w : b.w) s += w;
+    return s;
+  };
+  const double before = sumW(p);
+  const double removed = p.w[p.size() - 1] + p.w[0];
+  p.swapRemove(p.size() - 1);  // remove-last straight after a sort
+  p.swapRemove(0);
+  EXPECT_EQ(p.size(), 48u);
+  // Content conservation: exactly the two removed weights are gone (a
+  // duplicate or dropped particle in sort/swapRemove would break this).
+  EXPECT_NEAR(sumW(p), before - removed, 1e-9);
+  // Re-sorting a partially modified buffer stays valid.
+  EXPECT_TRUE(idx.sort(p));
+  EXPECT_NEAR(sumW(p), before - removed, 1e-9);
+  std::size_t counted = 0;
+  for (long t = 0; t < idx.tileCount(); ++t)
+    counted += idx.tileRange(t).end - idx.tileRange(t).begin;
+  EXPECT_EQ(counted, 48u);
+}
+
+}  // namespace
+}  // namespace artsci::pic

@@ -3,6 +3,10 @@
 /// server request/response behavior including graceful shutdown.
 #include <gtest/gtest.h>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include <cmath>
 #include <cstdio>
 
@@ -232,6 +236,43 @@ TEST(InferenceEngine, LinearForwardMatchesHandRolledReference) {
       }
     }
   }
+}
+
+TEST(InferenceEngine, OmpRowParallelBitIdenticalAcrossThreadCounts) {
+  // The engine's OpenMP row chunking (ml/kernels/gemm.hpp fixed 32-row
+  // static chunks) must not change a single output bit — against the
+  // serial engine and across thread counts.
+  auto model = tinyModel(47);
+  const long batch = 16, points = 96;  // conv rows = 1536 -> many chunks
+  Rng rng(9);
+  std::vector<ml::Real> clouds(static_cast<std::size_t>(batch * points * 6));
+  for (auto& v : clouds) v = rng.normal();
+
+  InferenceEngine serial(model);
+  std::vector<ml::Real> expected(
+      static_cast<std::size_t>(batch * serial.spectrumDim()));
+  serial.predictSpectra(clouds.data(), batch, points, expected.data());
+
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+#endif
+  InferenceEngine::Options opts;
+  opts.ompRowParallel = true;
+  for (int threads : {1, 2, 8}) {
+#ifdef _OPENMP
+    omp_set_num_threads(threads);
+#else
+    if (threads > 1) continue;
+#endif
+    InferenceEngine parallel(model, opts);
+    std::vector<ml::Real> got(expected.size());
+    parallel.predictSpectra(clouds.data(), batch, points, got.data());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_EQ(expected[i], got[i]) << "threads=" << threads << " i=" << i;
+  }
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
 }
 
 TEST(InferenceEngine, MatchesGraphPredictSpectra) {
