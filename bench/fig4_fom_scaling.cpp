@@ -5,82 +5,218 @@
 /// (FOM = 0.9 * particle updates/s + 0.1 * cell updates/s).
 ///
 /// Part A measures the real weak scaling of our PIC substrate across
-/// thread ranks ("GCDs") on this machine; Part B maps the paper-scale
-/// curve through the calibrated cluster model (per-GPU FOM from the
-/// paper's own full-system measurement).
+/// thread ranks ("GCDs") on this machine, as an A/B of the two rank
+/// particle paths: the legacy split update (gather sweep + re-binning
+/// tiled deposit, the pre-fused DistributedSimulation) vs the fused
+/// single-pass supercell pipeline the rank stepper now runs. Part B maps
+/// the paper-scale curve through the calibrated cluster model (per-GPU
+/// FOM from the paper's own full-system measurement).
+///
+///   ./bench/bench_fig4_fom_scaling [--acceptance[=ratio]]
+///                                  [--json <path>] [steps] [repeats]
+///
+/// --acceptance gates fused >= ratio x split (default 1.5) at 4 ranks
+/// and exits nonzero on failure; --json writes the measurement (CI
+/// uploads it as the BENCH_fig4 artifact). The fused path's bit-identity
+/// against the single-rank Simulation is asserted on the way (the
+/// determinism contract of pic/domain.hpp; tests/pic/test_domain.cpp is
+/// the exhaustive version).
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
 
 #include "cluster/collectives.hpp"
 #include "common/ascii.hpp"
+#include "common/timer.hpp"
 #include "pic/domain.hpp"
 #include "pic/khi.hpp"
 
 using namespace artsci;
+using pic::ParticlePipeline;
 
 namespace {
 
-double measureFom(std::size_t ranks, long stepsPerRun) {
-  // Weak scaling: grow the box along x with the rank count.
-  pic::DistributedSimulation::Config dc;
-  dc.grid = pic::GridSpec{16 * static_cast<long>(ranks), 32, 8, 0.25, 0.25,
-                          0.25};
-  dc.dt = 0.1;
-  dc.ranks = ranks;
-  pic::DistributedSimulation sim(dc);
-
+/// Weak-scaling KHI box: 16x32x8 cells and 4 ppc per rank, grown along x.
+pic::KhiConfig weakKhi(std::size_t ranks) {
   pic::KhiConfig kcfg;
-  kcfg.grid = dc.grid;
-  kcfg.dt = dc.dt;
+  kcfg.grid = pic::GridSpec{16 * static_cast<long>(ranks), 32, 8, 0.25,
+                            0.25, 0.25};
+  kcfg.dt = 0.1;
   kcfg.particlesPerCell = 4;
+  return kcfg;
+}
+
+std::unique_ptr<pic::DistributedSimulation> makeDistributed(
+    std::size_t ranks, ParticlePipeline pipeline) {
+  const pic::KhiConfig kcfg = weakKhi(ranks);
+  pic::DistributedSimulation::Config dc;
+  dc.grid = kcfg.grid;
+  dc.dt = kcfg.dt;
+  dc.ranks = ranks;
+  dc.pipeline = pipeline;
+  auto sim = std::make_unique<pic::DistributedSimulation>(dc);
+
   pic::SimulationConfig tmpCfg;
   tmpCfg.grid = kcfg.grid;
   tmpCfg.dt = kcfg.dt;
   pic::Simulation staging(tmpCfg);
   const auto sp = pic::initializeKhi(staging, kcfg);
-  const auto e = sim.addSpecies(staging.species(sp.electrons).info());
-  const auto i = sim.addSpecies(staging.species(sp.ions).info());
-  sim.staging(e).append(staging.species(sp.electrons));
-  sim.staging(i).append(staging.species(sp.ions));
-  sim.distribute();
+  const auto e = sim->addSpecies(staging.species(sp.electrons).info());
+  const auto i = sim->addSpecies(staging.species(sp.ions).info());
+  sim->staging(e).append(staging.species(sp.electrons));
+  sim->staging(i).append(staging.species(sp.ions));
+  sim->distribute();
+  return sim;
+}
 
-  sim.run(2);  // warm-up (thread pools, caches)
-  pic::DistributedSimulation::Config dummy;  // keep FOM of timed phase only
-  (void)dummy;
-  const double before = sim.fom().particleUpdates;
-  const double beforeT = sim.fom().seconds;
-  sim.run(stepsPerRun);
-  const double particles = sim.fom().particleUpdates - before;
-  const double cells =
-      static_cast<double>(dc.grid.cellCount() * stepsPerRun);
-  const double seconds = sim.fom().seconds - beforeT;
-  return (0.9 * particles + 0.1 * cells) / seconds;
+/// Best-of-`repeats` FOM (0.9*particle + 0.1*cell updates per second)
+/// over `steps` distributed steps. Fresh simulation per repeat: identical
+/// start state and trajectory across pipelines and repeats.
+double measureFom(std::size_t ranks, ParticlePipeline pipeline, int steps,
+                  int repeats) {
+  double best = 0.0;
+  for (int r = 0; r < repeats; ++r) {
+    auto sim = makeDistributed(ranks, pipeline);
+    sim->run(2);  // warm-up (thread pools, tile stores, caches)
+    const double before = sim->fom().particleUpdates;
+    const double beforeT = sim->fom().seconds;
+    sim->run(steps);
+    const double particles = sim->fom().particleUpdates - before;
+    const double cells =
+        static_cast<double>(sim->grid().cellCount() * steps);
+    const double seconds = sim->fom().seconds - beforeT;
+    best = std::max(best, (0.9 * particles + 0.1 * cells) / seconds);
+  }
+  return best;
+}
+
+bool sameField(const pic::Field3& x, const pic::Field3& y) {
+  return x.raw().size() == y.raw().size() &&
+         std::memcmp(x.raw().data(), y.raw().data(),
+                     x.raw().size() * sizeof(double)) == 0;
+}
+
+/// The rank stepper's contract: fused multi-rank E/B/J bit-identical to
+/// the single-rank fused Simulation on the same trajectory.
+bool fusedBitIdenticalToSingleRank(std::size_t ranks, int steps) {
+  auto dist = makeDistributed(ranks, ParticlePipeline::Fused);
+  const pic::KhiConfig kcfg = weakKhi(ranks);
+  pic::SimulationConfig scfg;
+  scfg.grid = kcfg.grid;
+  scfg.dt = kcfg.dt;
+  pic::Simulation ref(scfg);
+  pic::initializeKhi(ref, kcfg);
+  dist->run(steps);
+  ref.run(steps);
+  const auto sameVec = [](const pic::VectorField& a,
+                          const pic::VectorField& b) {
+    return sameField(a.x, b.x) && sameField(a.y, b.y) &&
+           sameField(a.z, b.z);
+  };
+  return sameVec(dist->fieldE(), ref.fieldE()) &&
+         sameVec(dist->fieldB(), ref.fieldB()) &&
+         sameVec(dist->currentJ(), ref.currentJ());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  double threshold = -1;
+  const char* jsonPath = nullptr;
+  int steps = 10, repeats = 3;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--acceptance") == 0) {
+      threshold = 1.5;
+    } else if (std::strncmp(arg, "--acceptance=", 13) == 0) {
+      char* end = nullptr;
+      threshold = std::strtod(arg + 13, &end);
+      if (end == arg + 13 || *end != '\0' || !(threshold > 0)) {
+        std::fprintf(stderr,
+                     "invalid %s — expected --acceptance=<ratio> with "
+                     "ratio > 0 (e.g. --acceptance=1.5)\n",
+                     arg);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      jsonPath = arg + 7;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr,
+                   "unknown option %s — usage: bench_fig4_fom_scaling "
+                   "[--acceptance[=ratio]] [--json <path>] "
+                   "[steps] [repeats]\n",
+                   arg);
+      return 2;
+    } else {
+      (positional == 0 ? steps : repeats) = std::atoi(arg);
+      ++positional;
+    }
+  }
+  if (steps < 1 || repeats < 1) {
+    std::fprintf(stderr, "steps and repeats must be >= 1\n");
+    return 2;
+  }
+
+#ifdef _OPENMP
+  const bool haveOmp = true;
+#else
+  // Without OpenMP the split rank path is rejected by the constructor
+  // (its deposit would race); the A/B degenerates to 1 rank.
+  const bool haveOmp = false;
+#endif
+  const std::size_t gateRanks = haveOmp ? 4 : 1;
+
   std::printf("==============================================================\n");
   std::printf("Fig 4 — PIConGPU FOM weak scaling (TeraUpdates/s)\n");
   std::printf("==============================================================\n\n");
 
-  std::printf("[A] Measured: this machine, thread-rank domain decomposition\n");
-  std::printf("    (weak scaling: 16x32x8 cells and ~%d particles per rank)\n\n",
-              16 * 32 * 8 * 4 * 2);
+  std::printf("[A] Measured: thread-rank domain decomposition, split vs\n");
+  std::printf("    fused rank particle path (weak scaling: 16x32x8 cells,\n");
+  std::printf("    ~%d particles per rank; %d steps, best of %d)\n\n",
+              16 * 32 * 8 * 4 * 2, steps, repeats);
+
+  const bool identical =
+      fusedBitIdenticalToSingleRank(gateRanks, /*steps=*/3);
+  std::printf("fused %zu-rank vs single-rank E/B/J after 3 steps: %s\n\n",
+              gateRanks, identical ? "bit-identical" : "MISMATCH");
+
+  double gateRatio = 0.0;
   {
     std::vector<std::vector<std::string>> rows;
-    double fom1 = 0;
-    for (std::size_t ranks : {1u, 2u, 4u, 8u, 12u}) {
-      const double fom = measureFom(ranks, 10);
-      if (ranks == 1) fom1 = fom;
-      const double eff = fom / (fom1 * static_cast<double>(ranks)) * 100.0;
-      rows.push_back({std::to_string(ranks), ascii::eng(fom, 2) + "Upd/s",
-                      ascii::num(eff, 1) + " %"});
+    for (std::size_t ranks : {1u, 2u, 4u, 8u}) {
+      if (!haveOmp && ranks > 1) continue;
+      const double fused =
+          measureFom(ranks, ParticlePipeline::Fused, steps, repeats);
+      const double split =
+          (haveOmp || ranks == 1)
+              ? measureFom(ranks, ParticlePipeline::Split, steps, repeats)
+              : 0.0;
+      const double ratio = split > 0 ? fused / split : 0.0;
+      rows.push_back({std::to_string(ranks), ascii::eng(split, 2) + "Upd/s",
+                      ascii::eng(fused, 2) + "Upd/s",
+                      ascii::num(ratio, 2) + "x"});
+      if (ranks == gateRanks) gateRatio = ratio;
     }
     std::printf("%s\n",
-                ascii::table({"ranks", "measured FOM", "weak-scaling eff"},
+                ascii::table({"ranks", "split FOM", "fused FOM", "fused/x"},
                              rows)
                     .c_str());
   }
+
+  const double gate = threshold > 0 ? threshold : 1.5;
+  const bool pass = identical && gateRatio >= gate;
+  std::printf(
+      "acceptance (bit-identical vs single rank, fused >= %.2fx split @ "
+      "%zu ranks): %.2fx -> %s\n\n",
+      gate, gateRanks, gateRatio, pass ? "PASS" : "FAIL");
 
   std::printf("[B] Modeled: calibrated Frontier/Summit curve (paper scale)\n\n");
   const auto frontier = cluster::ClusterSpec::frontier();
@@ -113,5 +249,28 @@ int main() {
   std::printf("modeled full systems: %.1f / %.1f TeraUpdates/s\n",
               cluster::picFomModel(frontier, 36864) / 1e12,
               cluster::picFomModel(summit, 27648) / 1e12);
-  return 0;
+
+  if (jsonPath != nullptr) {
+    std::FILE* f = std::fopen(jsonPath, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"fig4_rank_pipeline_acceptance\",\n"
+                 "  \"setup\": \"khi_weak_16x32x8_ppc4_per_rank\",\n"
+                 "  \"ranks\": %zu,\n"
+                 "  \"steps\": %d,\n"
+                 "  \"bit_identical\": %s,\n"
+                 "  \"ratio\": %.4f,\n"
+                 "  \"threshold\": %.4f,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 gateRanks, steps, identical ? "true" : "false", gateRatio,
+                 gate, pass ? "true" : "false");
+    std::fclose(f);
+  }
+  if (threshold > 0) return pass ? 0 : 1;
+  return identical ? 0 : 1;
 }

@@ -6,7 +6,13 @@
 /// with ~30 % of the deficit attributed to the DDP all-reduce and the
 /// rest to the replicated MMD computation with its graph-breaking
 /// all-gather.
+///
+///   ./bench/bench_fig8_training_scaling [--json <path>]
+///
+/// --json writes the measured per-rank batch times and efficiencies (CI
+/// uploads it as the BENCH_fig8 artifact).
 #include <cstdio>
+#include <cstring>
 
 #ifdef _OPENMP
 #include <omp.h>
@@ -71,19 +77,38 @@ int main(int argc, char** argv) {
     omp_set_num_threads(1);
   }
 #endif
-  (void)argc;
+  const char* jsonPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      jsonPath = arg + 7;
+    } else {
+      std::fprintf(stderr,
+                   "unknown option %s — usage: bench_fig8_training_scaling "
+                   "[--json <path>]\n",
+                   arg);
+      return 2;
+    }
+  }
   std::printf("==============================================================\n");
   std::printf("Fig 8 — weak scaling of in-transit training (efficiency %%)\n");
   std::printf("==============================================================\n\n");
 
   std::printf("[A] Measured: thread-rank DDP on this machine, batch 8/rank,\n");
   std::printf("    reduced model preset, >4-sigma outliers removed\n\n");
+  std::vector<std::size_t> rankAxis;
+  std::vector<double> batchSeconds, efficiencies;
   {
     std::vector<std::vector<std::string>> rows;
     double t1 = 0;
     for (std::size_t ranks : {1u, 2u, 4u, 8u}) {
       const double t = measuredBatchSeconds(ranks, 10);
       if (ranks == 1) t1 = t;
+      rankAxis.push_back(ranks);
+      batchSeconds.push_back(t);
+      efficiencies.push_back(100.0 * t1 / t);
       rows.push_back({std::to_string(ranks),
                       ascii::num(t * 1e3, 2) + " ms",
                       ascii::num(100.0 * t1 / t, 1) + " %"});
@@ -124,5 +149,27 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: ~100%% at 8 nodes falling to ~35%% at 96 nodes; all-reduce\n"
       "accounts for ~30%% deficit, MMD's replicated work for the rest\n");
+
+  if (jsonPath != nullptr) {
+    std::FILE* f = std::fopen(jsonPath, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"fig8_training_weak_scaling\",\n"
+                 "  \"setup\": \"thread_ddp_reduced_model_batch8\",\n"
+                 "  \"measured\": [\n");
+    for (std::size_t i = 0; i < rankAxis.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"ranks\": %zu, \"batch_seconds\": %.6f, "
+                   "\"efficiency_pct\": %.2f}%s\n",
+                   rankAxis[i], batchSeconds[i], efficiencies[i],
+                   i + 1 < rankAxis.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
   return 0;
 }

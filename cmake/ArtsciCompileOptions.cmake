@@ -27,8 +27,13 @@ endif()
 
 if(ARTSCI_SANITIZE)
   set(_artsci_san_flags "-fsanitize=${ARTSCI_SANITIZE}")
-  target_compile_options(artsci_build_flags INTERFACE
-    ${_artsci_san_flags} -fno-omit-frame-pointer -fno-sanitize-recover=all)
-  target_link_options(artsci_build_flags INTERFACE ${_artsci_san_flags})
+  # Directory scope (this file is included from the top level), NOT the
+  # interface target: in-tree third-party builds — the GoogleTest source
+  # tree added by ArtsciGTest.cmake — must be instrumented too. TSan in
+  # particular aborts at startup when uninstrumented objects are linked
+  # into an instrumented executable.
+  add_compile_options(${_artsci_san_flags} -fno-omit-frame-pointer
+    -fno-sanitize-recover=all)
+  add_link_options(${_artsci_san_flags})
   message(STATUS "artsci: sanitizers enabled: ${ARTSCI_SANITIZE}")
 endif()

@@ -7,10 +7,14 @@ namespace artsci::ml::kernels {
 namespace {
 
 /// GCC-on-Linux gets per-CPU clones of each hot kernel (ifunc dispatch);
-/// other toolchains and sanitized builds use the single portable version
-/// (ifunc resolvers predate sanitizer runtime init).
+/// other toolchains and sanitized builds use the single portable version.
+/// Ifunc resolvers run at IRELATIVE-relocation time, before .preinit_array,
+/// so a sanitizer-instrumented resolver (GCC instruments them) faults in
+/// __tsan_func_entry before the runtime exists. Hence no clones under
+/// ASan *or* TSan.
 #if defined(__GNUC__) && !defined(__clang__) && defined(__x86_64__) && \
-    defined(__linux__) && !defined(__SANITIZE_ADDRESS__)
+    defined(__linux__) && !defined(__SANITIZE_ADDRESS__) &&            \
+    !defined(__SANITIZE_THREAD__)
 #define ARTSCI_GEMM_CLONES \
   __attribute__((target_clones("avx512f", "avx2,fma", "default")))
 #else

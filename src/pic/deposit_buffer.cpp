@@ -90,6 +90,40 @@ void DepositBuffer::reduceComponent(Field3& dst, int comp,
   }
 }
 
+void DepositBuffer::reduceTileRows(VectorField& J, long tile, long xBegin,
+                                   long xEnd) const {
+  ARTSCI_EXPECTS(tile >= 0 && tile < tileCount());
+  ARTSCI_EXPECTS(xBegin >= 0 && xBegin < xEnd && xEnd <= grid_.nx);
+  ARTSCI_EXPECTS(J.x.nx() == grid_.nx && J.x.ny() == grid_.ny &&
+                 J.x.nz() == grid_.nz);
+  const long nyz = grid_.ny * grid_.nz;
+  const TileExtent e = extentOf(tile);
+  const long spanX = (e.x1 - e.x0) + 2 * kHalo;
+  const long spanY = (e.y1 - e.y0) + 2 * kHalo;
+  Field3* const comps[3] = {&J.x, &J.y, &J.z};
+  for (int comp = 0; comp < 3; ++comp) {
+    Field3& dst = *comps[comp];
+    const double* src = tileComponent(tile, comp);
+    for (long li = 0; li < spanX; ++li) {
+      const long gi = Field3::wrap(e.x0 - kHalo + li, grid_.nx);
+      // Row filter: only destination rows inside the caller's slab commit.
+      // Everything else matches reduceComponent's loops exactly, so the
+      // union over disjoint slabs is the serial single-rank reduction.
+      if (gi < xBegin || gi >= xEnd) continue;
+      for (long lj = 0; lj < spanY; ++lj) {
+        const long gj = Field3::wrap(e.y0 - kHalo + lj, grid_.ny);
+        const double* row = src + (li * padY_ + lj) * padZ_;
+        const long base = gi * nyz + gj * grid_.nz;
+        for (long lk = 0; lk < padZ_; ++lk) {
+          const double v = row[lk];
+          if (v != 0.0)
+            dst.flat(base + wrapZ_[static_cast<std::size_t>(lk)]) += v;
+        }
+      }
+    }
+  }
+}
+
 void DepositBuffer::scatterEsirkepovTile(const GridSpec& grid, double x0,
                                          double y0, double z0, double x1,
                                          double y1, double z1,

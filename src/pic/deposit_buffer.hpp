@@ -160,6 +160,18 @@ class DepositBuffer {
   /// pipeline passes its post-sort SupercellIndex.
   void reduce(VectorField& J, const SupercellIndex& occupancy);
 
+  /// Reduce one tile's accumulators (all three components) into J, but
+  /// commit only destination rows whose wrapped global x index lies in
+  /// [xBegin, xEnd). The rank-decomposed driver's collective reduction:
+  /// every rank applies all ranks' occupied tiles in the same fixed
+  /// (tile, source-rank) order restricted to its own slab rows, so the
+  /// writes are disjoint across concurrent ranks while every cell still
+  /// receives its partial sums in the canonical global order (equal to
+  /// the single-rank reduce; see pic/domain.hpp). The caller checks
+  /// occupancy — this call assumes the tile was scattered this step.
+  void reduceTileRows(VectorField& J, long tile, long xBegin,
+                      long xEnd) const;
+
  private:
   /// Stable counting sort of particle indices by owning tile, delegated
   /// to the SupercellIndex member. Throws ContractError if any position

@@ -1,5 +1,10 @@
 #include "pic/domain.hpp"
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
 #include <cmath>
 
 #include "pic/interpolate.hpp"
@@ -10,13 +15,43 @@ namespace artsci::pic {
 DistributedSimulation::DistributedSimulation(Config cfg)
     : cfg_(cfg), solver_(cfg.grid), E_(cfg.grid), B_(cfg.grid), J_(cfg.grid) {
   ARTSCI_EXPECTS(cfg.ranks >= 1);
-  ARTSCI_EXPECTS_MSG(cfg.grid.nx >= static_cast<long>(cfg.ranks),
-                     "fewer x-cells than ranks");
+  ARTSCI_EXPECTS(cfg.grid.nx >= 1 && cfg.grid.ny >= 1 && cfg.grid.nz >= 1);
   ARTSCI_EXPECTS(solver_.cflNumber(cfg.dt) < 1.0);
+  ARTSCI_EXPECTS(cfg.tiles.tileEdgeX >= 1 && cfg.tiles.tileEdgeY >= 1);
+  // Same clamp as SupercellIndex/DepositBuffer, so the column arithmetic
+  // below agrees with the tile geometry the buffers actually build.
+  tileEdgeX_ = std::min(cfg.tiles.tileEdgeX, cfg.grid.nx);
+  tilesX_ = (cfg.grid.nx + tileEdgeX_ - 1) / tileEdgeX_;
+  ARTSCI_EXPECTS_MSG(static_cast<long>(cfg.ranks) <= tilesX_,
+                     "rank slabs are whole tile columns: need ranks <= "
+                     "ceil(nx / tileEdgeX) = "
+                         << tilesX_
+                         << "; shrink Config::tiles.tileEdgeX or ranks");
+#ifndef _OPENMP
+  // The legacy split step's halo deposit uses `omp atomic` sinks; in a
+  // build without OpenMP those are plain `+=` on shared cells — a data
+  // race across the std::thread rank team, not merely nondeterminism.
+  ARTSCI_EXPECTS_MSG(
+      cfg.pipeline == ParticlePipeline::Fused || cfg.ranks == 1,
+      "ParticlePipeline::Split with multiple ranks requires an OpenMP "
+      "build (its halo deposit would be a plain data race here)");
+#endif
   particles_.resize(cfg.ranks);
-  inbox_.resize(cfg.ranks);
-  for (std::size_t r = 0; r < cfg.ranks; ++r)
-    inboxMutex_.push_back(std::make_unique<std::mutex>());
+  if (cfg.pipeline == ParticlePipeline::Fused) {
+    outbox_.resize(cfg.ranks);
+    for (auto& perDst : outbox_) perDst.resize(cfg.ranks);
+    depositBuf_.reserve(cfg.ranks);
+    fused_.reserve(cfg.ranks);
+    for (std::size_t r = 0; r < cfg.ranks; ++r) {
+      depositBuf_.push_back(
+          std::make_unique<DepositBuffer>(cfg.grid, cfg.tiles));
+      fused_.push_back(std::make_unique<FusedPipeline>(cfg.grid, cfg.tiles));
+    }
+  } else {
+    inbox_.resize(cfg.ranks);
+    for (std::size_t r = 0; r < cfg.ranks; ++r)
+      inboxMutex_.push_back(std::make_unique<std::mutex>());
+  }
 }
 
 std::size_t DistributedSimulation::addSpecies(const SpeciesInfo& info) {
@@ -24,7 +59,9 @@ std::size_t DistributedSimulation::addSpecies(const SpeciesInfo& info) {
   staging_.emplace_back(info);
   for (std::size_t r = 0; r < cfg_.ranks; ++r) {
     particles_[r].emplace_back(info);
-    inbox_[r].emplace_back();
+    if (!inbox_.empty()) inbox_[r].emplace_back();
+    if (!outbox_.empty())
+      for (std::size_t d = 0; d < cfg_.ranks; ++d) outbox_[r][d].emplace_back();
   }
   return speciesInfo_.size() - 1;
 }
@@ -34,32 +71,54 @@ ParticleBuffer& DistributedSimulation::staging(std::size_t speciesIdx) {
   return staging_[speciesIdx];
 }
 
-std::pair<long, long> DistributedSimulation::slabOf(std::size_t rank) const {
+std::pair<long, long> DistributedSimulation::columnsOf(std::size_t rank) const {
   ARTSCI_EXPECTS(rank < cfg_.ranks);
-  const long nx = cfg_.grid.nx;
-  const long base = nx / static_cast<long>(cfg_.ranks);
-  const long rem = nx % static_cast<long>(cfg_.ranks);
+  const long base = tilesX_ / static_cast<long>(cfg_.ranks);
+  const long rem = tilesX_ % static_cast<long>(cfg_.ranks);
   const long r = static_cast<long>(rank);
   const long begin = r * base + std::min(r, rem);
-  const long end = begin + base + (r < rem ? 1 : 0);
-  return {begin, end};
+  return {begin, begin + base + (r < rem ? 1 : 0)};
+}
+
+std::size_t DistributedSimulation::rankOfColumn(long column) const {
+  ARTSCI_EXPECTS(column >= 0 && column < tilesX_);
+  const long base = tilesX_ / static_cast<long>(cfg_.ranks);
+  const long rem = tilesX_ % static_cast<long>(cfg_.ranks);
+  const long wide = (base + 1) * rem;  // columns held by the rem wider ranks
+  const long r =
+      column < wide ? column / (base + 1) : rem + (column - wide) / base;
+  return static_cast<std::size_t>(r);
+}
+
+std::pair<long, long> DistributedSimulation::slabOf(std::size_t rank) const {
+  const auto [c0, c1] = columnsOf(rank);
+  return {c0 * tileEdgeX_, std::min(cfg_.grid.nx, c1 * tileEdgeX_)};
 }
 
 std::size_t DistributedSimulation::ownerOf(double xCell) const {
-  // Inverse of slabOf for uniform-ish slabs; linear scan is fine since
-  // migration only ever moves to the adjacent slab.
-  for (std::size_t r = 0; r < cfg_.ranks; ++r) {
-    const auto [b, e] = slabOf(r);
-    if (xCell >= static_cast<double>(b) && xCell < static_cast<double>(e))
-      return r;
-  }
-  return cfg_.ranks - 1;
+  const double nx = static_cast<double>(cfg_.grid.nx);
+  // NaN fails both comparisons, so it throws here too instead of being
+  // silently assigned to a rank (the pre-fix behavior fell back to the
+  // last rank for anything out of range).
+  ARTSCI_EXPECTS_MSG(xCell >= 0.0 && xCell < nx,
+                     "particle x position "
+                         << xCell << " outside the domain [0, " << nx
+                         << ") — positions must be wrapped and finite");
+  return rankOfColumn(static_cast<long>(std::floor(xCell)) / tileEdgeX_);
 }
 
 void DistributedSimulation::distribute() {
+  const double ny = static_cast<double>(cfg_.grid.ny);
+  const double nz = static_cast<double>(cfg_.grid.nz);
   for (std::size_t s = 0; s < staging_.size(); ++s) {
     ParticleBuffer& src = staging_[s];
     for (std::size_t i = 0; i < src.size(); ++i) {
+      // ownerOf validates x; y/z get the same out-of-domain contract so
+      // a bad stage fails here, not steps later inside a rank's sort.
+      ARTSCI_EXPECTS_MSG(src.y[i] >= 0.0 && src.y[i] < ny &&
+                             src.z[i] >= 0.0 && src.z[i] < nz,
+                         "staged particle position outside the domain — "
+                         "wrap positions before distribute()");
       const std::size_t owner = ownerOf(src.x[i]);
       particles_[owner][s].push({src.x[i], src.y[i], src.z[i]},
                                 {src.ux[i], src.uy[i], src.uz[i]}, src.w[i]);
@@ -77,7 +136,108 @@ ParticleBuffer DistributedSimulation::gatherSpecies(
   return out;
 }
 
-void DistributedSimulation::stepRank(std::size_t rank, Barrier& barrier) {
+void DistributedSimulation::stepRankFused(std::size_t rank, Barrier& barrier) {
+  const GridSpec& g = cfg_.grid;
+  const auto [x0, x1] = slabOf(rank);
+  const double dt = cfg_.dt;
+  const long tiles = depositBuf_[rank]->tileCount();
+  const long tilesY = depositBuf_[rank]->tilesY();
+
+  // Zero this rank's J slab. No barrier around it: every J row is
+  // written only by its owning rank for the whole step (this zeroing and
+  // the row-restricted reduction) and read only by its owner (updateE),
+  // so J rows are rank-private memory.
+  for (long i = x0; i < x1; ++i) {
+    for (long j = 0; j < g.ny; ++j) {
+      for (long k = 0; k < g.nz; ++k) {
+        const long idx = J_.x.index(i, j, k);
+        J_.x.flat(idx) = 0.0;
+        J_.y.flat(idx) = 0.0;
+        J_.z.flat(idx) = 0.0;
+      }
+    }
+  }
+
+  // Species loop mirrors Simulation::step()'s: each species' currents
+  // are fully reduced into J before the next species scatters, so every
+  // cell's add sequence is (species, tile)-ordered exactly like the
+  // single-rank driver's.
+  for (std::size_t s = 0; s < speciesInfo_.size(); ++s) {
+    // Scatter phase: fused push + scatter into this rank's private tile
+    // accumulators (concurrent across ranks — E/B are read-only here),
+    // then scan migrants into the per-destination outboxes. Slab
+    // ownership is tile-column-aligned, so every particle of this rank
+    // scatters into a tile this rank owns.
+    ParticleBuffer& p = particles_[rank][s];
+    fused_[rank]->pushAndScatter(p, E_, B_, dt, *depositBuf_[rank]);
+    std::vector<std::size_t> leaving;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      if (p.x[i] < static_cast<double>(x0) ||
+          p.x[i] >= static_cast<double>(x1))
+        leaving.push_back(i);
+    }
+    // Outbox order is ascending post-sort index — deterministic because
+    // the canonical sort just made the buffer order multiset-determined.
+    for (std::size_t i : leaving)
+      outbox_[rank][ownerOf(p.x[i])][s].push_back(
+          Migrant{{p.x[i], p.y[i], p.z[i]},
+                  {p.ux[i], p.uy[i], p.uz[i]},
+                  p.w[i]});
+    for (auto it = leaving.rbegin(); it != leaving.rend(); ++it)
+      p.swapRemove(*it);
+    barrier.arriveAndWait();
+
+    // Reduction phase — the deterministic halo exchange. Every rank
+    // walks ALL ranks' tiles in ascending tile order and commits only
+    // its own slab's rows (reduceTileRows): concurrent writes are
+    // disjoint, accumulator reads are immutable, and each J cell
+    // receives its per-tile sums in the single-rank reduce order. A
+    // tile's halo rows that spill into this slab are committed here from
+    // the owner's accumulator. Occupancy comes from the owner's
+    // post-sort index, so never-scattered (stale) tiles are skipped.
+    for (long t = 0; t < tiles; ++t) {
+      const std::size_t owner = rankOfColumn(t / tilesY);
+      const SupercellIndex::Range r = fused_[owner]->index().tileRange(t);
+      if (r.begin == r.end) continue;
+      depositBuf_[owner]->reduceTileRows(J_, t, x0, x1);
+    }
+    // Second barrier: the next species' scatter (or the step end) must
+    // not overwrite accumulators another rank is still reducing from.
+    barrier.arriveAndWait();
+  }
+
+  // Absorb migrants in ascending source-rank order — fixed, scheduling-
+  // independent arrival order (the mutex-inbox predecessor appended in
+  // thread arrival order, which leaked into every downstream FP sum).
+  // Migrants deposited on their source rank this step; they join the
+  // destination's buffer for the next one.
+  for (std::size_t src = 0; src < cfg_.ranks; ++src) {
+    for (std::size_t s = 0; s < speciesInfo_.size(); ++s) {
+      auto& box = outbox_[src][rank][s];
+      for (const Migrant& m : box) particles_[rank][s].push(m.pos, m.u, m.w);
+      box.clear();
+    }
+  }
+  barrier.arriveAndWait();
+
+  // Field update on own slab, globally synchronized between sub-steps so
+  // halo reads see completed neighbour updates. Cell updates are
+  // per-cell independent, so slab-restricted updates are bit-identical
+  // to the single-rank whole-grid calls.
+  solver_.updateBHalf(B_, E_, dt, x0, x1);
+  barrier.arriveAndWait();
+  solver_.updateE(E_, B_, J_, dt, x0, x1);
+  barrier.arriveAndWait();
+  solver_.updateBHalf(B_, E_, dt, x0, x1);
+  barrier.arriveAndWait();
+}
+
+// Legacy split rank step, kept only as the fig4 A/B baseline: halo
+// deposits go through `omp atomic` sinks in rank arrival order (not
+// reproducible) and migration through mutex inboxes (arrival order =
+// thread scheduling). See stepRankFused for the deterministic
+// replacement.
+void DistributedSimulation::stepRankSplit(std::size_t rank, Barrier& barrier) {
   const GridSpec& g = cfg_.grid;
   const auto [x0, x1] = slabOf(rank);
   const double dt = cfg_.dt;
@@ -163,16 +323,33 @@ void DistributedSimulation::run(long steps) {
   ARTSCI_EXPECTS(steps >= 0);
   Barrier barrier(cfg_.ranks);
   Timer timer;
+#ifdef _OPENMP
+  // libgomp ICVs do not propagate to fresh pthreads: each rank thread
+  // resets its own team size below so `ranks` inner OpenMP teams don't
+  // oversubscribe the machine. Computed here on the main thread, where
+  // the user's OMP_NUM_THREADS setting is visible.
+  const int perRankThreads =
+      std::max(1, omp_get_max_threads() / static_cast<int>(cfg_.ranks));
+#endif
+  const bool fusedPath = cfg_.pipeline == ParticlePipeline::Fused;
   runRankTeam(cfg_.ranks, [&](std::size_t rank) {
-    for (long s = 0; s < steps; ++s) stepRank(rank, barrier);
+#ifdef _OPENMP
+    omp_set_num_threads(perRankThreads);
+#endif
+    for (long s = 0; s < steps; ++s) {
+      if (fusedPath)
+        stepRankFused(rank, barrier);
+      else
+        stepRankSplit(rank, barrier);
+    }
   });
   // Work accounting for the FOM.
   double particles = 0;
   for (std::size_t r = 0; r < cfg_.ranks; ++r)
-    for (const auto& p : particles_[r]) particles += static_cast<double>(p.size());
+    for (const auto& p : particles_[r])
+      particles += static_cast<double>(p.size());
   fom_.particleUpdates += particles * static_cast<double>(steps);
-  fom_.cellUpdates +=
-      static_cast<double>(cfg_.grid.cellCount() * steps);
+  fom_.cellUpdates += static_cast<double>(cfg_.grid.cellCount() * steps);
   fom_.seconds += timer.seconds();
   step_ += steps;
 }

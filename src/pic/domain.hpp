@@ -2,20 +2,58 @@
 /// SPMD domain-decomposed PIC driver: the grid is split into x-slabs, one
 /// per rank ("GCD"), with barrier-synchronized phases per step — the
 /// shared-memory equivalent of PIConGPU's MPI domain decomposition with
-/// next-neighbour halo exchange. Particles migrate between slabs through
-/// per-rank mailboxes; current deposition near slab boundaries overlaps
-/// into the neighbour slab (the halo), handled by atomic accumulation.
+/// next-neighbour halo exchange.
 ///
-/// Determinism: unlike the single-rank Simulation (whose tiled deposition
-/// is bit-reproducible across thread counts, see pic/deposit_buffer.hpp),
-/// the cross-rank halo overlap here commits atomic float adds in rank
-/// arrival order, so halo cells are *not* bit-reproducible across runs —
-/// see docs/ARCHITECTURE.md's invariant table.
+/// The default (ParticlePipeline::Fused) rank step runs the supercell-
+/// fused pipeline of fused_pipeline.hpp per rank and is bit-reproducible:
+/// the same run produces the same fields AND the same particle multiset
+/// for any rank count, any OMP thread count, and any repetition. Three
+/// ingredients make that hold:
+///
+///  1. *Tile-column-aligned slabs.* Rank slabs are whole columns of
+///     deposit tiles (Config::tiles), so every tile's particles live on
+///     exactly one rank and each tile accumulator is computed whole, by
+///     one rank, in one canonical-order fold. Slab boundaries cutting
+///     through a tile would split that fold into per-rank partial sums,
+///     and grouped FP partial sums do not recombine to the sequential
+///     fold's bits — alignment is what makes rank-count invariance
+///     possible at all, hence the ctor's ranks <= tile-columns bound.
+///  2. *Canonical in-tile order.* SupercellIndex::sort orders each tile
+///     by the x-major phase-space key, so the per-tile scatter sequence
+///     is a pure function of the particle multiset — independent of how
+///     distribution and migration history ordered each rank's buffer.
+///  3. *Collective fixed-order halo reduction.* After all ranks scatter
+///     (concurrently, into rank-private accumulators), every rank walks
+///     ALL ranks' occupied tiles in ascending tile order and commits only
+///     the rows of its own slab (DepositBuffer::reduceTileRows): writes
+///     are disjoint across ranks, reads are shared and immutable, and
+///     every J cell receives its per-tile partial sums in exactly the
+///     order the single-rank reduce uses. Halo rows that spill into a
+///     neighbour's slab are committed by that neighbour from this rank's
+///     accumulator — the halo exchange, with no atomics and no
+///     arrival-order dependence.
+///
+/// Migration is deterministic too: leaving particles go into
+/// per-(source, destination) outboxes written only by the source rank and
+/// absorbed in ascending source-rank order — no mutexes, no
+/// scheduling-dependent arrival order.
+///
+/// The net per-step add sequence into every field cell equals the
+/// single-rank Simulation's (same tiles config), so a DistributedSimulation
+/// run is bit-identical to the fused Simulation whatever the rank count.
+/// Enforced by tests/pic/test_domain.cpp.
+///
+/// ParticlePipeline::Split keeps the legacy rank step (atomic halo
+/// deposits, mutex inboxes) for the fig4 old/new A/B bench only: it is
+/// order-nondeterministic, and without OpenMP its "atomic" sinks are
+/// plain racy adds — the ctor rejects Split with ranks > 1 in non-OpenMP
+/// builds.
 ///
 /// The Fig 4 bench measures this driver's weak scaling: FOM vs ranks with
 /// the grid grown proportionally.
 #pragma once
 
+#include <memory>
 #include <mutex>
 
 #include "common/thread_pool.hpp"
@@ -27,8 +65,18 @@ class DistributedSimulation {
  public:
   struct Config {
     GridSpec grid;
-    double dt = 0.05;        ///< 1/omega_pe units; must satisfy CFL
-    std::size_t ranks = 2;   ///< slab count; requires grid.nx >= ranks
+    double dt = 0.05;       ///< 1/omega_pe units; must satisfy CFL
+    std::size_t ranks = 2;  ///< slab count; requires ranks <= x tile columns
+    /// Rank particle-update path. Fused (default) is the deterministic
+    /// supercell pipeline documented above; Split is the legacy
+    /// non-reproducible step, kept for the fig4 A/B bench.
+    ParticlePipeline pipeline = ParticlePipeline::Fused;
+    /// Deposit/supercell tile geometry. Rank slabs are whole tile
+    /// columns, so ceil(nx / tileEdgeX) must be >= ranks (shrink
+    /// tileEdgeX for extreme decompositions, e.g. one cell per rank).
+    /// Must equal SimulationConfig::tiles when comparing against the
+    /// single-rank driver bit-for-bit.
+    TileDepositConfig tiles = {};
   };
 
   explicit DistributedSimulation(Config cfg);
@@ -39,6 +87,10 @@ class DistributedSimulation {
   /// Stage particles for the whole domain (any rank's slab); distribute()
   /// then hands each to its owner rank.
   ParticleBuffer& staging(std::size_t speciesIdx);
+  /// Hand every staged particle to its owner rank. Throws ContractError
+  /// if any staged position lies outside the domain (NaN included) on
+  /// any axis — the distributed step assumes wrapped positions, and a
+  /// silent clamp here would mean a wrong-rank particle later.
   void distribute();
 
   /// Run `steps` full PIC cycles on a rank team.
@@ -47,19 +99,31 @@ class DistributedSimulation {
   const GridSpec& grid() const { return cfg_.grid; }
   /// Number of rank slabs (thread-team size during run()).
   std::size_t ranks() const { return cfg_.ranks; }
+  /// The rank particle-update path in use (Config::pipeline).
+  ParticlePipeline particlePipeline() const { return cfg_.pipeline; }
   const VectorField& fieldE() const { return E_; }
   const VectorField& fieldB() const { return B_; }
+  /// Current density deposited by the most recent step.
+  const VectorField& currentJ() const { return J_; }
   const FieldSolver& solver() const { return solver_; }
   /// Number of completed steps.
   long stepIndex() const { return step_; }
   /// Accumulated FOM work counters (wall-clock dependent).
   const FomCounters& fom() const { return fom_; }
 
-  /// Concatenate all ranks' particles of one species (diagnostics).
+  /// Concatenate all ranks' particles of one species (diagnostics). Rank
+  /// buffer order depends on migration history, so compare gathered
+  /// buffers as multisets (e.g. after a canonical sort), not elementwise.
   ParticleBuffer gatherSpecies(std::size_t speciesIdx) const;
 
-  /// Slab [begin, end) of cells in x owned by `rank`.
+  /// Slab [begin, end) of cells in x owned by `rank` — whole tile
+  /// columns, distributed base+remainder over ranks.
   std::pair<long, long> slabOf(std::size_t rank) const;
+
+  /// Owner rank of a particle at x (cell units). Throws ContractError
+  /// when x is outside [0, nx) — NaN included — instead of silently
+  /// assigning a rank.
+  std::size_t ownerOf(double xCell) const;
 
  private:
   struct Migrant {
@@ -67,17 +131,37 @@ class DistributedSimulation {
     double w;
   };
 
-  void stepRank(std::size_t rank, Barrier& barrier);
-  std::size_t ownerOf(double xCell) const;
+  /// Tile columns [begin, end) owned by `rank` (base+remainder split).
+  std::pair<long, long> columnsOf(std::size_t rank) const;
+  /// Inverse of columnsOf: the rank owning tile column `column`.
+  std::size_t rankOfColumn(long column) const;
+
+  void stepRankFused(std::size_t rank, Barrier& barrier);
+  void stepRankSplit(std::size_t rank, Barrier& barrier);
 
   Config cfg_;
+  long tileEdgeX_ = 0;  ///< x tile edge, clamped to the grid like the buffers
+  long tilesX_ = 0;     ///< number of x tile columns
   FieldSolver solver_;
   VectorField E_, B_, J_;
   std::vector<SpeciesInfo> speciesInfo_;
   std::vector<ParticleBuffer> staging_;
   /// particles_[rank][species]
   std::vector<std::vector<ParticleBuffer>> particles_;
-  /// inbox_[rank][species] + its mutex
+  /// Fused path, per rank: private tile accumulators + fused driver over
+  /// the full grid geometry (only owned tiles are ever touched; the full
+  /// extent keeps tile indices global, which the collective reduction
+  /// and the cross-rank occupancy lookups rely on).
+  std::vector<std::unique_ptr<DepositBuffer>> depositBuf_;
+  std::vector<std::unique_ptr<FusedPipeline>> fused_;
+  /// Fused path: outbox_[src][dst][species], written only by rank `src`
+  /// during its migrant scan, drained only by rank `dst` during the
+  /// absorb phase (barriers separate the two) — deterministic migration
+  /// with no locks.
+  std::vector<std::vector<std::vector<std::vector<Migrant>>>> outbox_;
+  /// Split path (legacy): shared inbox_[rank][species] + its mutex;
+  /// arrival order is thread scheduling — the non-reproducibility the
+  /// fused path removes.
   std::vector<std::vector<std::vector<Migrant>>> inbox_;
   std::vector<std::unique_ptr<std::mutex>> inboxMutex_;
   long step_ = 0;

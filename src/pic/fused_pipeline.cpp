@@ -64,6 +64,17 @@ void FusedPipeline::pushAndDeposit(ParticleBuffer& p, const VectorField& E,
                                    std::vector<double>* bdx,
                                    std::vector<double>* bdy,
                                    std::vector<double>* bdz) {
+  pushAndScatter(p, E, B, dt, accum, bdx, bdy, bdz);
+  // Fixed-order tile reduction (shared with the split path).
+  if (!p.empty()) accum.reduce(J, index_);
+}
+
+void FusedPipeline::pushAndScatter(ParticleBuffer& p, const VectorField& E,
+                                   const VectorField& B, double dt,
+                                   DepositBuffer& accum,
+                                   std::vector<double>* bdx,
+                                   std::vector<double>* bdy,
+                                   std::vector<double>* bdz) {
   ARTSCI_EXPECTS(dt > 0);
   ARTSCI_EXPECTS(accum.grid().nx == grid_.nx && accum.grid().ny == grid_.ny &&
                  accum.grid().nz == grid_.nz && accum.grid().dx == grid_.dx &&
@@ -77,16 +88,18 @@ void FusedPipeline::pushAndDeposit(ParticleBuffer& p, const VectorField& E,
   ARTSCI_EXPECTS((bdx == nullptr) == (bdy == nullptr) &&
                  (bdx == nullptr) == (bdz == nullptr));
   const std::size_t n = p.size();
-  if (n == 0) return;
 
-  // The one binning pass of the step: stable supercell sort by the
-  // pre-push (= Esirkepov-center) position. Per-tile order is ascending
-  // pre-sort index — exactly the order the split path's deposit binning
-  // produces, which is what keeps the two paths bit-identical.
+  // The one binning pass of the step: supercell sort by the pre-push
+  // (= Esirkepov-center) position, canonical phase-space order within
+  // each tile — the same order the split path's pre-push sort leaves the
+  // buffer in (its deposit re-binning is stable, hence order-preserving),
+  // which is what keeps the two paths bit-identical. Runs even for an
+  // empty buffer so index() always reflects *this* call's occupancy.
   const bool wrapped = index_.sort(p);
   ARTSCI_EXPECTS_MSG(wrapped,
                      "fused pipeline: particle position outside [0, n) — "
                      "positions must be periodically wrapped");
+  if (n == 0) return;
 
   if (bdx != nullptr) {
     bdx->resize(n);
@@ -203,9 +216,6 @@ void FusedPipeline::pushAndDeposit(ParticleBuffer& p, const VectorField& E,
   ARTSCI_EXPECTS_MSG(displacementOk,
                      "fused pipeline: particle displacement >= 1 cell in one "
                      "step — dt violates the CFL displacement bound");
-
-  // Fixed-order tile reduction (shared with the split path).
-  accum.reduce(J, index_);
 }
 
 }  // namespace artsci::pic

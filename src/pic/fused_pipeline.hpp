@@ -16,14 +16,17 @@
 /// bench/particle_pipeline.cpp measures the A/B (target >= 1.5x particle
 /// updates/s on the quick-demo KHI at 8 threads).
 ///
-/// Determinism: the sort is stable and keyed on positions alone, tile
+/// Determinism: the sort orders each tile canonically by phase-space key
+/// (a pure function of the particle multiset — see SupercellIndex), tile
 /// caches are copies, per-particle arithmetic is shared with the split
 /// path (interpolate.hpp / pusher.hpp / deposit.hpp kernels), per-tile
 /// scatter order is the sorted order, and the reduction is the fixed-
 /// order DepositBuffer reduce — so a fused step is bit-identical across
-/// OMP thread counts, schedules, and repeated runs, AND bit-identical to
-/// the split tiled path up to the (deterministic) particle reordering.
-/// Enforced by tests/pic/test_fused_pipeline.cpp.
+/// OMP thread counts, schedules, and repeated runs, bit-identical to
+/// the split tiled path up to the (deterministic) particle reordering,
+/// and bit-identical to the rank-decomposed driver for any rank count
+/// (pic/domain.hpp). Enforced by tests/pic/test_fused_pipeline.cpp and
+/// tests/pic/test_domain.cpp.
 #pragma once
 
 #include <vector>
@@ -62,6 +65,19 @@ class FusedPipeline {
   void pushAndDeposit(ParticleBuffer& p, const VectorField& E,
                       const VectorField& B, VectorField& J, double dt,
                       DepositBuffer& accum, std::vector<double>* bdx = nullptr,
+                      std::vector<double>* bdy = nullptr,
+                      std::vector<double>* bdz = nullptr);
+
+  /// The fused pass *without* the final reduction: sort, then per tile
+  /// gather/push/move/deposit/wrap, leaving the tile accumulators in
+  /// `accum` populated for the occupied tiles of index(). The
+  /// rank-decomposed driver uses this so every rank can scatter into its
+  /// private accumulators concurrently and the cross-rank reduction can
+  /// run as its own collectively-ordered phase (DepositBuffer::
+  /// reduceTileRows); same contract as pushAndDeposit otherwise.
+  void pushAndScatter(ParticleBuffer& p, const VectorField& E,
+                      const VectorField& B, double dt, DepositBuffer& accum,
+                      std::vector<double>* bdx = nullptr,
                       std::vector<double>* bdy = nullptr,
                       std::vector<double>* bdz = nullptr);
 

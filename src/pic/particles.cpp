@@ -194,6 +194,37 @@ bool SupercellIndex::sort(ParticleBuffer& buffer) {
   const bool inDomain =
       bin(buffer.x.data(), buffer.y.data(), buffer.z.data(), n);
 
+  // Canonical in-tile order: ascending x-major phase-space key. This
+  // erases the buffer's arrival history from the per-tile order, making
+  // it a pure function of the particle multiset (the property the
+  // rank-decomposed driver's cross-rank bit-identity rests on). The
+  // x-first comparison resolves almost every pair in one compare, and
+  // full seven-key ties are physically identical particles, for which
+  // any order yields the same bits everywhere downstream.
+  const ParticleBuffer& b = buffer;
+  const auto canonicalBefore = [&b](std::uint32_t ia, std::uint32_t ib) {
+    const auto a = static_cast<std::size_t>(ia);
+    const auto c = static_cast<std::size_t>(ib);
+    if (b.x[a] != b.x[c]) return b.x[a] < b.x[c];
+    if (b.y[a] != b.y[c]) return b.y[a] < b.y[c];
+    if (b.z[a] != b.z[c]) return b.z[a] < b.z[c];
+    if (b.ux[a] != b.ux[c]) return b.ux[a] < b.ux[c];
+    if (b.uy[a] != b.uy[c]) return b.uy[a] < b.uy[c];
+    if (b.uz[a] != b.uz[c]) return b.uz[a] < b.uz[c];
+    return b.w[a] < b.w[c];
+  };
+  const long tiles = tileCount();
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic)
+#endif
+  for (long t = 0; t < tiles; ++t) {
+    const Range r = ranges_[static_cast<std::size_t>(t)];
+    if (r.end - r.begin > 1)
+      std::sort(perm_.begin() + static_cast<std::ptrdiff_t>(r.begin),
+                perm_.begin() + static_cast<std::ptrdiff_t>(r.end),
+                canonicalBefore);
+  }
+
   // Apply the permutation as a gather (parallel-safe: every destination
   // is written exactly once) into the staging buffer, then swap the
   // columns so both allocations are reused on the next call.

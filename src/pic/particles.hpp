@@ -84,12 +84,21 @@ inline double wrapCoordinate(double v, double n) {
 
 /// Supercell index: after sort(), particles are ordered by tile and
 /// tileRange() gives each tile's contiguous [begin, end) range. bin()
-/// provides the same stable counting sort as an index permutation
-/// without moving particle data (the deposition buffer's binning).
+/// provides a stable counting sort as an index permutation without
+/// moving particle data (the deposition buffer's binning).
 ///
-/// Determinism: binning depends only on positions and the tile geometry,
-/// and the per-tile order is ascending input index, so both entry points
-/// are invariant under OMP thread counts and schedules.
+/// Determinism: binning depends only on positions and the tile geometry.
+/// bin()'s per-tile order is ascending input index (stable); sort()
+/// additionally orders each tile canonically by the x-major phase-space
+/// key (x, y, z, ux, uy, uz, w), so the post-sort order is a pure
+/// function of the particle *multiset* — independent of input order,
+/// OMP thread count, and schedule. That last property is what makes the
+/// rank-decomposed driver bit-identical to single-rank stepping: an
+/// x-slab partition splits each tile's population into contiguous runs
+/// of the canonical order (slab bounds are x-thresholds and the key is
+/// x-major), so scattering rank parts in ascending rank order
+/// reproduces the single-rank per-tile scatter sequence exactly
+/// (see pic/domain.hpp).
 class SupercellIndex {
  public:
   /// Cubic tiles: edge in cells per axis (PIConGPU typically uses 8x8x4;
@@ -116,9 +125,12 @@ class SupercellIndex {
   /// Tile-sorted particle indices of the latest bin()/sort() call.
   const std::vector<std::uint32_t>& permutation() const { return perm_; }
 
-  /// Counting-sort the buffer by tile id; O(N), stable (per-tile order is
-  /// ascending pre-sort index). Returns bin()'s in-domain flag;
-  /// out-of-domain particles are sorted into their clamped tile.
+  /// Counting-sort the buffer by tile id, then order each tile by the
+  /// canonical phase-space key (x, y, z, ux, uy, uz, w) — see the class
+  /// comment; ties across all seven keys are physically indistinguishable
+  /// particles, so the order is total for every observable purpose.
+  /// Returns bin()'s in-domain flag; out-of-domain particles are sorted
+  /// into their clamped tile.
   bool sort(ParticleBuffer& buffer);
 
   struct Range {

@@ -14,18 +14,17 @@ Simulation::Simulation(SimulationConfig cfg)
   ARTSCI_EXPECTS_MSG(cfl < 1.0, "CFL violation: dt=" << cfg_.dt
                                                      << " gives CFL " << cfl);
   if (cfg_.depositMode == DepositMode::Tiled) {
-    depositBuffer_ = std::make_unique<DepositBuffer>(cfg_.grid);
+    depositBuffer_ = std::make_unique<DepositBuffer>(cfg_.grid, cfg_.tiles);
     if (cfg_.pipeline == ParticlePipeline::Fused) {
-      fused_ = std::make_unique<FusedPipeline>(cfg_.grid);
+      fused_ = std::make_unique<FusedPipeline>(cfg_.grid, cfg_.tiles);
     } else {
       // The split path shares the once-per-step supercell sort (same tile
       // geometry as the deposit buffer): with the buffer tile-ordered,
       // the deposit's internal re-binning becomes the identity, so the
       // per-tile accumulation order — hence every bit of J — matches the
       // fused path at every step.
-      const TileDepositConfig tileCfg{};
       supercell_ = std::make_unique<SupercellIndex>(
-          cfg_.grid, tileCfg.tileEdgeX, tileCfg.tileEdgeY, cfg_.grid.nz);
+          cfg_.grid, cfg_.tiles.tileEdgeX, cfg_.tiles.tileEdgeY, cfg_.grid.nz);
     }
   }
 }

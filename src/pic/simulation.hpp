@@ -50,6 +50,13 @@ struct SimulationConfig {
   /// particle state (bench/particle_pipeline.cpp measures the A/B;
   /// tests/pic/test_fused_pipeline.cpp enforces the identity).
   ParticlePipeline pipeline = ParticlePipeline::Fused;
+  /// Tile geometry for the Tiled deposit accumulators and the supercell
+  /// sort. The default 8x8 is right for production grids; tests shrink it
+  /// to exercise edge cases. Must match DistributedSimulation::Config::
+  /// tiles when comparing the two drivers bit-for-bit (tile geometry
+  /// fixes the deterministic accumulation grouping, so it is part of the
+  /// bit-level contract, not just a performance knob).
+  TileDepositConfig tiles = {};
 };
 
 /// Accumulated work counters for the FOM (paper Fig 4). Wall-clock

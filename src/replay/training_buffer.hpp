@@ -61,16 +61,29 @@ class TrainingBuffer {
     }
   }
 
-  /// True once a full batch can be drawn (both buffers non-empty enough;
-  /// before the EP buffer has content, batches draw only from the
-  /// now-buffer).
+  /// True once a batch can be drawn. Only the now-buffer gates
+  /// readiness: batches are legal as soon as n_now samples have
+  /// streamed in, *before* the EP buffer has any content — early
+  /// batches then draw from the now-buffer alone and have size n_now,
+  /// not n_now + n_EP (the paper's warm-up phase, where replay has
+  /// nothing to replay yet). Use epReady() to ask whether batches have
+  /// reached the full mixed composition.
   bool ready() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return now_.size() >= cfg_.nowPerBatch;
   }
 
+  /// True once the EP buffer contributes to batches, i.e. at least one
+  /// sample has been displaced out of the now-buffer. From this point
+  /// every batch has the full n_now + n_EP composition.
+  bool epReady() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return !ep_.empty();
+  }
+
   /// Draw a training batch: n_now random now-samples + n_EP random
-  /// EP-samples (fewer if the EP buffer has not filled yet).
+  /// EP-samples (now-only, size n_now, while the EP buffer is empty —
+  /// see ready()/epReady()).
   /// Uses the buffer's internal RNG — with several trainer threads the
   /// draw sequence then depends on scheduling; pass a per-rank RNG via the
   /// overload below for reproducible runs.

@@ -96,11 +96,23 @@ void SstEngine::Writer::beginStep() {
   ARTSCI_CHECK_MSG(!inStep_, "writer rank already in a step");
   std::unique_lock<std::mutex> lock(engine_.mutex_);
   ARTSCI_CHECK_MSG(!engine_.closed_, "beginStep on closed stream");
+  // A publication is complete only once every straggler of the previous
+  // group has left endStep (writersDraining_ reaches 0, see endStep).
+  // Opening the next assembling step before that would let a straggler
+  // observe next-step state from inside the previous step's endStep —
+  // the interleaving behind the step-id race this engine had.
+  engine_.cv_.wait(lock, [this] { return engine_.writersDraining_ == 0; });
   if (!engine_.assembling_) {
     engine_.assembling_ = std::make_unique<StepData>();
     engine_.assembling_->step = engine_.nextStep_;
   }
   ++engine_.writersBegun_;
+  // Capture the group's step id NOW: endStep waits for *this* id to
+  // publish however late it runs. The pre-fix code captured inside
+  // endStep from the shared assembling_ pointer — a late endStep could
+  // read the *next* step's id there and block until the wrong
+  // publication.
+  step_ = engine_.assembling_->step;
   inStep_ = true;
 }
 
@@ -151,13 +163,18 @@ void SstEngine::Writer::endStep() {
     ++engine_.nextStep_;
     engine_.writersBegun_ = 0;
     engine_.writersEnded_ = 0;
+    // The other ranks are still inside endStep; the next step must not
+    // start assembling until all of them have left (gates beginStep).
+    engine_.writersDraining_ = engine_.params_.writerRanks - 1;
     engine_.cv_.notify_all();
   } else {
-    // Wait for the group's publication (collective EndStep semantics).
-    const long myStep = engine_.assembling_ ? engine_.assembling_->step : -1;
-    engine_.cv_.wait(lock, [this, myStep] {
-      return !engine_.assembling_ || engine_.assembling_->step != myStep;
-    });
+    // Collective EndStep: wait for this rank's step — identified by the
+    // id captured at beginStep, so the wait is correct no matter how
+    // late it runs relative to the publication or to the next step's
+    // beginStep — to be published.
+    engine_.cv_.wait(lock, [this] { return engine_.nextStep_ > step_; });
+    --engine_.writersDraining_;
+    if (engine_.writersDraining_ == 0) engine_.cv_.notify_all();
   }
   engine_.stallSeconds_ += stall.seconds();
   inStep_ = false;

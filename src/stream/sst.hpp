@@ -88,6 +88,11 @@ class SstEngine {
     SstEngine& engine_;
     std::size_t rank_;
     bool inStep_ = false;
+    /// Step id of the group step this rank joined, captured at beginStep
+    /// (NOT read from the shared assembling step inside endStep, where a
+    /// late arrival could observe the next step's id and wait for the
+    /// wrong publication).
+    long step_ = -1;
   };
 
   class Reader {
@@ -142,6 +147,9 @@ class SstEngine {
   std::unique_ptr<StepData> assembling_;
   std::size_t writersBegun_ = 0;
   std::size_t writersEnded_ = 0;
+  /// Stragglers of the last published step that have not yet left
+  /// endStep; beginStep may not open the next step until this is 0.
+  std::size_t writersDraining_ = 0;
   long nextStep_ = 0;
 
   // Published steps awaiting consumption.

@@ -1,6 +1,7 @@
 /// Edge-case tests of the particle container and the supercell index:
-/// counting-sort stability (the fused pipeline's bit-identity rests on
-/// it), the bin()/sort() agreement, per-axis tile geometry, and the
+/// bin()'s counting-sort stability, sort()'s canonical in-tile order (the
+/// order-is-a-function-of-the-multiset property the rank-decomposed
+/// driver's bit-identity rests on), per-axis tile geometry, and the
 /// ParticleBuffer::swapRemove/append interactions (empty buffer,
 /// all-one-tile, remove-last) that the rank-migration path exercises.
 #include <gtest/gtest.h>
@@ -26,7 +27,7 @@ ParticleBuffer randomParticles(const GridSpec& g, int n, std::uint64_t seed) {
   return p;
 }
 
-TEST(SupercellSort, StableWithinEveryTile) {
+TEST(SupercellSort, CanonicalOrderWithinEveryTile) {
   const GridSpec g{16, 16, 8, 0.2, 0.2, 0.2};
   ParticleBuffer p = randomParticles(g, 2000, 3);
   SupercellIndex idx(g, 8, 8, g.nz);
@@ -36,16 +37,39 @@ TEST(SupercellSort, StableWithinEveryTile) {
     const auto r = idx.tileRange(t);
     for (std::size_t i = r.begin; i < r.end; ++i, ++seen) {
       EXPECT_EQ(idx.tileOf(p.x[i], p.y[i], p.z[i]), t);
-      // Stability: the insertion-order tag must ascend within the tile.
+      // Canonical x-major key: x must ascend within the tile (random
+      // continuous positions never tie, so x alone decides the order).
       if (i > r.begin) {
-        EXPECT_LT(p.w[i - 1], p.w[i]);
+        EXPECT_LT(p.x[i - 1], p.x[i]);
       }
     }
   }
   EXPECT_EQ(seen, p.size());
 }
 
-TEST(SupercellSort, AllOneTileKeepsOrderExactly) {
+TEST(SupercellSort, OrderIsIndependentOfInputOrder) {
+  // The property the rank-decomposed driver rests on: the post-sort
+  // order is a pure function of the particle *multiset*, so buffers
+  // with different arrival histories (distribution order, migration)
+  // sort to the exact same sequence.
+  const GridSpec g{16, 16, 8, 0.2, 0.2, 0.2};
+  ParticleBuffer p = randomParticles(g, 1500, 9);
+  ParticleBuffer reversed({-1.0, 1.0, "e"});
+  for (std::size_t i = p.size(); i-- > 0;)
+    reversed.push({p.x[i], p.y[i], p.z[i]}, {p.ux[i], p.uy[i], p.uz[i]},
+                  p.w[i]);
+  SupercellIndex idx(g, 8, 8, g.nz);
+  EXPECT_TRUE(idx.sort(p));
+  EXPECT_TRUE(idx.sort(reversed));
+  ASSERT_EQ(p.size(), reversed.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_EQ(p.x[i], reversed.x[i]);
+    EXPECT_EQ(p.uy[i], reversed.uy[i]);
+    EXPECT_EQ(p.w[i], reversed.w[i]);
+  }
+}
+
+TEST(SupercellSort, AllOneTileSortsCanonically) {
   const GridSpec g{32, 32, 8, 0.2, 0.2, 0.2};
   ParticleBuffer p({-1.0, 1.0, "e"});
   Rng rng(5);
@@ -53,12 +77,23 @@ TEST(SupercellSort, AllOneTileKeepsOrderExactly) {
     p.push({rng.uniform(0.0, 4.0), rng.uniform(0.0, 4.0),
             rng.uniform(0.0, 8.0)},
            {}, static_cast<double>(i));
+  const double wSumBefore = [&] {
+    double s = 0;
+    for (double w : p.w) s += w;
+    return s;
+  }();
   SupercellIndex idx(g, 8, 8, g.nz);
   EXPECT_TRUE(idx.sort(p));
-  // Everything lives in tile 0; the sort must be the identity.
+  // Everything lives in tile 0, ordered by ascending x; nothing lost.
   EXPECT_EQ(idx.tileRange(0).end, p.size());
-  for (std::size_t i = 0; i < p.size(); ++i)
-    EXPECT_DOUBLE_EQ(p.w[i], static_cast<double>(i));
+  double wSumAfter = 0;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    wSumAfter += p.w[i];
+    if (i > 0) {
+      EXPECT_LT(p.x[i - 1], p.x[i]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(wSumAfter, wSumBefore);
 }
 
 TEST(SupercellSort, EmptyBufferIsFine) {
@@ -71,17 +106,35 @@ TEST(SupercellSort, EmptyBufferIsFine) {
     EXPECT_EQ(idx.tileRange(t).begin, idx.tileRange(t).end);
 }
 
-TEST(SupercellSort, BinPermutationAgreesWithSort) {
+TEST(SupercellSort, PermutationReflectsAppliedSort) {
+  const GridSpec g{16, 16, 4, 0.2, 0.2, 0.2};
+  ParticleBuffer p = randomParticles(g, 500, 7);
+  ParticleBuffer sorted = p;
+  SupercellIndex idx(g, 8, 8, g.nz);
+  EXPECT_TRUE(idx.sort(sorted));
+  // permutation() after sort() is the gather actually applied (bin()'s
+  // stable-by-index permutation plus the canonical in-tile reorder).
+  const std::vector<std::uint32_t>& perm = idx.permutation();
+  ASSERT_EQ(perm.size(), p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sorted.x[i], p.x[perm[i]]);
+    EXPECT_DOUBLE_EQ(sorted.w[i], p.w[perm[i]]);
+  }
+}
+
+TEST(SupercellSort, BinAloneStaysStableByIndex) {
+  // bin() (the split deposit path's re-binning) must remain stable by
+  // input index: the split path relies on it to *preserve* the canonical
+  // pre-push order rather than re-sort by post-push state.
   const GridSpec g{16, 16, 4, 0.2, 0.2, 0.2};
   ParticleBuffer p = randomParticles(g, 500, 7);
   SupercellIndex idx(g, 8, 8, g.nz);
   EXPECT_TRUE(idx.bin(p.x.data(), p.y.data(), p.z.data(), p.size()));
-  const std::vector<std::uint32_t> perm = idx.permutation();
-  ParticleBuffer sorted = p;
-  EXPECT_TRUE(idx.sort(sorted));
-  for (std::size_t i = 0; i < p.size(); ++i) {
-    EXPECT_DOUBLE_EQ(sorted.x[i], p.x[perm[i]]);
-    EXPECT_DOUBLE_EQ(sorted.w[i], p.w[perm[i]]);
+  const std::vector<std::uint32_t>& perm = idx.permutation();
+  for (long t = 0; t < idx.tileCount(); ++t) {
+    const auto r = idx.tileRange(t);
+    for (std::size_t i = r.begin; i + 1 < r.end; ++i)
+      EXPECT_LT(perm[i], perm[i + 1]);
   }
 }
 

@@ -238,9 +238,14 @@ TEST(Distributed, MatchesSingleRankPhysics) {
   kcfg.dt = 0.08;
   kcfg.particlesPerCell = 2;
 
+  // 4 ranks on nx=16 need at least 4 tile columns (slabs are whole tile
+  // columns); use 4-cell tiles in both drivers so they stay comparable.
+  const TileDepositConfig tiles{4, 8};
+
   SimulationConfig sc;
   sc.grid = kcfg.grid;
   sc.dt = kcfg.dt;
+  sc.tiles = tiles;
   Simulation ref(sc);
   initializeKhi(ref, kcfg);
 
@@ -248,6 +253,7 @@ TEST(Distributed, MatchesSingleRankPhysics) {
   dc.grid = kcfg.grid;
   dc.dt = kcfg.dt;
   dc.ranks = 4;
+  dc.tiles = tiles;
   DistributedSimulation dist(dc);
   {
     // Stage identical particles.
@@ -279,6 +285,7 @@ TEST(Distributed, SlabPartitionCoversGrid) {
   dc.grid = GridSpec{17, 8, 8, 0.25, 0.25, 0.25};  // non-divisible
   dc.dt = 0.05;
   dc.ranks = 4;
+  dc.tiles = TileDepositConfig{4, 8};  // 5 ragged tile columns for 4 ranks
   DistributedSimulation dist(dc);
   long covered = 0;
   long prevEnd = 0;

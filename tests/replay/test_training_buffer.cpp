@@ -88,6 +88,37 @@ TEST(TrainingBufferTest, BatchSmallerBeforeEpFills) {
   EXPECT_EQ(batch.size(), 4u);  // now-only batch
 }
 
+TEST(TrainingBufferTest, EpReadyFlipsAtFirstDisplacementAndFixesBatchSize) {
+  // Pins the pre-fill contract: ready() gates only on the now-buffer, so
+  // batches are legal (and now-only, size n_now) before any sample has
+  // spilled into the EP buffer; epReady() flips exactly at the first
+  // displacement — push number nowCapacity + 1 — and from then on every
+  // batch carries the full n_now + n_EP composition.
+  IntBuffer buf(paperConfig(), 17);
+  const auto cfg = buf.config();
+  for (std::size_t i = 0; i < cfg.nowCapacity; ++i) {
+    buf.push(static_cast<int>(i));
+    EXPECT_FALSE(buf.epReady());
+    if (i + 1 >= cfg.nowPerBatch) {
+      ASSERT_TRUE(buf.ready());
+      // Warm-up batches draw from the now-buffer alone.
+      const auto batch = buf.sampleBatch();
+      EXPECT_EQ(batch.size(), cfg.nowPerBatch);
+      for (int v : batch) EXPECT_LE(v, static_cast<int>(i));
+    }
+  }
+  buf.push(static_cast<int>(cfg.nowCapacity));  // first displacement
+  EXPECT_TRUE(buf.epReady());
+  EXPECT_EQ(buf.epSize(), 1u);
+  // Mixed composition from the very first post-displacement batch: the
+  // EP-slice exists even while the EP buffer holds a single sample (it
+  // is drawn with replacement).
+  const auto mixed = buf.sampleBatch();
+  ASSERT_EQ(mixed.size(), cfg.nowPerBatch + cfg.epPerBatch);
+  for (std::size_t i = cfg.nowPerBatch; i < mixed.size(); ++i)
+    EXPECT_EQ(mixed[i], 0);  // the one displaced (oldest) sample
+}
+
 TEST(TrainingBufferTest, CountsReceivedAndSampled) {
   IntBuffer buf(paperConfig());
   for (int i = 0; i < 12; ++i) buf.push(i);

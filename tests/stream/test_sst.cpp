@@ -211,6 +211,66 @@ TEST(Sst, ExtentMismatchRejected) {
   EXPECT_TRUE(threw.load());
 }
 
+TEST(Sst, LateEndStepKeepsCapturedStepId) {
+  // Regression for the writer step-id race: endStep used to read its
+  // step id from the shared assembling step at *end* time, so a rank
+  // whose endStep ran late — after the group published and the next
+  // beginStep had re-created assembling_ — adopted the NEXT step's id
+  // and waited on the wrong publication. The id is now captured at
+  // beginStep, and beginStep cannot open a new step until every rank of
+  // the previous group has left endStep. Hammer the interleaving:
+  // several writer ranks with deliberately skewed per-rank timing, a
+  // periodically slow reader, and queueLimit=1 so publications
+  // interleave tightly with the group waits.
+  constexpr std::size_t kWriters = 4;
+  constexpr long kSteps = 40;
+  SstEngine engine(SstParams{kWriters, 1, /*queueLimit=*/1});
+
+  std::thread producerGroup([&] {
+    runRankTeam(kWriters, [&](std::size_t rank) {
+      auto writer = engine.makeWriter(rank);
+      for (long s = 0; s < kSteps; ++s) {
+        writer.beginStep();
+        // Payload tags (step, rank): a rank working against the wrong
+        // step would misplace its tag.
+        writer.put("tag",
+                   makeBlock({double(s), double(rank)},
+                             {static_cast<long>(rank * 2)}, {2}),
+                   {static_cast<long>(kWriters * 2)});
+        // Skew the ranks so some endStep calls arrive long after the
+        // rest of the group (the racy interleaving).
+        if ((s + static_cast<long>(rank)) % static_cast<long>(kWriters) == 0)
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        writer.endStep();
+      }
+      writer.close();
+    });
+  });
+
+  auto reader = engine.makeReader(0);
+  long expected = 0;
+  while (auto step = reader.beginStep()) {
+    EXPECT_EQ(step->step, expected);
+    const auto& blocks = step->variables.at("tag");
+    ASSERT_EQ(blocks.size(), kWriters);  // exactly one block per rank
+    std::vector<bool> seen(kWriters, false);
+    for (const Block& b : blocks) {
+      ASSERT_EQ(b.payload.size(), 2u);
+      EXPECT_EQ(b.payload[0], double(expected));  // tag is for THIS step
+      EXPECT_EQ(b.payload[1], double(b.writerRank));
+      seen[b.writerRank] = true;
+    }
+    for (std::size_t r = 0; r < kWriters; ++r) EXPECT_TRUE(seen[r]);
+    if (expected % 5 == 0)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    reader.endStep();
+    ++expected;
+  }
+  producerGroup.join();
+  EXPECT_EQ(expected, kSteps);
+  EXPECT_EQ(engine.stepsPublished(), kSteps);
+}
+
 TEST(Sst, PutOutsideStepRejected) {
   SstEngine engine(SstParams{1, 1, 2});
   auto writer = engine.makeWriter(0);
