@@ -8,13 +8,17 @@
 /// Acceptance target: tiled throughput >= atomic at 8 threads on the
 /// quick-demo density (9 particles per cell).
 ///
-///   ./bench/bench_deposit_modes [repeats=3]
+///   ./bench/bench_deposit_modes [--json <path>] [repeats=3]
+///
+/// --json writes the gate measurement (tiled/atomic ratio at 8 threads,
+/// ppc 9) for the CI perf-trajectory artifact.
 #ifdef _OPENMP
 #include <omp.h>
 #endif
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -92,7 +96,28 @@ void setThreads(int n) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const int repeats = argc > 1 ? std::atoi(argv[1]) : 3;
+  int repeats = 3;
+  const char* jsonPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      jsonPath = arg + 7;
+    } else if (arg[0] == '-') {
+      std::fprintf(stderr,
+                   "unknown option %s — usage: bench_deposit_modes "
+                   "[--json <path>] [repeats]\n",
+                   arg);
+      return 2;
+    } else {
+      repeats = std::atoi(arg);
+    }
+  }
+  if (repeats < 1) {
+    std::fprintf(stderr, "repeats must be >= 1\n");
+    return 2;
+  }
 #ifdef _OPENMP
   const bool haveOmp = true;
 #else
@@ -104,6 +129,8 @@ int main(int argc, char** argv) {
               "particles", "atomic p/s", "tiled p/s", "tiled/x");
 
   bool pass = true;
+  double gateRatio = 0.0;
+  const int gateThreads = haveOmp ? 8 : 1;
   for (int ppc : {9, 36}) {
     const Workload w = makeWorkload(ppc);
     pic::DepositBuffer scratch(w.grid);
@@ -117,11 +144,32 @@ int main(int argc, char** argv) {
       const double speedup = tiledRate / atomicRate;
       std::printf("%6d %8d %10zu | %14.3e %14.3e | %6.2fx\n", ppc, threads,
                   w.particles.size(), atomicRate, tiledRate, speedup);
-      if (ppc == 9 && threads == (haveOmp ? 8 : 1) && tiledRate < atomicRate)
-        pass = false;
+      if (ppc == 9 && threads == gateThreads) {
+        gateRatio = speedup;
+        if (tiledRate < atomicRate) pass = false;
+      }
     }
   }
   std::printf("acceptance (tiled >= atomic @ 8 threads, ppc 9): %s\n",
               pass ? "PASS" : "FAIL");
+
+  if (jsonPath != nullptr) {
+    std::FILE* f = std::fopen(jsonPath, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"deposit_modes\",\n"
+                 "  \"setup\": \"khi_quick_demo_32x64x8_ppc9\",\n"
+                 "  \"threads\": %d,\n"
+                 "  \"ratio\": %.4f,\n"
+                 "  \"threshold\": 1.0,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 gateThreads, gateRatio, pass ? "true" : "false");
+    std::fclose(f);
+  }
   return pass ? 0 : 1;
 }

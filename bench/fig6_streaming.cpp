@@ -10,6 +10,7 @@
 /// particle data between threads; Part B reproduces the Frontier-scale
 /// figure through the calibrated virtual-time data-plane models.
 #include <cstdio>
+#include <cstring>
 #include <thread>
 
 #include "cluster/netsim.hpp"
@@ -24,7 +25,8 @@ using namespace artsci;
 namespace {
 
 /// Real in-process measurement: KHI particle data -> no-op consumer.
-void measuredPart() {
+/// Returns the consumer-side ingest throughput boxplot [GB/s].
+stats::BoxPlot measuredPart() {
   std::printf("[A] Measured: nanoSST in-process staging, KHI particle data\n");
   std::printf("    producer: PIC KHI (%s), consumer: no-op (discards data)\n\n",
               "32x64x8 cells, 4 ppc");
@@ -86,6 +88,7 @@ void measuredPart() {
   const auto box = stats::boxplot(throughputs);
   std::printf("    consumer ingest throughput [GB/s]: %s\n\n",
               stats::formatBoxPlot(box).c_str());
+  return box;
 }
 
 void modeledPart() {
@@ -148,11 +151,44 @@ void modeledPart() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const char* jsonPath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strcmp(arg, "--json") == 0 && i + 1 < argc) {
+      jsonPath = argv[++i];
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      jsonPath = arg + 7;
+    } else {
+      std::fprintf(stderr,
+                   "unknown option %s — usage: bench_fig6_streaming "
+                   "[--json <path>]\n",
+                   arg);
+      return 2;
+    }
+  }
   std::printf("==============================================================\n");
   std::printf("Fig 6 — parallel streaming throughput at full scale\n");
   std::printf("==============================================================\n\n");
-  measuredPart();
+  const stats::BoxPlot box = measuredPart();
   modeledPart();
+
+  if (jsonPath != nullptr) {
+    std::FILE* f = std::fopen(jsonPath, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"fig6_streaming_measured\",\n"
+                 "  \"setup\": \"nanosst_khi_32x64x8_ppc4_noop_consumer\",\n"
+                 "  \"ingest_gbps_min\": %.4f,\n"
+                 "  \"ingest_gbps_median\": %.4f,\n"
+                 "  \"ingest_gbps_max\": %.4f\n"
+                 "}\n",
+                 box.min, box.median, box.max);
+    std::fclose(f);
+  }
   return 0;
 }

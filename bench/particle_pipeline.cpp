@@ -9,11 +9,18 @@
 /// two pipelines' E/B/J fields must be bit-identical.
 ///
 ///   ./bench/bench_particle_pipeline [--acceptance[=ratio]]
+///                                   [--trace-overhead[=maxLoss]]
 ///                                   [--json <path>] [steps] [repeats]
 ///
 /// --acceptance gates fused >= ratio x split (default 1.5) at 8 threads
 /// and exits nonzero on failure; --json writes the measurement (CI
 /// uploads it as the BENCH_particle_pipeline artifact).
+///
+/// --trace-overhead instead measures the fused pipeline with TRACE_SCOPE
+/// instrumentation runtime-disabled vs enabled (recording to the ring, no
+/// sink) and gates the enabled rate at >= (1 - maxLoss) x disabled
+/// (default maxLoss 0.01, the "enabled tracing costs < 1% on the FOM"
+/// contract of src/obs/trace.hpp).
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -24,6 +31,7 @@
 #include <memory>
 
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 #include "pic/khi.hpp"
 #include "pic/simulation.hpp"
 
@@ -86,6 +94,7 @@ void setThreads(int n) {
 
 int main(int argc, char** argv) {
   double threshold = -1;
+  double traceMaxLoss = -1;
   const char* jsonPath = nullptr;
   int steps = 6, repeats = 3;
   int positional = 0;
@@ -93,6 +102,19 @@ int main(int argc, char** argv) {
     const char* arg = argv[i];
     if (std::strcmp(arg, "--acceptance") == 0) {
       threshold = 1.5;
+    } else if (std::strcmp(arg, "--trace-overhead") == 0) {
+      traceMaxLoss = 0.01;
+    } else if (std::strncmp(arg, "--trace-overhead=", 17) == 0) {
+      char* end = nullptr;
+      traceMaxLoss = std::strtod(arg + 17, &end);
+      if (end == arg + 17 || *end != '\0' || !(traceMaxLoss > 0) ||
+          traceMaxLoss >= 1) {
+        std::fprintf(stderr,
+                     "invalid %s — expected --trace-overhead=<maxLoss> with "
+                     "0 < maxLoss < 1 (e.g. --trace-overhead=0.01)\n",
+                     arg);
+        return 2;
+      }
     } else if (std::strncmp(arg, "--acceptance=", 13) == 0) {
       char* end = nullptr;
       threshold = std::strtod(arg + 13, &end);
@@ -112,8 +134,8 @@ int main(int argc, char** argv) {
       // gate (exit like the --acceptance parse error does).
       std::fprintf(stderr,
                    "unknown option %s — usage: bench_particle_pipeline "
-                   "[--acceptance[=ratio]] [--json <path>] "
-                   "[steps] [repeats]\n",
+                   "[--acceptance[=ratio]] [--trace-overhead[=maxLoss]] "
+                   "[--json <path>] [steps] [repeats]\n",
                    arg);
       return 2;
     } else {
@@ -131,6 +153,56 @@ int main(int argc, char** argv) {
 #else
   const bool haveOmp = false;
 #endif
+
+  if (traceMaxLoss > 0) {
+    // Overhead-acceptance mode: fused pipeline, instrumentation
+    // runtime-off vs runtime-on (spans recorded into the rings, nothing
+    // flushed). Best-of-repeats on both sides damps scheduler noise.
+    const int threads = haveOmp ? 8 : 1;
+    setThreads(threads);
+    auto& rec = obs::TraceRecorder::instance();
+    rec.setEnabled(false);
+    const double offRate =
+        particleUpdateRate(ParticlePipeline::Fused, steps, repeats);
+    rec.setEnabled(true);
+    const double onRate =
+        particleUpdateRate(ParticlePipeline::Fused, steps, repeats);
+    rec.setEnabled(false);
+    const std::size_t spans = rec.eventCount();
+    const double ratio = onRate / offRate;
+    const bool pass = spans > 0 && ratio >= 1.0 - traceMaxLoss;
+    std::printf(
+        "trace overhead: fused KHI 32x64x8 ppc 9, %d steps, best of %d, "
+        "%d threads\n"
+        "  tracing off: %.3e p/s\n"
+        "  tracing on:  %.3e p/s  (%zu spans recorded)\n"
+        "  on/off = %.4f (gate >= %.4f) -> %s\n",
+        steps, repeats, threads, offRate, onRate, spans, ratio,
+        1.0 - traceMaxLoss, pass ? "PASS" : "FAIL");
+    if (jsonPath != nullptr) {
+      std::FILE* f = std::fopen(jsonPath, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+        return 2;
+      }
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"trace_overhead\",\n"
+                   "  \"setup\": \"khi_quick_demo_32x64x8_ppc9_fused\",\n"
+                   "  \"threads\": %d,\n"
+                   "  \"steps\": %d,\n"
+                   "  \"spans\": %zu,\n"
+                   "  \"ratio\": %.4f,\n"
+                   "  \"threshold\": %.4f,\n"
+                   "  \"pass\": %s\n"
+                   "}\n",
+                   threads, steps, spans, ratio, 1.0 - traceMaxLoss,
+                   pass ? "true" : "false");
+      std::fclose(f);
+    }
+    return pass ? 0 : 1;
+  }
+
   std::printf(
       "particle-pipeline A/B: quick-demo KHI 32x64x8 ppc 9, %d steps, "
       "best of %d%s\n",

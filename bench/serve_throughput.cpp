@@ -13,6 +13,10 @@
 /// single batch with bit-identical results.
 ///
 ///   ./bench/bench_serve_throughput [requests=768] [points=128] [repeats=3]
+///                                  [json=<path>]
+///
+/// json= writes the measurement (speedup vs the 5x gate) for the CI
+/// perf-trajectory artifact.
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
   const long requests = cli.getInt("requests", 768);
   const long points = cli.getInt("points", 128);
   const int repeats = static_cast<int>(cli.getInt("repeats", 3));
+  const std::string jsonPath = cli.getString("json", "");
 
   Rng rng(1);
   core::ArtificialScientistModel model(
@@ -160,5 +165,26 @@ int main(int argc, char** argv) {
                                       : "(target >= 5x: FAIL)");
   std::printf("(speedup sources: graph-free fused engine + request "
               "coalescing amortizing per-request overhead)\n");
+
+  if (!jsonPath.empty()) {
+    std::FILE* f = std::fopen(jsonPath.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", jsonPath.c_str());
+      return 2;
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"serve_throughput\",\n"
+                 "  \"setup\": \"reduced_model_%ldpt_maxbatch32_1worker\",\n"
+                 "  \"baseline_req_s\": %.1f,\n"
+                 "  \"served_req_s\": %.1f,\n"
+                 "  \"ratio\": %.4f,\n"
+                 "  \"threshold\": 5.0,\n"
+                 "  \"pass\": %s\n"
+                 "}\n",
+                 points, baseline, served32w1, speedup,
+                 speedup >= 5.0 ? "true" : "false");
+    std::fclose(f);
+  }
   return speedup >= 5.0 ? 0 : 1;
 }

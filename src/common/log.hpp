@@ -2,6 +2,12 @@
 /// Minimal thread-safe logger. Intentionally tiny: the workflow components
 /// (producer, consumer, trainer) tag their messages so interleaved output
 /// from concurrent pipeline stages stays readable.
+///
+/// Every line carries a monotonic timestamp (seconds since the first log
+/// call) so concurrent producer/trainer/serve output can be ordered by
+/// eye; a thread may additionally claim a label (its rank, say) that is
+/// prefixed to its lines. The initial threshold honors the ARTSCI_LOG
+/// environment variable (debug|info|warn|error|off; default info).
 #pragma once
 
 #include <mutex>
@@ -12,11 +18,17 @@ namespace artsci::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Global log threshold; messages below it are dropped.
+/// Global log threshold; messages below it are dropped. The first query
+/// initializes it from ARTSCI_LOG (unset/unknown value -> info).
 void setLevel(Level level);
 Level level();
 
-/// Core sink: writes "[level][tag] message" to stderr under a mutex.
+/// Label the calling thread ("rank 2", "serve worker 0"); prefixed to its
+/// subsequent lines. An empty label clears it.
+void setThreadLabel(std::string label);
+
+/// Core sink: writes "[  12.345s][level][label][tag] message" to stderr
+/// under a mutex (the "[label]" field only for threads that set one).
 void write(Level level, const std::string& tag, const std::string& message);
 
 namespace detail {

@@ -4,6 +4,7 @@
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
 
 namespace artsci::core {
 
@@ -47,6 +48,10 @@ PipelineResult runPipeline(const PipelineConfig& cfg,
       openpmd::StreamBackend::forReader(radiationEngine, 0));
 
   PipelineResult result;
+  // Periodic one-line step report over the global registry (particles/s,
+  // trainer ms/step, replay occupancy, ...) at info level, one line per
+  // `stepReportEvery` streamed steps.
+  obs::StepReporter reporter(obs::Registry::global(), cfg.stepReportEvery);
   for (;;) {
     auto itP = particleRead.readNextIteration();
     auto itR = radiationRead.readNextIteration();
@@ -69,6 +74,9 @@ PipelineResult runPipeline(const PipelineConfig& cfg,
     // n_rep training iterations per streamed step (the training-buffer
     // decoupling of §IV-C).
     trainer.trainIterations(cfg.nRep);
+    if (cfg.stepReportEvery > 0) {
+      if (const auto line = reporter.onStep()) log::info("obs", *line);
+    }
   }
   producerThread.join();
 

@@ -20,6 +20,8 @@ struct PipelineConfig {
       ArtificialScientistModel::Config::reduced();
   long nRep = 4;               ///< training iterations per streamed step
   std::size_t queueLimit = 2;  ///< SST step queue (back-pressure depth)
+  /// Log an obs::StepReporter line every N streamed steps (0 disables).
+  long stepReportEvery = 10;
 
   /// Consistency-checked defaults for a quick run.
   static PipelineConfig quickDemo();

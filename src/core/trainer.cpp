@@ -1,7 +1,11 @@
 #include "core/trainer.hpp"
 
+#include <string>
+
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace artsci::core {
 
@@ -65,22 +69,46 @@ void InTransitTrainer::trainIterations(long iterations) {
   std::vector<std::vector<double>> lossPerRank(cfg_.ranks);
   std::vector<ml::LossTerms> lastTerms(cfg_.ranks);
 
+  // Resolved once; rank 0 is the reporter so multi-rank runs don't
+  // multiply-count iterations (replicas step in lockstep).
+  static obs::Counter& iterCounter =
+      obs::Registry::global().counter("train.iterations");
+  static obs::Histogram& stepMs =
+      obs::Registry::global().histogram("train.step_ms");
+
   runRankTeam(cfg_.ranks, [&](std::size_t rank) {
+    obs::TraceRecorder::instance().setThreadName("trainer rank " +
+                                                 std::to_string(rank));
     auto& model = *replicas_[rank];
     auto& opt = *optimizers_[rank];
     auto& rng = rankRngs_[rank];
     for (long it = 0; it < iterations; ++it) {
+      Timer iterTimer;
       // Per-rank RNG: the draw sequence is reproducible no matter how the
       // rank threads interleave on the shared buffer.
       const auto batch = buffer_.sampleBatch(rng);
       ml::Tensor clouds = batchClouds(batch, points);
       ml::Tensor spectra = batchSpectra(batch, specDim);
       opt.zeroGrad();
-      const auto terms = model.lossTerms(clouds, spectra, rng);
+      ml::LossTerms terms;
+      {
+        TRACE_SCOPE("train", "forward");
+        terms = model.lossTerms(clouds, spectra, rng);
+      }
       ml::Tensor total = ml::totalLoss(terms, modelCfg_.weights);
-      total.backward();
+      {
+        TRACE_SCOPE("train", "backward");
+        total.backward();
+      }
       ml::allReduceGradients(comm_, rank, model.parameters());
-      opt.step();
+      {
+        TRACE_SCOPE("train", "optim");
+        opt.step();
+      }
+      if (rank == 0) {
+        iterCounter.add();
+        stepMs.observe(iterTimer.seconds() * 1e3);
+      }
       if (rank == 0) {
         lossPerRank[0].push_back(total.item());
         lastTerms[0] = terms;

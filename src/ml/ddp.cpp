@@ -1,6 +1,7 @@
 #include "ml/ddp.hpp"
 
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace artsci::ml {
 
@@ -59,6 +60,7 @@ void Communicator::allReduceMean(std::size_t rank,
 
 std::vector<Real> Communicator::allGather(std::size_t rank,
                                           const std::vector<Real>& local) {
+  TRACE_SCOPE("train", "allgather");
   ARTSCI_EXPECTS(rank < ranks_);
   Timer timer;
   if (ranks_ == 1) {
@@ -91,6 +93,7 @@ void Communicator::resetTimers() {
 
 void allReduceGradients(Communicator& comm, std::size_t rank,
                         const std::vector<Tensor>& params) {
+  TRACE_SCOPE("train", "allreduce");
   // Flatten all gradients into one bucket (DDP-style) to amortize the
   // collective's synchronization cost.
   std::size_t total = 0;

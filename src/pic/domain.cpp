@@ -6,7 +6,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "obs/trace.hpp"
 #include "pic/interpolate.hpp"
 #include "pic/pusher.hpp"
 
@@ -169,22 +171,25 @@ void DistributedSimulation::stepRankFused(std::size_t rank, Barrier& barrier) {
     // ownership is tile-column-aligned, so every particle of this rank
     // scatters into a tile this rank owns.
     ParticleBuffer& p = particles_[rank][s];
-    fused_[rank]->pushAndScatter(p, E_, B_, dt, *depositBuf_[rank]);
-    std::vector<std::size_t> leaving;
-    for (std::size_t i = 0; i < p.size(); ++i) {
-      if (p.x[i] < static_cast<double>(x0) ||
-          p.x[i] >= static_cast<double>(x1))
-        leaving.push_back(i);
+    {
+      TRACE_SCOPE("domain", "scatter");
+      fused_[rank]->pushAndScatter(p, E_, B_, dt, *depositBuf_[rank]);
+      std::vector<std::size_t> leaving;
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        if (p.x[i] < static_cast<double>(x0) ||
+            p.x[i] >= static_cast<double>(x1))
+          leaving.push_back(i);
+      }
+      // Outbox order is ascending post-sort index — deterministic because
+      // the canonical sort just made the buffer order multiset-determined.
+      for (std::size_t i : leaving)
+        outbox_[rank][ownerOf(p.x[i])][s].push_back(
+            Migrant{{p.x[i], p.y[i], p.z[i]},
+                    {p.ux[i], p.uy[i], p.uz[i]},
+                    p.w[i]});
+      for (auto it = leaving.rbegin(); it != leaving.rend(); ++it)
+        p.swapRemove(*it);
     }
-    // Outbox order is ascending post-sort index — deterministic because
-    // the canonical sort just made the buffer order multiset-determined.
-    for (std::size_t i : leaving)
-      outbox_[rank][ownerOf(p.x[i])][s].push_back(
-          Migrant{{p.x[i], p.y[i], p.z[i]},
-                  {p.ux[i], p.uy[i], p.uz[i]},
-                  p.w[i]});
-    for (auto it = leaving.rbegin(); it != leaving.rend(); ++it)
-      p.swapRemove(*it);
     barrier.arriveAndWait();
 
     // Reduction phase — the deterministic halo exchange. Every rank
@@ -195,11 +200,14 @@ void DistributedSimulation::stepRankFused(std::size_t rank, Barrier& barrier) {
     // tile's halo rows that spill into this slab are committed here from
     // the owner's accumulator. Occupancy comes from the owner's
     // post-sort index, so never-scattered (stale) tiles are skipped.
-    for (long t = 0; t < tiles; ++t) {
-      const std::size_t owner = rankOfColumn(t / tilesY);
-      const SupercellIndex::Range r = fused_[owner]->index().tileRange(t);
-      if (r.begin == r.end) continue;
-      depositBuf_[owner]->reduceTileRows(J_, t, x0, x1);
+    {
+      TRACE_SCOPE("domain", "halo_reduce");
+      for (long t = 0; t < tiles; ++t) {
+        const std::size_t owner = rankOfColumn(t / tilesY);
+        const SupercellIndex::Range r = fused_[owner]->index().tileRange(t);
+        if (r.begin == r.end) continue;
+        depositBuf_[owner]->reduceTileRows(J_, t, x0, x1);
+      }
     }
     // Second barrier: the next species' scatter (or the step end) must
     // not overwrite accumulators another rank is still reducing from.
@@ -211,11 +219,14 @@ void DistributedSimulation::stepRankFused(std::size_t rank, Barrier& barrier) {
   // thread arrival order, which leaked into every downstream FP sum).
   // Migrants deposited on their source rank this step; they join the
   // destination's buffer for the next one.
-  for (std::size_t src = 0; src < cfg_.ranks; ++src) {
-    for (std::size_t s = 0; s < speciesInfo_.size(); ++s) {
-      auto& box = outbox_[src][rank][s];
-      for (const Migrant& m : box) particles_[rank][s].push(m.pos, m.u, m.w);
-      box.clear();
+  {
+    TRACE_SCOPE("domain", "migrate");
+    for (std::size_t src = 0; src < cfg_.ranks; ++src) {
+      for (std::size_t s = 0; s < speciesInfo_.size(); ++s) {
+        auto& box = outbox_[src][rank][s];
+        for (const Migrant& m : box) particles_[rank][s].push(m.pos, m.u, m.w);
+        box.clear();
+      }
     }
   }
   barrier.arriveAndWait();
@@ -224,6 +235,7 @@ void DistributedSimulation::stepRankFused(std::size_t rank, Barrier& barrier) {
   // halo reads see completed neighbour updates. Cell updates are
   // per-cell independent, so slab-restricted updates are bit-identical
   // to the single-rank whole-grid calls.
+  TRACE_SCOPE("domain", "field_solve");
   solver_.updateBHalf(B_, E_, dt, x0, x1);
   barrier.arriveAndWait();
   solver_.updateE(E_, B_, J_, dt, x0, x1);
@@ -335,6 +347,22 @@ void DistributedSimulation::run(long steps) {
   runRankTeam(cfg_.ranks, [&](std::size_t rank) {
 #ifdef _OPENMP
     omp_set_num_threads(perRankThreads);
+#endif
+    // Claim the rank for trace attribution: the rank thread and its whole
+    // OpenMP team (libgomp keeps one pool per master thread, so the same
+    // workers serve every later parallel region) group under one Chrome
+    // "process" per rank in the flushed trace.
+    obs::TraceRecorder::instance().setThreadRank(static_cast<int>(rank));
+    obs::TraceRecorder::instance().setThreadName("pic rank " +
+                                                 std::to_string(rank));
+#ifdef _OPENMP
+#pragma omp parallel
+    {
+      obs::TraceRecorder::instance().setThreadRank(static_cast<int>(rank));
+      obs::TraceRecorder::instance().setThreadName(
+          "pic rank " + std::to_string(rank) + " omp " +
+          std::to_string(omp_get_thread_num()));
+    }
 #endif
     for (long s = 0; s < steps; ++s) {
       if (fusedPath)

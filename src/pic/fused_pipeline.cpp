@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/trace.hpp"
 #include "pic/interpolate.hpp"
 #include "pic/pusher.hpp"
 
@@ -66,7 +67,10 @@ void FusedPipeline::pushAndDeposit(ParticleBuffer& p, const VectorField& E,
                                    std::vector<double>* bdz) {
   pushAndScatter(p, E, B, dt, accum, bdx, bdy, bdz);
   // Fixed-order tile reduction (shared with the split path).
-  if (!p.empty()) accum.reduce(J, index_);
+  if (!p.empty()) {
+    TRACE_SCOPE("pic", "reduce");
+    accum.reduce(J, index_);
+  }
 }
 
 void FusedPipeline::pushAndScatter(ParticleBuffer& p, const VectorField& E,
@@ -95,7 +99,11 @@ void FusedPipeline::pushAndScatter(ParticleBuffer& p, const VectorField& E,
   // buffer in (its deposit re-binning is stable, hence order-preserving),
   // which is what keeps the two paths bit-identical. Runs even for an
   // empty buffer so index() always reflects *this* call's occupancy.
-  const bool wrapped = index_.sort(p);
+  bool wrapped;
+  {
+    TRACE_SCOPE("pic", "supercell_sort");
+    wrapped = index_.sort(p);
+  }
   ARTSCI_EXPECTS_MSG(wrapped,
                      "fused pipeline: particle position outside [0, n) — "
                      "positions must be periodically wrapped");
@@ -139,6 +147,9 @@ void FusedPipeline::pushAndScatter(ParticleBuffer& p, const VectorField& E,
 #pragma omp parallel reduction(&& : displacementOk)
 #endif
   {
+    // One span per worker thread covering its whole share of the tile
+    // loop — per-tile (let alone per-particle) spans would swamp the ring.
+    TRACE_SCOPE("pic", "tile_pass");
     // This thread's E/B read-cache arena, reused across its tiles and
     // across steps (grow-only; no allocation in the steady state).
 #ifdef _OPENMP

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pic/interpolate.hpp"
 #include "pic/pusher.hpp"
 
@@ -144,17 +146,33 @@ void Simulation::pushAndDeposit(std::size_t speciesIdx) {
 }
 
 void Simulation::step() {
+  TRACE_SCOPE("pic", "step");
+  // Resolved once; the registry owns the metrics for the process lifetime.
+  static obs::Counter& steps = obs::Registry::global().counter("pic.steps");
+  static obs::Counter& updates =
+      obs::Registry::global().counter("pic.particle_updates");
+  static obs::Gauge& rate =
+      obs::Registry::global().gauge("pic.particles_per_s");
+
   Timer timer;
   J_.fill(0.0);
   for (std::size_t s = 0; s < species_.size(); ++s) pushAndDeposit(s);
-  solver_.updateBHalf(B_, E_, cfg_.dt);
-  solver_.updateE(E_, B_, J_, cfg_.dt);
-  solver_.updateBHalf(B_, E_, cfg_.dt);
+  {
+    TRACE_SCOPE("pic", "field_solve");
+    solver_.updateBHalf(B_, E_, cfg_.dt);
+    solver_.updateE(E_, B_, J_, cfg_.dt);
+    solver_.updateBHalf(B_, E_, cfg_.dt);
+  }
   ++step_;
 
-  fom_.particleUpdates += static_cast<double>(particleCount());
+  const std::size_t particles = particleCount();
+  const double seconds = timer.seconds();
+  fom_.particleUpdates += static_cast<double>(particles);
   fom_.cellUpdates += static_cast<double>(cfg_.grid.cellCount());
-  fom_.seconds += timer.seconds();
+  fom_.seconds += seconds;
+  steps.add();
+  updates.add(particles);
+  if (seconds > 0) rate.set(static_cast<double>(particles) / seconds);
 
   for (const auto& plugin : plugins_) plugin->onStepEnd(*this);
 }

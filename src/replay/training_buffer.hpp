@@ -20,6 +20,8 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace artsci::replay {
 
@@ -45,6 +47,7 @@ class TrainingBuffer {
   /// Receive one streamed sample (prepend to the now-buffer; spill the
   /// displaced sample into the EP buffer with random eviction).
   void push(SampleT sample) {
+    TRACE_SCOPE("replay", "push");
     std::lock_guard<std::mutex> lock(mutex_);
     now_.push_front(std::move(sample));
     ++received_;
@@ -59,6 +62,11 @@ class TrainingBuffer {
         ep_.push_back(std::move(displaced));
       }
     }
+    obs::Registry::global().counter("replay.received").add();
+    obs::Registry::global().gauge("replay.now_size").set(
+        static_cast<double>(now_.size()));
+    obs::Registry::global().gauge("replay.ep_size").set(
+        static_cast<double>(ep_.size()));
   }
 
   /// True once a batch can be drawn. Only the now-buffer gates
@@ -129,6 +137,8 @@ class TrainingBuffer {
 
  private:
   std::vector<SampleT> sampleBatchLocked(Rng& rng) {
+    TRACE_SCOPE("replay", "sample_batch");
+    obs::Registry::global().counter("replay.batches").add();
     ARTSCI_CHECK_MSG(now_.size() >= cfg_.nowPerBatch,
                      "sampleBatch before buffer ready");
     std::vector<SampleT> batch;

@@ -1,6 +1,7 @@
 #include "serve/batcher.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace artsci::serve {
 
@@ -22,6 +23,9 @@ bool MicroBatcher::enqueue(PendingRequest& r) {
 }
 
 std::vector<PendingRequest> MicroBatcher::nextBatch() {
+  // Spans cover the idle wait too: gaps between batches show up as long
+  // next_batch spans in the trace, which is exactly the signal wanted.
+  TRACE_SCOPE("serve", "next_batch");
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
     if (queue_.empty()) {

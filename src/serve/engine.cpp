@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "ml/kernels/gemm.hpp"
+#include "obs/trace.hpp"
 
 namespace artsci::serve {
 
@@ -106,6 +107,7 @@ void InferenceEngine::runDenseSeq(const std::vector<Dense>& seq,
 
 void InferenceEngine::predictSpectra(const Real* clouds, long batch,
                                      long points, Real* out) {
+  TRACE_SCOPE("serve", "engine_predict");
   ARTSCI_EXPECTS(batch >= 1 && points >= 1);
   ARTSCI_EXPECTS(!conv_.empty() && conv_.front().in == 6);
 

@@ -4,26 +4,34 @@
 
 namespace artsci::serve {
 
-ServeMetrics::ServeMetrics(std::size_t latencyWindow) : window_(latencyWindow) {
+ServeMetrics::ServeMetrics(std::size_t latencyWindow)
+    : registry_(std::make_unique<obs::Registry>()), window_(latencyWindow) {
   ARTSCI_EXPECTS(latencyWindow >= 1);
+  bind(predict_, "serve.predict");
+  bind(invert_, "serve.invert");
+  engineSwaps_ = &registry_->counter("serve.engine_swaps");
+  queueDepth_ = &registry_->gauge("serve.queue_depth");
 }
 
-void ServeMetrics::recordSubmitted(Endpoint e) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++slot(e).submitted;
+void ServeMetrics::bind(PerEndpoint& p, const std::string& prefix) {
+  p.submitted = &registry_->counter(prefix + ".submitted");
+  p.completed = &registry_->counter(prefix + ".completed");
+  p.rejected = &registry_->counter(prefix + ".rejected");
+  p.batches = &registry_->counter(prefix + ".batches");
+  p.latencyUs = &registry_->histogram(prefix + ".latency_us");
 }
 
-void ServeMetrics::recordRejected(Endpoint e) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++slot(e).rejected;
-}
+void ServeMetrics::recordSubmitted(Endpoint e) { slot(e).submitted->add(); }
+
+void ServeMetrics::recordRejected(Endpoint e) { slot(e).rejected->add(); }
 
 void ServeMetrics::recordBatch(Endpoint e, std::size_t batchSize,
                                const std::vector<double>& latenciesMicros) {
-  std::lock_guard<std::mutex> lock(mutex_);
   PerEndpoint& p = slot(e);
-  ++p.batches;
-  p.completed += batchSize;
+  p.batches->add();
+  p.completed->add(batchSize);
+  for (double l : latenciesMicros) p.latencyUs->observe(l);
+  std::lock_guard<std::mutex> lock(mutex_);
   for (double l : latenciesMicros) {
     if (p.window.size() < window_) {
       p.window.push_back(l);
@@ -34,20 +42,22 @@ void ServeMetrics::recordBatch(Endpoint e, std::size_t batchSize,
   }
 }
 
-void ServeMetrics::recordEngineSwap() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  ++engineSwaps_;
+void ServeMetrics::recordEngineSwap() { engineSwaps_->add(); }
+
+void ServeMetrics::recordQueueDepth(std::size_t depth) {
+  queueDepth_->set(static_cast<double>(depth));
 }
 
-ServeMetrics::EndpointStats ServeMetrics::summarize(const PerEndpoint& p) {
+ServeMetrics::EndpointStats ServeMetrics::summarize(
+    const PerEndpoint& p) const {
   EndpointStats s;
-  s.submitted = p.submitted;
-  s.completed = p.completed;
-  s.rejected = p.rejected;
-  s.batches = p.batches;
+  s.submitted = p.submitted->value();
+  s.completed = p.completed->value();
+  s.rejected = p.rejected->value();
+  s.batches = p.batches->value();
   s.meanBatchSize =
-      p.batches > 0
-          ? static_cast<double>(p.completed) / static_cast<double>(p.batches)
+      s.batches > 0
+          ? static_cast<double>(s.completed) / static_cast<double>(s.batches)
           : 0.0;
   s.latencyMicros = stats::latencySummary(p.window);
   return s;
@@ -58,7 +68,7 @@ ServeMetrics::Report ServeMetrics::report() const {
   Report r;
   r.predict = summarize(predict_);
   r.invert = summarize(invert_);
-  r.engineSwaps = engineSwaps_;
+  r.engineSwaps = engineSwaps_->value();
   return r;
 }
 

@@ -2,13 +2,25 @@
 /// Per-endpoint serving metrics: request accounting (submitted / completed
 /// / rejected), batch-formation efficiency, and tail latency via
 /// stats::LatencySummary over a sliding window of recent requests.
+///
+/// Counts live in a per-instance obs::Registry ("serve.predict.submitted",
+/// "serve.invert.rejected", ..., "serve.engine_swaps", gauge
+/// "serve.queue_depth", histograms "serve.<endpoint>.latency_us") — the
+/// record path is the registry's lock-free sharded counters, so workers
+/// never contend with a report() in flight. The registry is instance-owned,
+/// not global: benches build several servers in sequence and each server's
+/// report must start from zero. Only the exact-percentile latency window
+/// keeps a mutex (a ring of raw samples has no lock-free aggregation).
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "common/stats.hpp"
+#include "obs/metrics.hpp"
 #include "serve/batcher.hpp"
 
 namespace artsci::serve {
@@ -29,6 +41,8 @@ class ServeMetrics {
   /// A worker (re)built its execution engine against a new snapshot
   /// (counts the initial build too).
   void recordEngineSwap();
+  /// Instantaneous batcher depth (the server samples it on submit).
+  void recordQueueDepth(std::size_t depth);
 
   struct EndpointStats {
     std::uint64_t submitted = 0;
@@ -48,22 +62,34 @@ class ServeMetrics {
 
   Report report() const;
 
+  /// The backing registry (JSON export, step reports). Counters are
+  /// cumulative totals; the latency histograms are the coarse power-of-2
+  /// registry view — exact window percentiles come from report().
+  const obs::Registry& registry() const { return *registry_; }
+
  private:
   struct PerEndpoint {
-    std::uint64_t submitted = 0, completed = 0, rejected = 0, batches = 0;
-    std::vector<double> window;  ///< latency ring buffer
+    obs::Counter* submitted = nullptr;
+    obs::Counter* completed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* batches = nullptr;
+    obs::Histogram* latencyUs = nullptr;
+    std::vector<double> window;  ///< latency ring buffer (mutex_)
     std::size_t next = 0;
   };
 
+  void bind(PerEndpoint& p, const std::string& prefix);
   PerEndpoint& slot(Endpoint e) {
     return e == Endpoint::kPredictSpectrum ? predict_ : invert_;
   }
-  static EndpointStats summarize(const PerEndpoint& p);
+  EndpointStats summarize(const PerEndpoint& p) const;
 
-  mutable std::mutex mutex_;
+  std::unique_ptr<obs::Registry> registry_;
+  obs::Counter* engineSwaps_ = nullptr;
+  obs::Gauge* queueDepth_ = nullptr;
+  mutable std::mutex mutex_;  ///< guards the latency windows only
   std::size_t window_;
   PerEndpoint predict_, invert_;
-  std::uint64_t engineSwaps_ = 0;
 };
 
 }  // namespace artsci::serve

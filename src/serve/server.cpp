@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "obs/trace.hpp"
+
 namespace artsci::serve {
 
 namespace {
@@ -69,6 +71,7 @@ std::future<InferenceResult> InferenceServer::submit(
         batcher_.stopped() ? "server is shut down"
                            : "inference queue is full")));
   }
+  metrics_.recordQueueDepth(batcher_.depth());
   return fut;
 }
 
@@ -116,6 +119,7 @@ void InferenceServer::workerLoop(std::size_t workerIndex) {
 void InferenceServer::runPredictBatch(std::vector<PendingRequest>& batch,
                                       const ModelSnapshot& snap,
                                       InferenceEngine& engine) {
+  TRACE_SCOPE("serve", "predict_batch");
   const auto started = Clock::now();
   const long B = static_cast<long>(batch.size());
   const long perInput = static_cast<long>(batch.front().input.size());
@@ -135,6 +139,7 @@ void InferenceServer::runPredictBatch(std::vector<PendingRequest>& batch,
 
 void InferenceServer::runInvertBatch(std::vector<PendingRequest>& batch,
                                      const ModelSnapshot& snap, Rng& rng) {
+  TRACE_SCOPE("serve", "invert_batch");
   const auto started = Clock::now();
   const long B = static_cast<long>(batch.size());
   const long S = static_cast<long>(batch.front().input.size());

@@ -3,6 +3,8 @@
 #include <cstring>
 
 #include "common/timer.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace artsci::stream {
 
@@ -93,6 +95,7 @@ SstEngine::Writer::Writer(SstEngine& engine, std::size_t rank)
 }
 
 void SstEngine::Writer::beginStep() {
+  TRACE_SCOPE("stream", "writer_begin_step");
   ARTSCI_CHECK_MSG(!inStep_, "writer rank already in a step");
   std::unique_lock<std::mutex> lock(engine_.mutex_);
   ARTSCI_CHECK_MSG(!engine_.closed_, "beginStep on closed stream");
@@ -146,6 +149,7 @@ void SstEngine::Writer::setAttribute(const std::string& name,
 }
 
 void SstEngine::Writer::endStep() {
+  TRACE_SCOPE("stream", "writer_end_step");
   ARTSCI_CHECK_MSG(inStep_, "endStep without beginStep");
   Timer stall;
   std::unique_lock<std::mutex> lock(engine_.mutex_);
@@ -157,7 +161,12 @@ void SstEngine::Writer::endStep() {
       return engine_.queue_.size() < engine_.params_.queueLimit;
     });
     engine_.bytesPublished_ += engine_.assembling_->totalBytes();
+    obs::Registry::global().counter("stream.bytes_published")
+        .add(engine_.assembling_->totalBytes());
+    obs::Registry::global().counter("stream.steps_published").add();
     engine_.queue_.push_back(std::move(engine_.assembling_));
+    obs::Registry::global().gauge("stream.queue_depth")
+        .set(static_cast<double>(engine_.queue_.size()));
     engine_.assembling_.reset();
     ++engine_.stepsPublished_;
     ++engine_.nextStep_;
@@ -197,6 +206,7 @@ SstEngine::Reader::Reader(SstEngine& engine, std::size_t rank)
 }
 
 std::shared_ptr<const StepData> SstEngine::Reader::beginStep() {
+  TRACE_SCOPE("stream", "reader_begin_step");
   ARTSCI_CHECK_MSG(!inStep_, "reader rank already in a step");
   std::unique_lock<std::mutex> lock(engine_.mutex_);
   engine_.cv_.wait(lock, [this] {
@@ -220,12 +230,15 @@ std::shared_ptr<const StepData> SstEngine::Reader::beginStep() {
 }
 
 void SstEngine::Reader::endStep() {
+  TRACE_SCOPE("stream", "reader_end_step");
   ARTSCI_CHECK_MSG(inStep_, "reader endStep without beginStep");
   std::unique_lock<std::mutex> lock(engine_.mutex_);
   ++engine_.readersEnded_;
   if (engine_.readersEnded_ == engine_.params_.readerRanks) {
     // Releasing the step frees the writer-side buffer (queue slot).
     engine_.queue_.pop_front();
+    obs::Registry::global().gauge("stream.queue_depth")
+        .set(static_cast<double>(engine_.queue_.size()));
     engine_.current_.reset();
     engine_.cv_.notify_all();
   } else {

@@ -85,5 +85,33 @@ TEST(Histogram, RenderAsciiHasOneRowPerBin) {
   EXPECT_EQ(rows, 6);  // label + 5 bins
 }
 
+TEST(Histogram, EmptyHistogramIsWellDefined) {
+  Histogram1D h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  EXPECT_DOUBLE_EQ(h.meanValue(), 0.0);
+  EXPECT_DOUBLE_EQ(h.stddevValue(), 0.0);
+  const Histogram1D n = h.normalized();  // must not divide by zero
+  EXPECT_DOUBLE_EQ(n.total(), 0.0);
+}
+
+TEST(Histogram, UpperBoundIsExclusive) {
+  // fill(hi) is out of range — [lo, hi) binning — and counts as overflow;
+  // the value just below lands in the last bin.
+  Histogram1D h(0.0, 10.0, 10);
+  h.fill(10.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 0.0);
+  h.fill(std::nextafter(10.0, 0.0));
+  EXPECT_DOUBLE_EQ(h.count(9), 1.0);
+}
+
+TEST(Histogram, SingleSampleStats) {
+  Histogram1D h(0.0, 10.0, 10);
+  h.fill(3.7);
+  EXPECT_DOUBLE_EQ(h.total(), 1.0);
+  EXPECT_DOUBLE_EQ(h.meanValue(), h.binCenter(3));  // bin-center resolution
+  EXPECT_DOUBLE_EQ(h.stddevValue(), 0.0);
+}
+
 }  // namespace
 }  // namespace artsci

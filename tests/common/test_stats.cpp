@@ -112,6 +112,27 @@ TEST(Stats, LatencySummaryTailDominatedByStraggler) {
   EXPECT_NEAR(s.mean, 10.99, 1e-9);
 }
 
+TEST(Stats, LatencySummaryOfSingleSample) {
+  const LatencySummary s = latencySummary({42.0});
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.p50, 42.0);
+  EXPECT_DOUBLE_EQ(s.p99, 42.0);
+  EXPECT_DOUBLE_EQ(s.min, 42.0);
+  EXPECT_DOUBLE_EQ(s.max, 42.0);
+  EXPECT_DOUBLE_EQ(s.mean, 42.0);
+}
+
+TEST(Stats, LatencySummaryPercentilesMonotone) {
+  // p50 <= p90 <= p95 <= p99 must hold for any sample, min/max bracket.
+  std::vector<double> xs{3, 141, 59, 26, 5, 35, 89, 79, 32, 38, 46};
+  const LatencySummary s = latencySummary(xs);
+  EXPECT_LE(s.min, s.p50);
+  EXPECT_LE(s.p50, s.p90);
+  EXPECT_LE(s.p90, s.p95);
+  EXPECT_LE(s.p95, s.p99);
+  EXPECT_LE(s.p99, s.max);
+}
+
 TEST(Stats, FormatLatencySummaryMentionsPercentiles) {
   const LatencySummary s = latencySummary({1, 2, 3, 4});
   const std::string str = formatLatencySummary(s);

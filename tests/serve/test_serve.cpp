@@ -496,5 +496,44 @@ TEST(InferenceServer, LatencyMetricsPopulate) {
   EXPECT_GE(rep.predict.meanBatchSize, 1.0);
 }
 
+TEST(ServeMetrics, SingleSampleLatency) {
+  ServeMetrics m(4);
+  m.recordBatch(Endpoint::kPredictSpectrum, 1, {42.0});
+  const auto rep = m.report();
+  EXPECT_EQ(rep.predict.completed, 1u);
+  EXPECT_EQ(rep.predict.latencyMicros.count, 1u);
+  EXPECT_DOUBLE_EQ(rep.predict.latencyMicros.p50, 42.0);
+  EXPECT_DOUBLE_EQ(rep.predict.latencyMicros.p99, 42.0);
+  EXPECT_DOUBLE_EQ(rep.predict.latencyMicros.min, 42.0);
+  EXPECT_DOUBLE_EQ(rep.predict.latencyMicros.max, 42.0);
+}
+
+TEST(ServeMetrics, LatencyWindowExactFill) {
+  // Exactly window-many samples: none evicted yet.
+  ServeMetrics m(4);
+  m.recordBatch(Endpoint::kPredictSpectrum, 4, {1.0, 2.0, 3.0, 4.0});
+  const auto rep = m.report();
+  EXPECT_EQ(rep.predict.latencyMicros.count, 4u);
+  EXPECT_DOUBLE_EQ(rep.predict.latencyMicros.min, 1.0);
+  EXPECT_DOUBLE_EQ(rep.predict.latencyMicros.max, 4.0);
+}
+
+TEST(ServeMetrics, LatencyWindowWrapEvictsOldest) {
+  // 6 samples through a window of 4: the first two (10, 20) are evicted;
+  // cumulative counters still see all 6 completions.
+  ServeMetrics m(4);
+  m.recordBatch(Endpoint::kPredictSpectrum, 6,
+                {10.0, 20.0, 30.0, 40.0, 50.0, 60.0});
+  const auto rep = m.report();
+  EXPECT_EQ(rep.predict.completed, 6u);
+  EXPECT_EQ(rep.predict.batches, 1u);
+  EXPECT_EQ(rep.predict.latencyMicros.count, 4u);
+  EXPECT_DOUBLE_EQ(rep.predict.latencyMicros.min, 30.0);
+  EXPECT_DOUBLE_EQ(rep.predict.latencyMicros.max, 60.0);
+  // Endpoints are independent: invert saw nothing.
+  EXPECT_EQ(rep.invert.completed, 0u);
+  EXPECT_EQ(rep.invert.latencyMicros.count, 0u);
+}
+
 }  // namespace
 }  // namespace artsci::serve
