@@ -76,4 +76,11 @@ class Barrier {
 /// exception after all threads joined.
 void runRankTeam(std::size_t ranks, const std::function<void(std::size_t)>& fn);
 
+/// Pin the calling thread to one CPU of its allowed set: `slot` indexes
+/// round-robin into the CPUs the process may run on (cgroup/taskset aware),
+/// so slot 0..N-1 spreads N serving workers across distinct cores when the
+/// machine has them and degrades to sharing when it doesn't. No-op (returns
+/// false) on platforms without sched_setaffinity.
+bool pinThisThreadToCpuSlot(std::size_t slot);
+
 }  // namespace artsci

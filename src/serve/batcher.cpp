@@ -22,12 +22,34 @@ bool MicroBatcher::enqueue(PendingRequest& r) {
   return true;
 }
 
-std::vector<PendingRequest> MicroBatcher::nextBatch() {
+std::vector<PendingRequest> MicroBatcher::nextBatch(
+    std::vector<PendingRequest>* expired) {
   // Spans cover the idle wait too: gaps between batches show up as long
   // next_batch spans in the trace, which is exactly the signal wanted.
   TRACE_SCOPE("serve", "next_batch");
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
+    // Sweep expired requests out before forming a batch: a request whose
+    // deadline passed while queued must not consume batch slots or engine
+    // time — its client has already given up on the answer.
+    if (!queue_.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < queue_.size();) {
+        if (queue_[i].deadline <= now) {
+          ARTSCI_CHECK_MSG(expired != nullptr,
+                           "deadline-carrying request in a batcher polled "
+                           "without an expired sink");
+          expired->push_back(std::move(queue_[i]));
+          queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+    // Hand expired requests back immediately (even with a batch ready):
+    // the worker fails their promises and calls again — timeout responses
+    // must not wait out another batch-formation cycle.
+    if (expired != nullptr && !expired->empty()) return {};
     if (queue_.empty()) {
       if (stopping_) return {};
       cv_.wait(lock);
@@ -66,7 +88,12 @@ std::vector<PendingRequest> MicroBatcher::nextBatch() {
       queue_.swap(rest);
       return batch;
     }
-    cv_.wait_until(lock, deadline);
+    // Wake early enough to sweep the first client deadline, not just to
+    // close the batch.
+    auto wakeAt = deadline;
+    for (const auto& r : queue_)
+      if (r.deadline < wakeAt) wakeAt = r.deadline;
+    cv_.wait_until(lock, wakeAt);
   }
 }
 

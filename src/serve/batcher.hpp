@@ -57,6 +57,10 @@ struct PendingRequest {
   std::vector<ml::Real> input;
   std::promise<InferenceResult> promise;
   std::chrono::steady_clock::time_point enqueuedAt{};
+  /// Client deadline: a request still queued past this instant is swept
+  /// out by nextBatch() instead of being batched (max() = no deadline).
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
 };
 
 /// Thread-safe FIFO queue with batch-forming pop. Multiple workers may
@@ -77,7 +81,13 @@ class MicroBatcher {
   /// Block until a batch is ready under the policy; returns it in FIFO
   /// order. An empty vector means "stopped and nothing left to serve":
   /// the calling worker should exit.
-  std::vector<PendingRequest> nextBatch();
+  ///
+  /// Deadline-expired requests are swept out of the queue *before* batch
+  /// formation and handed back via `expired` (FIFO order) so the caller
+  /// can fail their promises — never executed, never silently dropped.
+  /// Passing nullptr asserts that no queued request carries a deadline.
+  std::vector<PendingRequest> nextBatch(
+      std::vector<PendingRequest>* expired = nullptr);
 
   /// Stop accepting work. drainPending=true lets workers keep pulling
   /// batches until the queue is empty (graceful drain); false makes

@@ -1,0 +1,99 @@
+#include "serve/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace artsci::serve {
+
+NetClient::NetClient(const std::string& host, std::uint16_t port,
+                     std::size_t maxPayloadBytes)
+    : decoder_(maxPayloadBytes) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ARTSCI_CHECK_MSG(fd_ >= 0, "socket(): " << std::strerror(errno));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ARTSCI_CHECK_MSG(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                   "bad address '" << host << "'");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    ARTSCI_CHECK_MSG(false, "connect(" << host << ":" << port
+                                       << "): " << std::strerror(err));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+NetClient::~NetClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void NetClient::sendBytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd_, p + off, n - off, MSG_NOSIGNAL);
+    if (w < 0 && errno == EINTR) continue;
+    ARTSCI_CHECK_MSG(w > 0, "send(): " << std::strerror(errno));
+    off += static_cast<std::size_t>(w);
+  }
+}
+
+proto::Frame NetClient::recvFrame() {
+  proto::Frame frame;
+  std::uint8_t buf[1 << 14];
+  for (;;) {
+    if (decoder_.next(frame)) return frame;
+    ARTSCI_CHECK_MSG(!decoder_.failed(),
+                     "protocol violation from server: " << decoder_.error());
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    // EOF/reset is an expected peer-side condition, not a contract bug.
+    if (n <= 0)
+      throw RuntimeError(std::string("connection lost while awaiting frame: ") +
+                         (n == 0 ? "closed by server" : std::strerror(errno)));
+    decoder_.feed(buf, static_cast<std::size_t>(n));
+  }
+}
+
+void NetClient::shutdownWrite() { ::shutdown(fd_, SHUT_WR); }
+
+NetReply NetClient::roundTrip(proto::MsgType type,
+                              const std::vector<ml::Real>& values,
+                              std::uint64_t deadlineMicros) {
+  const std::uint64_t id = nextId_++;
+  sendFrame(proto::encodeRequest(type, id, deadlineMicros, values));
+  proto::Frame f = recvFrame();
+  ARTSCI_CHECK_MSG(f.requestId == id, "reply id " << f.requestId
+                                                  << " != request id " << id);
+  if (f.type == proto::MsgType::kError)
+    throw NetError(static_cast<proto::ErrorCode>(f.aux), f.message);
+  ARTSCI_CHECK_MSG(f.type == proto::MsgType::kReply,
+                   "unexpected frame type from server");
+  NetReply r;
+  r.values = std::move(f.values);
+  r.requestId = f.requestId;
+  r.snapshotVersion = f.meta;
+  r.batchSize = f.aux;
+  return r;
+}
+
+NetReply NetClient::predictSpectrum(const std::vector<ml::Real>& cloud,
+                                    std::uint64_t deadlineMicros) {
+  return roundTrip(proto::MsgType::kPredictSpectrum, cloud, deadlineMicros);
+}
+
+NetReply NetClient::invertSpectrum(const std::vector<ml::Real>& spectrum,
+                                   std::uint64_t deadlineMicros) {
+  return roundTrip(proto::MsgType::kInvertSpectrum, spectrum, deadlineMicros);
+}
+
+}  // namespace artsci::serve

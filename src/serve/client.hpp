@@ -1,0 +1,86 @@
+/// \file client.hpp
+/// A minimal blocking TCP client for the ASV1 protocol (protocol.hpp).
+/// One connection, synchronous request/reply round-trips — the shape the
+/// conformance tests and the load generator need. Also exposes the raw
+/// frame plumbing (sendBytes/sendFrame/recvFrame) so tests can write
+/// torn, pipelined, or malformed byte streams directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "ml/tensor.hpp"
+#include "serve/protocol.hpp"
+
+namespace artsci::serve {
+
+/// The server answered with a kError frame; `code` says why.
+class NetError : public RuntimeError {
+ public:
+  NetError(proto::ErrorCode code, const std::string& message)
+      : RuntimeError(std::string(proto::errorCodeName(code)) + ": " +
+                     message),
+        code_(code) {}
+  proto::ErrorCode code() const { return code_; }
+
+ private:
+  proto::ErrorCode code_;
+};
+
+/// One server reply, already decoded.
+struct NetReply {
+  std::vector<ml::Real> values;
+  std::uint64_t requestId = 0;
+  std::uint64_t snapshotVersion = 0;
+  std::uint32_t batchSize = 0;
+};
+
+class NetClient {
+ public:
+  /// Connects (blocking) to host:port; throws RuntimeError on failure.
+  NetClient(const std::string& host, std::uint16_t port,
+            std::size_t maxPayloadBytes = proto::kDefaultMaxPayloadBytes);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  /// Round-trip: send a PredictSpectrum request, block for its reply.
+  /// Throws NetError if the server answers kError, RuntimeError if the
+  /// connection drops.
+  NetReply predictSpectrum(const std::vector<ml::Real>& cloud,
+                           std::uint64_t deadlineMicros = 0);
+  /// Round-trip for InvertSpectrum; same error contract.
+  NetReply invertSpectrum(const std::vector<ml::Real>& spectrum,
+                          std::uint64_t deadlineMicros = 0);
+
+  // --- raw plumbing (tests, pipelined load generation) -------------------
+
+  /// Send an encoded request frame without waiting for the reply.
+  void sendFrame(const std::vector<std::uint8_t>& bytes) {
+    sendBytes(bytes.data(), bytes.size());
+  }
+  /// Write arbitrary bytes — torn frames, garbage, partial headers.
+  void sendBytes(const void* data, std::size_t n);
+  /// Block until one full frame arrives (reply or error, as sent).
+  /// Throws RuntimeError on EOF/reset or a protocol violation from the
+  /// server side.
+  proto::Frame recvFrame();
+  /// Next request id this client will stamp (monotonic from 1).
+  std::uint64_t nextRequestId() const { return nextId_; }
+
+  /// Half-close the write side (server sees EOF, replies still readable).
+  void shutdownWrite();
+
+ private:
+  NetReply roundTrip(proto::MsgType type, const std::vector<ml::Real>& values,
+                     std::uint64_t deadlineMicros);
+
+  int fd_ = -1;
+  std::uint64_t nextId_ = 1;
+  proto::FrameDecoder decoder_;
+};
+
+}  // namespace artsci::serve

@@ -17,6 +17,8 @@ void ServeMetrics::bind(PerEndpoint& p, const std::string& prefix) {
   p.submitted = &registry_->counter(prefix + ".submitted");
   p.completed = &registry_->counter(prefix + ".completed");
   p.rejected = &registry_->counter(prefix + ".rejected");
+  p.shed = &registry_->counter(prefix + ".shed");
+  p.deadlineTimeouts = &registry_->counter(prefix + ".deadline_timeouts");
   p.batches = &registry_->counter(prefix + ".batches");
   p.latencyUs = &registry_->histogram(prefix + ".latency_us");
 }
@@ -24,6 +26,12 @@ void ServeMetrics::bind(PerEndpoint& p, const std::string& prefix) {
 void ServeMetrics::recordSubmitted(Endpoint e) { slot(e).submitted->add(); }
 
 void ServeMetrics::recordRejected(Endpoint e) { slot(e).rejected->add(); }
+
+void ServeMetrics::recordShed(Endpoint e) { slot(e).shed->add(); }
+
+void ServeMetrics::recordDeadlineTimeout(Endpoint e) {
+  slot(e).deadlineTimeouts->add();
+}
 
 void ServeMetrics::recordBatch(Endpoint e, std::size_t batchSize,
                                const std::vector<double>& latenciesMicros) {
@@ -54,6 +62,8 @@ ServeMetrics::EndpointStats ServeMetrics::summarize(
   s.submitted = p.submitted->value();
   s.completed = p.completed->value();
   s.rejected = p.rejected->value();
+  s.shed = p.shed->value();
+  s.deadlineTimeouts = p.deadlineTimeouts->value();
   s.batches = p.batches->value();
   s.meanBatchSize =
       s.batches > 0

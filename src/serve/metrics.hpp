@@ -34,6 +34,12 @@ class ServeMetrics {
 
   void recordSubmitted(Endpoint e);
   void recordRejected(Endpoint e);
+  /// Admission control dropped the request (queue at capacity, or the
+  /// deadline was already expired on arrival) — never entered the queue.
+  void recordShed(Endpoint e);
+  /// The request's deadline expired while it sat in the queue; it was
+  /// swept out before batching and its promise failed.
+  void recordDeadlineTimeout(Endpoint e);
   /// One executed micro-batch: its size and the submit-to-completion
   /// latency (microseconds) of each member.
   void recordBatch(Endpoint e, std::size_t batchSize,
@@ -48,6 +54,8 @@ class ServeMetrics {
     std::uint64_t submitted = 0;
     std::uint64_t completed = 0;
     std::uint64_t rejected = 0;
+    std::uint64_t shed = 0;              ///< dropped by admission control
+    std::uint64_t deadlineTimeouts = 0;  ///< expired while queued
     std::uint64_t batches = 0;
     double meanBatchSize = 0;  ///< completed / batches
     stats::LatencySummary latencyMicros;  ///< over the sliding window
@@ -66,12 +74,21 @@ class ServeMetrics {
   /// cumulative totals; the latency histograms are the coarse power-of-2
   /// registry view — exact window percentiles come from report().
   const obs::Registry& registry() const { return *registry_; }
+  /// Mutable registry access so co-located subsystems (the TCP front end's
+  /// connection/frame counters) share one metrics namespace and JSON dump.
+  obs::Registry& registry() { return *registry_; }
+
+  /// Registry snapshot as JSON — every serve.* counter ("serve.predict.
+  /// shed", "serve.invert.deadline_timeouts", ...), gauge, and histogram.
+  std::string toJson() const { return registry_->toJson(); }
 
  private:
   struct PerEndpoint {
     obs::Counter* submitted = nullptr;
     obs::Counter* completed = nullptr;
     obs::Counter* rejected = nullptr;
+    obs::Counter* shed = nullptr;
+    obs::Counter* deadlineTimeouts = nullptr;
     obs::Counter* batches = nullptr;
     obs::Histogram* latencyUs = nullptr;
     std::vector<double> window;  ///< latency ring buffer (mutex_)

@@ -1,0 +1,195 @@
+#include "serve/protocol.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace artsci::serve::proto {
+
+namespace {
+
+// Little-endian scalar packing. The payload's ml::Real values are copied
+// byte-for-byte (every supported target is little-endian IEEE-754; the
+// header helpers below keep the framing portable regardless).
+void putU16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+
+void putU32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void putU64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint16_t getU16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t getU32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t getU64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::vector<std::uint8_t> encodeFrame(MsgType type, std::uint64_t requestId,
+                                      std::uint64_t meta, std::uint32_t aux,
+                                      const void* payload,
+                                      std::size_t payloadBytes) {
+  std::vector<std::uint8_t> out(kHeaderBytes + payloadBytes);
+  putU32(out.data(), kMagic);
+  out[4] = kVersion;
+  out[5] = static_cast<std::uint8_t>(type);
+  putU16(out.data() + 6, 0);
+  putU64(out.data() + 8, requestId);
+  putU64(out.data() + 16, meta);
+  putU32(out.data() + 24, aux);
+  putU32(out.data() + 28, static_cast<std::uint32_t>(payloadBytes));
+  if (payloadBytes > 0)
+    std::memcpy(out.data() + kHeaderBytes, payload, payloadBytes);
+  return out;
+}
+
+bool knownType(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MsgType::kPredictSpectrum) &&
+         t <= static_cast<std::uint8_t>(MsgType::kError);
+}
+
+}  // namespace
+
+const char* errorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "BadRequest";
+    case ErrorCode::kShed: return "Shed";
+    case ErrorCode::kDeadlineExceeded: return "DeadlineExceeded";
+    case ErrorCode::kShuttingDown: return "ShuttingDown";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+std::vector<std::uint8_t> encodeRequest(MsgType type, std::uint64_t requestId,
+                                        std::uint64_t deadlineMicros,
+                                        const std::vector<ml::Real>& values) {
+  ARTSCI_EXPECTS_MSG(type == MsgType::kPredictSpectrum ||
+                         type == MsgType::kInvertSpectrum,
+                     "encodeRequest takes a request MsgType");
+  return encodeFrame(type, requestId, deadlineMicros, 0, values.data(),
+                     values.size() * sizeof(ml::Real));
+}
+
+std::vector<std::uint8_t> encodeReply(std::uint64_t requestId,
+                                      std::uint64_t snapshotVersion,
+                                      std::uint32_t batchSize,
+                                      const std::vector<ml::Real>& values) {
+  return encodeFrame(MsgType::kReply, requestId, snapshotVersion, batchSize,
+                     values.data(), values.size() * sizeof(ml::Real));
+}
+
+std::vector<std::uint8_t> encodeError(std::uint64_t requestId, ErrorCode code,
+                                      const std::string& message) {
+  return encodeFrame(MsgType::kError, requestId, 0,
+                     static_cast<std::uint32_t>(code), message.data(),
+                     message.size());
+}
+
+FrameDecoder::FrameDecoder(std::size_t maxPayloadBytes)
+    : maxPayload_(maxPayloadBytes) {
+  ARTSCI_EXPECTS(maxPayloadBytes >= sizeof(ml::Real));
+}
+
+void FrameDecoder::fail(std::string why) {
+  error_ = std::move(why);
+  buffer_.clear();
+  consumed_ = 0;
+}
+
+bool FrameDecoder::checkHeader(const std::uint8_t* h) {
+  if (getU32(h) != kMagic) {
+    fail("bad magic (not an ASV1 stream)");
+    return false;
+  }
+  if (h[4] != kVersion) {
+    fail("unsupported protocol version " + std::to_string(int(h[4])) +
+         " (expected " + std::to_string(int(kVersion)) + ")");
+    return false;
+  }
+  if (!knownType(h[5])) {
+    fail("unknown message type " + std::to_string(int(h[5])));
+    return false;
+  }
+  if (getU16(h + 6) != 0) {
+    fail("nonzero reserved header bytes");
+    return false;
+  }
+  const std::uint32_t payloadBytes = getU32(h + 28);
+  if (payloadBytes > maxPayload_) {
+    // Reject from the 4-byte length alone — the oversized payload is
+    // never buffered, let alone allocated.
+    fail("payload of " + std::to_string(payloadBytes) +
+         " bytes exceeds the " + std::to_string(maxPayload_) + "-byte cap");
+    return false;
+  }
+  const auto type = static_cast<MsgType>(h[5]);
+  if (type != MsgType::kError && payloadBytes % sizeof(ml::Real) != 0) {
+    fail("value payload of " + std::to_string(payloadBytes) +
+         " bytes is not a whole number of reals");
+    return false;
+  }
+  return true;
+}
+
+void FrameDecoder::feed(const std::uint8_t* data, std::size_t n) {
+  if (failed() || n == 0) return;
+  // Compact lazily: drop fully-decoded prefix before appending so the
+  // buffer stays bounded by one in-progress frame plus one read chunk.
+  if (consumed_ > 0) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+bool FrameDecoder::next(Frame& out) {
+  if (failed()) return false;
+  // Validate the magic eagerly, from the first 4 bytes alone: a non-ASV1
+  // stream (an HTTP request, say) is rejected at once instead of waiting
+  // out a full header that will never arrive.
+  if (buffered() >= 4 && getU32(buffer_.data() + consumed_) != kMagic) {
+    fail("bad magic (not an ASV1 stream)");
+    return false;
+  }
+  if (buffered() < kHeaderBytes) return false;
+  const std::uint8_t* h = buffer_.data() + consumed_;
+  if (!checkHeader(h)) return false;
+  const std::uint32_t payloadBytes = getU32(h + 28);
+  if (buffered() < kHeaderBytes + payloadBytes) return false;
+
+  out.type = static_cast<MsgType>(h[5]);
+  out.requestId = getU64(h + 8);
+  out.meta = getU64(h + 16);
+  out.aux = getU32(h + 24);
+  out.values.clear();
+  out.message.clear();
+  const std::uint8_t* payload = h + kHeaderBytes;
+  if (out.type == MsgType::kError) {
+    out.message.assign(reinterpret_cast<const char*>(payload), payloadBytes);
+  } else {
+    out.values.resize(payloadBytes / sizeof(ml::Real));
+    if (payloadBytes > 0)
+      std::memcpy(out.values.data(), payload, payloadBytes);
+  }
+  consumed_ += kHeaderBytes + payloadBytes;
+  return true;
+}
+
+}  // namespace artsci::serve::proto

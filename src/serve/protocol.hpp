@@ -1,0 +1,134 @@
+/// \file protocol.hpp
+/// The length-prefixed binary wire protocol of the TCP serving front end
+/// (net_server.hpp). Dependency-free and fixed-layout: every message is a
+/// 32-byte little-endian header followed by a length-prefixed payload, so a
+/// decoder needs no lookahead beyond the declared length and a client can
+/// pipeline frames back-to-back on one connection.
+///
+/// Frame layout (all integers little-endian):
+///
+/// | offset | size | field        | meaning                                  |
+/// |-------:|-----:|--------------|------------------------------------------|
+/// |      0 |    4 | magic        | 0x31565341 ("ASV1")                      |
+/// |      4 |    1 | version      | kVersion (1)                             |
+/// |      5 |    1 | type         | MsgType                                  |
+/// |      6 |    2 | reserved     | must be 0                                |
+/// |      8 |    8 | requestId    | client-chosen, echoed verbatim in replies |
+/// |     16 |    8 | meta         | request: deadline in us (0 = none);      |
+/// |        |      |              | reply: snapshot version; error: 0        |
+/// |     24 |    4 | aux          | reply: batch size; error: ErrorCode      |
+/// |     28 |    4 | payloadBytes | payload length (bounded by the decoder)  |
+/// |     32 |    n | payload      | request/reply: packed ml::Real values;   |
+/// |        |      |              | error: UTF-8 message                     |
+///
+/// The FrameDecoder consumes a raw byte stream incrementally (partial reads,
+/// torn headers, pipelined frames) and validates the header — magic, version,
+/// type, reserved bytes, payload bound — *before* allocating payload storage,
+/// so a garbage or hostile length prefix cannot blow up allocation. A
+/// malformed header poisons the decoder: the connection owner sends one
+/// kError reply and closes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ml/tensor.hpp"
+
+namespace artsci::serve::proto {
+
+inline constexpr std::uint32_t kMagic = 0x31565341u;  ///< "ASV1"
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 32;
+/// Default payload cap: a 64k-point cloud (64k x 6 doubles) with headroom.
+inline constexpr std::size_t kDefaultMaxPayloadBytes = 8u << 20;
+
+/// Message kinds on the wire. Requests map 1:1 onto serve::Endpoint.
+enum class MsgType : std::uint8_t {
+  kPredictSpectrum = 1,  ///< request: payload = flattened [points x 6] cloud
+  kInvertSpectrum = 2,   ///< request: payload = spectrum [spectrumDim]
+  kReply = 3,            ///< success: payload = result values
+  kError = 4,            ///< failure: payload = UTF-8 message, aux = ErrorCode
+};
+
+/// Why a request failed (ErrorFrame::code / the aux field of kError).
+enum class ErrorCode : std::uint32_t {
+  kBadRequest = 1,        ///< malformed frame or input validation failure
+  kShed = 2,              ///< admission control dropped it (queue full)
+  kDeadlineExceeded = 3,  ///< expired before execution started
+  kShuttingDown = 4,      ///< server stopping; request not executed
+  kInternal = 5,          ///< execution failed (no model published, ...)
+};
+
+/// Human-readable error-code label for logs and test diagnostics.
+const char* errorCodeName(ErrorCode code);
+
+/// One decoded message. `values` carries the payload of request/reply
+/// frames; `message` the payload of error frames.
+struct Frame {
+  MsgType type = MsgType::kReply;
+  std::uint64_t requestId = 0;
+  std::uint64_t meta = 0;  ///< deadline us / snapshot version (see layout)
+  std::uint32_t aux = 0;   ///< batch size / ErrorCode (see layout)
+  std::vector<ml::Real> values;
+  std::string message;
+
+  bool isRequest() const {
+    return type == MsgType::kPredictSpectrum ||
+           type == MsgType::kInvertSpectrum;
+  }
+};
+
+/// Serialize a request frame (deadlineMicros 0 = no deadline).
+std::vector<std::uint8_t> encodeRequest(MsgType type, std::uint64_t requestId,
+                                        std::uint64_t deadlineMicros,
+                                        const std::vector<ml::Real>& values);
+
+/// Serialize a success reply.
+std::vector<std::uint8_t> encodeReply(std::uint64_t requestId,
+                                      std::uint64_t snapshotVersion,
+                                      std::uint32_t batchSize,
+                                      const std::vector<ml::Real>& values);
+
+/// Serialize an error reply.
+std::vector<std::uint8_t> encodeError(std::uint64_t requestId, ErrorCode code,
+                                      const std::string& message);
+
+/// Incremental decoder over a raw byte stream. Feed arbitrary chunks (torn
+/// anywhere, multiple frames per chunk); poll next() for complete frames.
+/// After a header-level protocol violation the decoder enters a sticky
+/// error state (error() non-empty) and next() returns false forever — the
+/// stream has lost framing and the connection must close.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t maxPayloadBytes = kDefaultMaxPayloadBytes);
+
+  /// Append raw bytes. Buffers at most one in-progress frame (header +
+  /// declared payload); in the error state input is discarded.
+  void feed(const std::uint8_t* data, std::size_t n);
+
+  /// Pop the next complete frame into `out`. False = need more bytes, or
+  /// the decoder is poisoned (check error()).
+  bool next(Frame& out);
+
+  /// Non-empty once the stream violated the protocol (sticky).
+  const std::string& error() const { return error_; }
+  bool failed() const { return !error_.empty(); }
+
+  /// Bytes buffered but not yet decoded (bounded by header + max payload).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+  std::size_t maxPayloadBytes() const { return maxPayload_; }
+
+ private:
+  void fail(std::string why);
+  /// Validate the 32-byte header at `h`; false poisons the decoder.
+  bool checkHeader(const std::uint8_t* h);
+
+  std::size_t maxPayload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< prefix of buffer_ already decoded
+  std::string error_;
+};
+
+}  // namespace artsci::serve::proto

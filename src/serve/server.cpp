@@ -27,6 +27,7 @@ InferenceServer::InferenceServer(ServerConfig cfg,
     : cfg_(cfg),
       registry_(std::move(registry)),
       batcher_(cfg.policy),
+      metrics_(cfg.metrics ? cfg.metrics : std::make_shared<ServeMetrics>()),
       pool_(cfg.workers) {
   ARTSCI_EXPECTS_MSG(registry_ != nullptr, "server needs a registry");
   ARTSCI_EXPECTS(cfg_.workers >= 1);
@@ -38,57 +39,83 @@ InferenceServer::InferenceServer(ServerConfig cfg,
 InferenceServer::~InferenceServer() { shutdown(ShutdownMode::kDrain); }
 
 std::future<InferenceResult> InferenceServer::predictSpectrum(
-    std::vector<ml::Real> cloud) {
+    std::vector<ml::Real> cloud, std::uint64_t deadlineMicros) {
   if (cloud.empty() || cloud.size() % 6 != 0)
     return rejectedFuture("PredictSpectrum input must be a non-empty "
                           "flattened [points x 6] cloud");
-  return submit(Endpoint::kPredictSpectrum, std::move(cloud));
+  return submit(Endpoint::kPredictSpectrum, std::move(cloud), deadlineMicros);
 }
 
 std::future<InferenceResult> InferenceServer::invertSpectrum(
-    std::vector<ml::Real> spectrum) {
+    std::vector<ml::Real> spectrum, std::uint64_t deadlineMicros) {
   if (spectrum.empty())
     return rejectedFuture("InvertSpectrum input must be a non-empty spectrum");
-  return submit(Endpoint::kInvertSpectrum, std::move(spectrum));
+  return submit(Endpoint::kInvertSpectrum, std::move(spectrum), deadlineMicros);
 }
 
 std::future<InferenceResult> InferenceServer::submit(
-    Endpoint endpoint, std::vector<ml::Real> input) {
-  metrics_.recordSubmitted(endpoint);
+    Endpoint endpoint, std::vector<ml::Real> input,
+    std::uint64_t deadlineMicros) {
+  metrics_->recordSubmitted(endpoint);
   PendingRequest r;
   r.endpoint = endpoint;
   r.input = std::move(input);
+  if (deadlineMicros > 0)
+    r.deadline = Clock::now() + std::chrono::microseconds(deadlineMicros);
   std::future<InferenceResult> fut = r.promise.get_future();
   if (!accepting_.load(std::memory_order_acquire)) {
-    metrics_.recordRejected(endpoint);
+    metrics_->recordRejected(endpoint);
     r.promise.set_exception(
-        std::make_exception_ptr(RuntimeError("server is shut down")));
+        std::make_exception_ptr(ShutdownError("server is shut down")));
     return fut;
   }
   if (!batcher_.enqueue(r)) {
-    metrics_.recordRejected(endpoint);
-    r.promise.set_exception(std::make_exception_ptr(RuntimeError(
-        batcher_.stopped() ? "server is shut down"
-                           : "inference queue is full")));
+    // Admission control: the bounded queue is at capacity, so the newest
+    // request is the one shed — the queued ones are older and closer to
+    // their deadlines, re-queuing churn would only make everyone late.
+    if (batcher_.stopped()) {
+      metrics_->recordRejected(endpoint);
+      r.promise.set_exception(
+          std::make_exception_ptr(ShutdownError("server is shut down")));
+    } else {
+      metrics_->recordShed(endpoint);
+      r.promise.set_exception(std::make_exception_ptr(ShedError(
+          "request shed: inference queue is at capacity")));
+    }
   }
-  metrics_.recordQueueDepth(batcher_.depth());
+  metrics_->recordQueueDepth(batcher_.depth());
   return fut;
 }
 
 void InferenceServer::workerLoop(std::size_t workerIndex) {
+  if (cfg_.pinCoreBase >= 0)
+    pinThisThreadToCpuSlot(static_cast<std::size_t>(cfg_.pinCoreBase) +
+                           workerIndex);
   // Worker-local RNG: posterior draws are concurrent-safe and per-worker
   // reproducible (not globally ordered — batch-to-worker assignment races).
   Rng rng(cfg_.seed + 0x9e3779b9ULL * (workerIndex + 1));
   std::shared_ptr<const ModelSnapshot> bound;
   std::unique_ptr<InferenceEngine> engine;
+  std::vector<PendingRequest> expired;
   for (;;) {
-    std::vector<PendingRequest> batch = batcher_.nextBatch();
-    if (batch.empty()) return;
+    expired.clear();
+    std::vector<PendingRequest> batch = batcher_.nextBatch(&expired);
+    // Deadline-swept requests were never batched; fail them promptly so a
+    // shed/timeout response is never silently dropped.
+    for (auto& r : expired) {
+      metrics_->recordDeadlineTimeout(r.endpoint);
+      r.promise.set_exception(std::make_exception_ptr(DeadlineError(
+          "deadline expired while queued (load shed)")));
+    }
+    if (batch.empty()) {
+      if (expired.empty()) return;  // stopped and drained: worker exits
+      continue;
+    }
     // One snapshot per batch: the hot-swap consistency guarantee.
     std::shared_ptr<const ModelSnapshot> snap = registry_->current();
     if (!snap) {
       for (auto& r : batch) {
-        metrics_.recordRejected(r.endpoint);
+        metrics_->recordRejected(r.endpoint);
         r.promise.set_exception(std::make_exception_ptr(
             RuntimeError("no model published in the registry")));
       }
@@ -99,7 +126,7 @@ void InferenceServer::workerLoop(std::size_t workerIndex) {
       opts.ompRowParallel = cfg_.ompRowParallel && cfg_.workers == 1;
       engine = std::make_unique<InferenceEngine>(snap->model, opts);
       bound = snap;
-      metrics_.recordEngineSwap();
+      metrics_->recordEngineSwap();
     }
     try {
       if (batch.front().endpoint == Endpoint::kPredictSpectrum)
@@ -109,7 +136,7 @@ void InferenceServer::workerLoop(std::size_t workerIndex) {
     } catch (...) {
       const std::exception_ptr err = std::current_exception();
       for (auto& r : batch) {
-        metrics_.recordRejected(r.endpoint);
+        metrics_->recordRejected(r.endpoint);
         r.promise.set_exception(err);
       }
     }
@@ -175,7 +202,7 @@ void InferenceServer::finishBatch(std::vector<PendingRequest>& batch,
     latencies[i] = microsBetween(batch[i].enqueuedAt, done);
   // Metrics before promises: a client that observed its future resolve
   // must already see this batch accounted for.
-  metrics_.recordBatch(batch.front().endpoint, batch.size(), latencies);
+  metrics_->recordBatch(batch.front().endpoint, batch.size(), latencies);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     InferenceResult res;
     res.values = std::move(values[i]);
@@ -193,14 +220,14 @@ void InferenceServer::shutdown(ShutdownMode mode) {
   for (auto& f : workerDone_) f.wait();
   // In kReject mode (or if a worker died), fail whatever never ran.
   for (auto& r : batcher_.takePending()) {
-    metrics_.recordRejected(r.endpoint);
-    r.promise.set_exception(std::make_exception_ptr(
-        RuntimeError("request rejected: server shut down before execution")));
+    metrics_->recordRejected(r.endpoint);
+    r.promise.set_exception(std::make_exception_ptr(ShutdownError(
+        "request rejected: server shut down before execution")));
   }
 }
 
 ServeMetrics::Report InferenceServer::metrics() const {
-  ServeMetrics::Report rep = metrics_.report();
+  ServeMetrics::Report rep = metrics_->report();
   rep.queueDepth = batcher_.depth();
   return rep;
 }

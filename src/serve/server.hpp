@@ -20,6 +20,27 @@
 
 namespace artsci::serve {
 
+/// Admission control dropped the request before it entered the queue
+/// (queue at capacity, or the deadline was already expired on submit).
+class ShedError : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+/// The request's deadline expired while it waited in the queue; it was
+/// swept out before batching and never executed.
+class DeadlineError : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+/// The server is shutting down (or already shut down); the request was
+/// not executed.
+class ShutdownError : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
 struct ServerConfig {
   BatchPolicy policy;
   std::size_t workers = 1;   ///< inference worker threads
@@ -32,6 +53,15 @@ struct ServerConfig {
   /// deployment — or with workers > 1 (ignored there anyway: the worker
   /// threads already own the cores).
   bool ompRowParallel = false;
+  /// Pin worker w to CPU slot (pinCoreBase + w) of the process's allowed
+  /// set (common/thread_pool.hpp::pinThisThreadToCpuSlot). -1 = no pinning.
+  /// The TCP front end (net_server.hpp) uses this to give each shard's
+  /// worker its own core.
+  int pinCoreBase = -1;
+  /// Record into this ServeMetrics instead of a private one — the sharded
+  /// front end aggregates all workers into a single metrics namespace.
+  /// The registry record path is lock-free, so sharing does not contend.
+  std::shared_ptr<ServeMetrics> metrics;
 };
 
 class InferenceServer {
@@ -45,11 +75,18 @@ class InferenceServer {
   InferenceServer& operator=(const InferenceServer&) = delete;
 
   /// Forward surrogate: cloud flattened [points x 6] -> spectrum future.
-  std::future<InferenceResult> predictSpectrum(std::vector<ml::Real> cloud);
+  /// `deadlineMicros` > 0 arms deadline-based load shedding: a request
+  /// still queued that long after submit fails with DeadlineError instead
+  /// of being batched (0 = no deadline; the future always resolves either
+  /// way — sheds and timeouts surface as exceptions, never silence).
+  std::future<InferenceResult> predictSpectrum(std::vector<ml::Real> cloud,
+                                               std::uint64_t deadlineMicros = 0);
 
   /// Inverse problem: spectrum [spectrumDim] -> one posterior point-cloud
-  /// draw (fresh N ~ N(0,1) per request, worker-local RNG).
-  std::future<InferenceResult> invertSpectrum(std::vector<ml::Real> spectrum);
+  /// draw (fresh N ~ N(0,1) per request, worker-local RNG). Deadline
+  /// semantics as predictSpectrum.
+  std::future<InferenceResult> invertSpectrum(std::vector<ml::Real> spectrum,
+                                              std::uint64_t deadlineMicros = 0);
 
   enum class ShutdownMode {
     kDrain,   ///< stop accepting, execute everything already queued
@@ -63,12 +100,15 @@ class InferenceServer {
 
   /// Metrics snapshot (includes current queue depth).
   ServeMetrics::Report metrics() const;
+  /// The (possibly shared) metrics sink this server records into.
+  const std::shared_ptr<ServeMetrics>& metricsSink() const { return metrics_; }
 
   const ServerConfig& config() const { return cfg_; }
 
  private:
   std::future<InferenceResult> submit(Endpoint endpoint,
-                                      std::vector<ml::Real> input);
+                                      std::vector<ml::Real> input,
+                                      std::uint64_t deadlineMicros);
   void workerLoop(std::size_t workerIndex);
   void runPredictBatch(std::vector<PendingRequest>& batch,
                        const ModelSnapshot& snap, InferenceEngine& engine);
@@ -82,7 +122,7 @@ class InferenceServer {
   ServerConfig cfg_;
   std::shared_ptr<ModelRegistry> registry_;
   MicroBatcher batcher_;
-  ServeMetrics metrics_;
+  std::shared_ptr<ServeMetrics> metrics_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> shutdownDone_{false};
   // Declared last: destroyed first, after shutdown() joined the loops.

@@ -1,0 +1,322 @@
+/// Socket-level tests for the TCP serving front end (serve/net_server.hpp):
+/// request/reply round-trips against a live epoll server, pipelined frames,
+/// sharded dispatch, deadline and shed surfacing on the wire, malformed
+/// stream handling, and the drain-on-stop guarantee that no accepted
+/// request goes unanswered.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/model.hpp"
+#include "serve/client.hpp"
+#include "serve/net_server.hpp"
+
+namespace artsci::serve {
+namespace {
+
+using core::ArtificialScientistModel;
+
+ArtificialScientistModel::Config tinyConfig() {
+  ArtificialScientistModel::Config cfg;
+  cfg.encoder.channels = {6, 8, 16};
+  cfg.encoder.headHidden = 16;
+  cfg.encoder.latentDim = 16;
+  cfg.decoder.latentDim = 16;
+  cfg.decoder.baseGrid = 2;
+  cfg.decoder.channels = {8, 6};
+  cfg.inn.dim = 16;
+  cfg.inn.blocks = 2;
+  cfg.inn.hidden = {12, 12};
+  cfg.spectrumDim = 8;
+  return cfg;
+}
+
+std::shared_ptr<const ArtificialScientistModel> tinyModel(
+    std::uint64_t seed = 11) {
+  Rng rng(seed);
+  ArtificialScientistModel m(tinyConfig(), rng);
+  return core::cloneForInference(m);
+}
+
+std::vector<ml::Real> randomCloud(long points, Rng& rng) {
+  std::vector<ml::Real> c(static_cast<std::size_t>(points * 6));
+  for (auto& v : c) v = rng.normal();
+  return c;
+}
+
+NetServerConfig quickNetConfig(std::size_t shards = 1, long maxBatch = 8,
+                               long maxWaitMicros = 2000) {
+  NetServerConfig cfg;
+  cfg.shards = shards;
+  cfg.policy.maxBatch = maxBatch;
+  cfg.policy.maxWaitMicros = maxWaitMicros;
+  return cfg;
+}
+
+TEST(NetServer, BindsEphemeralPort) {
+  auto registry = std::make_shared<ModelRegistry>();
+  NetServer server(quickNetConfig(), registry);
+  EXPECT_GT(server.port(), 0);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(NetServer, PredictRoundTripMatchesDirectModelCall) {
+  auto registry = std::make_shared<ModelRegistry>();
+  auto model = tinyModel(71);
+  registry->publish(model);
+  NetServer server(quickNetConfig(), registry);
+
+  Rng rng(19);
+  const long points = 8;
+  const auto cloud = randomCloud(points, rng);
+  NetClient client("127.0.0.1", server.port());
+  const NetReply reply = client.predictSpectrum(cloud);
+  EXPECT_EQ(reply.snapshotVersion, 1u);
+  EXPECT_GE(reply.batchSize, 1u);
+
+  ml::Tensor t = ml::Tensor::fromVector({1, points, 6}, cloud);
+  const ml::Tensor expected = model->predictSpectra(t);
+  ASSERT_EQ(static_cast<long>(reply.values.size()), expected.numel());
+  // Single-shard serving is bit-identical to the in-process engine path —
+  // the wire carries exact doubles, no text round-off.
+  InferenceServer direct(ServerConfig{server.config().policy}, registry);
+  const InferenceResult inproc = direct.predictSpectrum(cloud).get();
+  for (std::size_t i = 0; i < reply.values.size(); ++i)
+    EXPECT_EQ(reply.values[i], inproc.values[i]) << "i=" << i;
+  for (long i = 0; i < expected.numel(); ++i)
+    EXPECT_NEAR(reply.values[static_cast<std::size_t>(i)], expected.at(i),
+                1e-9);
+}
+
+TEST(NetServer, InvertRoundTripReturnsFinitePosteriorCloud) {
+  auto registry = std::make_shared<ModelRegistry>();
+  auto model = tinyModel(72);
+  registry->publish(model);
+  NetServer server(quickNetConfig(), registry);
+  const long S = model->config().spectrumDim;
+  NetClient client("127.0.0.1", server.port());
+  const NetReply reply = client.invertSpectrum(
+      std::vector<ml::Real>(static_cast<std::size_t>(S), 0.25));
+  EXPECT_EQ(static_cast<long>(reply.values.size()), model->cloudPoints() * 6);
+  for (ml::Real v : reply.values) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(NetServer, PipelinedRequestsEachAnsweredExactlyOnce) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(73));
+  NetServer sharded(quickNetConfig(/*shards=*/2, /*maxBatch=*/4,
+                                   /*maxWaitMicros=*/500),
+                    registry);
+
+  Rng rng(23);
+  const auto cloud = randomCloud(8, rng);
+  NetClient client("127.0.0.1", sharded.port());
+  const int n = 24;
+  for (std::uint64_t id = 1; id <= n; ++id)
+    client.sendFrame(proto::encodeRequest(proto::MsgType::kPredictSpectrum,
+                                          id, 0, cloud));
+  // With 2 shards replies may interleave across ids, but each id arrives
+  // exactly once and every reply is a success.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < n; ++i) {
+    const proto::Frame f = client.recvFrame();
+    ASSERT_EQ(f.type, proto::MsgType::kReply);
+    EXPECT_TRUE(seen.insert(f.requestId).second)
+        << "duplicate reply for id " << f.requestId;
+    EXPECT_EQ(f.meta, 1u);  // snapshot version
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  const auto rep = sharded.metrics();
+  EXPECT_EQ(rep.predict.submitted, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(rep.predict.completed, static_cast<std::uint64_t>(n));
+}
+
+TEST(NetServer, ConcurrentClientsAcrossShards) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(74));
+  NetServer server(quickNetConfig(2, 8, 1000), registry);
+  const int clients = 4, perClient = 16;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(100 + static_cast<std::uint64_t>(c));
+      NetClient client("127.0.0.1", server.port());
+      const auto cloud = randomCloud(8, rng);
+      for (int i = 0; i < perClient; ++i) {
+        const NetReply r = client.predictSpectrum(cloud);
+        if (r.snapshotVersion != 1u || r.values.empty()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.completed,
+            static_cast<std::uint64_t>(clients * perClient));
+}
+
+TEST(NetServer, BadInputGetsErrorReplyAndConnectionSurvives) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(75));
+  NetServer server(quickNetConfig(), registry);
+  NetClient client("127.0.0.1", server.port());
+  // 2 values: not a multiple of 6 — input validation, not a protocol error.
+  try {
+    client.predictSpectrum({1.0, 2.0});
+    FAIL() << "expected NetError";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.code(), proto::ErrorCode::kBadRequest);
+  }
+  // The framing is intact, so the connection keeps working.
+  Rng rng(29);
+  const NetReply r = client.predictSpectrum(randomCloud(8, rng));
+  EXPECT_EQ(r.snapshotVersion, 1u);
+}
+
+TEST(NetServer, GarbageBytesGetErrorThenClose) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(76));
+  NetServer server(quickNetConfig(), registry);
+  NetClient client("127.0.0.1", server.port());
+  const char junk[] = "GET / HTTP/1.1\r\n\r\n";
+  client.sendBytes(junk, sizeof(junk) - 1);
+  const proto::Frame f = client.recvFrame();
+  EXPECT_EQ(f.type, proto::MsgType::kError);
+  EXPECT_EQ(static_cast<proto::ErrorCode>(f.aux),
+            proto::ErrorCode::kBadRequest);
+  // Framing is lost: the server hangs up after the error reply.
+  EXPECT_THROW(client.recvFrame(), RuntimeError);
+  const auto rep = server.serveMetrics().toJson();
+  EXPECT_NE(rep.find("net.protocol_errors"), std::string::npos);
+}
+
+TEST(NetServer, ClientSentReplyFrameIsAProtocolViolation) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(77));
+  NetServer server(quickNetConfig(), registry);
+  NetClient client("127.0.0.1", server.port());
+  client.sendFrame(proto::encodeReply(9, 1, 1, {1.0}));
+  const proto::Frame f = client.recvFrame();
+  EXPECT_EQ(f.type, proto::MsgType::kError);
+  EXPECT_THROW(client.recvFrame(), RuntimeError);  // closed
+}
+
+TEST(NetServer, DeadlineExpirySurfacesOnTheWire) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(78));
+  // Batch closes only at 4 requests or after 200 ms — a lone request with
+  // a 1 ms deadline expires in the queue first, deterministically.
+  NetServer server(quickNetConfig(1, 4, 200000), registry);
+  Rng rng(31);
+  NetClient client("127.0.0.1", server.port());
+  try {
+    client.predictSpectrum(randomCloud(8, rng), /*deadlineMicros=*/1000);
+    FAIL() << "expected NetError";
+  } catch (const NetError& e) {
+    EXPECT_EQ(e.code(), proto::ErrorCode::kDeadlineExceeded);
+  }
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.deadlineTimeouts, 1u);
+  EXPECT_EQ(rep.predict.completed, 0u);
+}
+
+TEST(NetServer, OverloadShedsOnTheWireAndCountersAgree) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(79));
+  // Tiny queue, one-at-a-time batches: a long request occupies the worker
+  // while a pipelined burst overflows the depth-2 queue — the overflow
+  // must come back as kShed error frames, never silence.
+  NetServerConfig cfg = quickNetConfig(1, /*maxBatch=*/1,
+                                       /*maxWaitMicros=*/0);
+  cfg.policy.maxQueueDepth = 2;
+  NetServer server(cfg, registry);
+  Rng rng(37);
+  NetClient client("127.0.0.1", server.port());
+  const auto bigCloud = randomCloud(4096, rng);  // keeps the worker busy
+  const auto smallCloud = randomCloud(8, rng);
+  const int burst = 12;
+  client.sendFrame(proto::encodeRequest(proto::MsgType::kPredictSpectrum, 1,
+                                        0, bigCloud));
+  for (std::uint64_t id = 2; id <= 1 + burst; ++id)
+    client.sendFrame(proto::encodeRequest(proto::MsgType::kPredictSpectrum,
+                                          id, 0, smallCloud));
+  std::size_t ok = 0, shed = 0;
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1 + burst; ++i) {
+    const proto::Frame f = client.recvFrame();
+    EXPECT_TRUE(seen.insert(f.requestId).second);
+    if (f.type == proto::MsgType::kReply) {
+      ++ok;
+    } else {
+      ASSERT_EQ(f.type, proto::MsgType::kError);
+      ASSERT_EQ(static_cast<proto::ErrorCode>(f.aux),
+                proto::ErrorCode::kShed);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, static_cast<std::size_t>(1 + burst));
+  EXPECT_GE(shed, 1u);  // depth-2 queue cannot absorb a 12-burst
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.shed, shed);
+  EXPECT_EQ(rep.predict.submitted,
+            rep.predict.completed + rep.predict.shed);
+}
+
+TEST(NetServer, StopDrainsEveryDispatchedRequest) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(80));
+  NetServer server(quickNetConfig(2, 8, 5000), registry);
+  Rng rng(41);
+  const auto cloud = randomCloud(8, rng);
+  NetClient client("127.0.0.1", server.port());
+  const int n = 32;
+  for (std::uint64_t id = 1; id <= n; ++id)
+    client.sendFrame(proto::encodeRequest(proto::MsgType::kPredictSpectrum,
+                                          id, 0, cloud));
+  // Give the io thread a moment to pull the burst off the socket, then
+  // stop: everything dispatched must still be answered before close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  std::set<std::uint64_t> seen;
+  try {
+    for (int i = 0; i < n; ++i) {
+      const proto::Frame f = client.recvFrame();
+      EXPECT_TRUE(f.type == proto::MsgType::kReply ||
+                  f.type == proto::MsgType::kError);
+      seen.insert(f.requestId);
+    }
+  } catch (const RuntimeError&) {
+    // EOF after the flush is fine — but only after every reply arrived.
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(n));
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.submitted, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(rep.predict.submitted,
+            rep.predict.completed + rep.predict.rejected + rep.predict.shed +
+                rep.predict.deadlineTimeouts);
+}
+
+TEST(NetServer, MetricsJsonExposesNetAndServeCounters) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(81));
+  NetServer server(quickNetConfig(), registry);
+  Rng rng(43);
+  NetClient client("127.0.0.1", server.port());
+  client.predictSpectrum(randomCloud(8, rng));
+  const std::string json = server.serveMetrics().toJson();
+  for (const char* key :
+       {"net.connections_accepted", "net.frames_in", "net.replies_out",
+        "serve.predict.submitted", "serve.predict.completed",
+        "serve.predict.shed", "serve.predict.deadline_timeouts"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+}
+
+}  // namespace
+}  // namespace artsci::serve

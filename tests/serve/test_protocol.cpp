@@ -1,0 +1,286 @@
+/// Conformance tests for the ASV1 wire protocol (serve/protocol.hpp):
+/// encode/decode round-trips, torn frames across every read boundary,
+/// pipelined back-to-back frames, and clean rejection of hostile or
+/// malformed headers (oversized length, garbage magic, wrong version)
+/// without allocation blow-up.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "serve/protocol.hpp"
+
+namespace artsci::serve::proto {
+namespace {
+
+std::vector<ml::Real> someValues(std::size_t n, double base = 0.5) {
+  std::vector<ml::Real> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = base + static_cast<double>(i) * 0.25;
+  return v;
+}
+
+/// Feed a byte range and drain every complete frame.
+std::vector<Frame> drain(FrameDecoder& d, const std::vector<std::uint8_t>& b) {
+  d.feed(b.data(), b.size());
+  std::vector<Frame> out;
+  Frame f;
+  while (d.next(f)) out.push_back(f);
+  return out;
+}
+
+// --- round trips ----------------------------------------------------------
+
+TEST(Protocol, RequestRoundTrip) {
+  const auto values = someValues(12);
+  const auto bytes =
+      encodeRequest(MsgType::kPredictSpectrum, /*requestId=*/7,
+                    /*deadlineMicros=*/2500, values);
+  EXPECT_EQ(bytes.size(), kHeaderBytes + values.size() * sizeof(ml::Real));
+
+  FrameDecoder d;
+  const auto frames = drain(d, bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  const Frame& f = frames[0];
+  EXPECT_EQ(f.type, MsgType::kPredictSpectrum);
+  EXPECT_TRUE(f.isRequest());
+  EXPECT_EQ(f.requestId, 7u);
+  EXPECT_EQ(f.meta, 2500u);  // deadline
+  EXPECT_EQ(f.values, values);
+  EXPECT_TRUE(f.message.empty());
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(Protocol, ReplyRoundTrip) {
+  const auto values = someValues(8, -3.0);
+  const auto bytes = encodeReply(/*requestId=*/99, /*snapshotVersion=*/5,
+                                 /*batchSize=*/4, values);
+  FrameDecoder d;
+  const auto frames = drain(d, bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, MsgType::kReply);
+  EXPECT_FALSE(frames[0].isRequest());
+  EXPECT_EQ(frames[0].requestId, 99u);
+  EXPECT_EQ(frames[0].meta, 5u);  // snapshot version
+  EXPECT_EQ(frames[0].aux, 4u);   // batch size
+  EXPECT_EQ(frames[0].values, values);
+}
+
+TEST(Protocol, ErrorRoundTrip) {
+  const auto bytes =
+      encodeError(/*requestId=*/3, ErrorCode::kShed, "queue at capacity");
+  FrameDecoder d;
+  const auto frames = drain(d, bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, MsgType::kError);
+  EXPECT_EQ(frames[0].requestId, 3u);
+  EXPECT_EQ(static_cast<ErrorCode>(frames[0].aux), ErrorCode::kShed);
+  EXPECT_EQ(frames[0].message, "queue at capacity");
+  EXPECT_TRUE(frames[0].values.empty());
+}
+
+TEST(Protocol, EmptyPayloadFrameDecodes) {
+  // A zero-length error message is legal (values frames at the serve layer
+  // are never empty, but the protocol itself allows it).
+  const auto bytes = encodeError(1, ErrorCode::kInternal, "");
+  FrameDecoder d;
+  const auto frames = drain(d, bytes);
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].message.empty());
+}
+
+TEST(Protocol, ErrorCodeNamesAreDistinct) {
+  EXPECT_STRNE(errorCodeName(ErrorCode::kBadRequest),
+               errorCodeName(ErrorCode::kShed));
+  EXPECT_STRNE(errorCodeName(ErrorCode::kShed),
+               errorCodeName(ErrorCode::kDeadlineExceeded));
+  EXPECT_STRNE(errorCodeName(ErrorCode::kShuttingDown),
+               errorCodeName(ErrorCode::kInternal));
+}
+
+// --- torn and pipelined streams -------------------------------------------
+
+TEST(Protocol, TornFrameDecodesAtEverySplitPoint) {
+  // One frame cut at every possible boundary: the decoder must produce
+  // exactly one identical frame regardless of where the read tears it.
+  const auto values = someValues(6);
+  const auto bytes = encodeRequest(MsgType::kInvertSpectrum, 42, 0, values);
+  for (std::size_t split = 0; split <= bytes.size(); ++split) {
+    FrameDecoder d;
+    d.feed(bytes.data(), split);
+    Frame f;
+    const bool early = d.next(f);
+    EXPECT_EQ(early, split == bytes.size()) << "split=" << split;
+    if (!early) {
+      d.feed(bytes.data() + split, bytes.size() - split);
+      ASSERT_TRUE(d.next(f)) << "split=" << split;
+    }
+    EXPECT_EQ(f.requestId, 42u) << "split=" << split;
+    EXPECT_EQ(f.values, values) << "split=" << split;
+    EXPECT_FALSE(d.next(f));
+    EXPECT_FALSE(d.failed());
+  }
+}
+
+TEST(Protocol, ByteAtATimeStream) {
+  // Three different frames dribbled in one byte at a time.
+  std::vector<std::uint8_t> stream;
+  const auto a = encodeRequest(MsgType::kPredictSpectrum, 1, 10, someValues(6));
+  const auto b = encodeReply(2, 9, 3, someValues(4, 2.0));
+  const auto c = encodeError(3, ErrorCode::kDeadlineExceeded, "late");
+  for (const auto& part : {a, b, c})
+    stream.insert(stream.end(), part.begin(), part.end());
+
+  FrameDecoder d;
+  std::vector<Frame> frames;
+  Frame f;
+  for (std::uint8_t byte : stream) {
+    d.feed(&byte, 1);
+    while (d.next(f)) frames.push_back(f);
+  }
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0].requestId, 1u);
+  EXPECT_EQ(frames[1].requestId, 2u);
+  EXPECT_EQ(frames[2].requestId, 3u);
+  EXPECT_EQ(frames[2].message, "late");
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+TEST(Protocol, PipelinedFramesInOneChunk) {
+  // 16 back-to-back frames in a single feed: all decode, in order.
+  std::vector<std::uint8_t> stream;
+  for (std::uint64_t id = 1; id <= 16; ++id) {
+    const auto bytes = encodeRequest(MsgType::kPredictSpectrum, id, 0,
+                                     someValues(6, static_cast<double>(id)));
+    stream.insert(stream.end(), bytes.begin(), bytes.end());
+  }
+  FrameDecoder d;
+  const auto frames = drain(d, stream);
+  ASSERT_EQ(frames.size(), 16u);
+  for (std::uint64_t id = 1; id <= 16; ++id) {
+    EXPECT_EQ(frames[id - 1].requestId, id);
+    EXPECT_EQ(frames[id - 1].values[0], static_cast<double>(id));
+  }
+}
+
+TEST(Protocol, TruncatedFrameIsNotAnError) {
+  // A header promising more payload than ever arrives is just an
+  // incomplete read, not a violation — next() waits, failed() stays false.
+  const auto bytes = encodeRequest(MsgType::kInvertSpectrum, 5, 0,
+                                   someValues(8));
+  FrameDecoder d;
+  d.feed(bytes.data(), bytes.size() - 3);
+  Frame f;
+  EXPECT_FALSE(d.next(f));
+  EXPECT_FALSE(d.failed());
+  EXPECT_EQ(d.buffered(), bytes.size() - 3);
+}
+
+// --- malformed and hostile headers ----------------------------------------
+
+std::vector<std::uint8_t> validHeader() {
+  return encodeRequest(MsgType::kPredictSpectrum, 1, 0, someValues(6));
+}
+
+TEST(Protocol, GarbageMagicPoisonsDecoder) {
+  auto bytes = validHeader();
+  bytes[0] ^= 0xff;
+  FrameDecoder d;
+  EXPECT_TRUE(drain(d, bytes).empty());
+  EXPECT_TRUE(d.failed());
+  EXPECT_NE(d.error().find("magic"), std::string::npos);
+}
+
+TEST(Protocol, WrongVersionRejected) {
+  auto bytes = validHeader();
+  bytes[4] = kVersion + 1;
+  FrameDecoder d;
+  EXPECT_TRUE(drain(d, bytes).empty());
+  EXPECT_TRUE(d.failed());
+  EXPECT_NE(d.error().find("version"), std::string::npos);
+}
+
+TEST(Protocol, UnknownTypeRejected) {
+  auto bytes = validHeader();
+  bytes[5] = 0x7f;
+  FrameDecoder d;
+  EXPECT_TRUE(drain(d, bytes).empty());
+  EXPECT_TRUE(d.failed());
+}
+
+TEST(Protocol, NonzeroReservedRejected) {
+  auto bytes = validHeader();
+  bytes[6] = 1;
+  FrameDecoder d;
+  EXPECT_TRUE(drain(d, bytes).empty());
+  EXPECT_TRUE(d.failed());
+}
+
+TEST(Protocol, OversizedLengthRejectedWithoutAllocation) {
+  // A hostile 2 GiB length prefix must poison the decoder from the 4-byte
+  // length field alone — no payload buffering, no allocation blow-up.
+  auto bytes = validHeader();
+  bytes.resize(kHeaderBytes);
+  const std::uint32_t huge = 0x7fffffffu;
+  std::memcpy(bytes.data() + 28, &huge, sizeof(huge));
+  FrameDecoder d(/*maxPayloadBytes=*/1 << 20);
+  EXPECT_TRUE(drain(d, bytes).empty());
+  EXPECT_TRUE(d.failed());
+  EXPECT_NE(d.error().find("payload"), std::string::npos);
+  EXPECT_LE(d.buffered(), kHeaderBytes);  // never grew toward 2 GiB
+}
+
+TEST(Protocol, MisalignedValuePayloadRejected) {
+  // Request/reply payloads must be whole ml::Real values.
+  auto bytes = validHeader();
+  bytes.resize(kHeaderBytes);
+  const std::uint32_t odd = sizeof(ml::Real) + 1;
+  std::memcpy(bytes.data() + 28, &odd, sizeof(odd));
+  FrameDecoder d;
+  EXPECT_TRUE(drain(d, bytes).empty());
+  EXPECT_TRUE(d.failed());
+}
+
+TEST(Protocol, ErrorStateIsSticky) {
+  auto bad = validHeader();
+  bad[0] = 0;
+  FrameDecoder d;
+  EXPECT_TRUE(drain(d, bad).empty());
+  ASSERT_TRUE(d.failed());
+  const std::string why = d.error();
+  // A perfectly valid frame after the violation is discarded: the stream
+  // has lost framing and can never be trusted again.
+  const auto good = validHeader();
+  EXPECT_TRUE(drain(d, good).empty());
+  EXPECT_TRUE(d.failed());
+  EXPECT_EQ(d.error(), why);
+  EXPECT_EQ(d.buffered(), 0u);  // poisoned input is not hoarded either
+}
+
+TEST(Protocol, DecoderReusableAcrossManyFrames) {
+  // Long-lived connection: interleave feeds and drains for a while and
+  // confirm the consumed-prefix compaction never corrupts framing.
+  FrameDecoder d;
+  std::uint64_t decoded = 0;
+  for (std::uint64_t round = 0; round < 200; ++round) {
+    const auto bytes = encodeRequest(
+        round % 2 == 0 ? MsgType::kPredictSpectrum : MsgType::kInvertSpectrum,
+        round, round * 3, someValues(6 + (round % 4) * 6));
+    // Tear each frame at a round-dependent point.
+    const std::size_t cut = round % bytes.size();
+    d.feed(bytes.data(), cut);
+    Frame f;
+    while (d.next(f)) ++decoded;
+    d.feed(bytes.data() + cut, bytes.size() - cut);
+    while (d.next(f)) {
+      EXPECT_EQ(f.requestId, decoded);
+      ++decoded;
+    }
+  }
+  EXPECT_EQ(decoded, 200u);
+  EXPECT_FALSE(d.failed());
+  EXPECT_EQ(d.buffered(), 0u);
+}
+
+}  // namespace
+}  // namespace artsci::serve::proto

@@ -496,6 +496,127 @@ TEST(InferenceServer, LatencyMetricsPopulate) {
   EXPECT_GE(rep.predict.meanBatchSize, 1.0);
 }
 
+// --- load shedding and deadlines ------------------------------------------
+
+TEST(MicroBatcher, SweepsExpiredRequestsBeforeBatching) {
+  MicroBatcher b({/*maxBatch=*/8, /*maxWaitMicros=*/1000000, 64});
+  auto live = makeRequest(Endpoint::kPredictSpectrum, 12, 0);
+  auto dead = makeRequest(Endpoint::kPredictSpectrum, 12, 1);
+  dead.deadline = std::chrono::steady_clock::now() -
+                  std::chrono::milliseconds(1);  // already expired
+  ASSERT_TRUE(b.enqueue(live));
+  ASSERT_TRUE(b.enqueue(dead));
+  std::vector<PendingRequest> expired;
+  // First call hands back only the expired request — an empty batch so the
+  // worker fails the promise immediately instead of after a batch cycle.
+  auto batch = b.nextBatch(&expired);
+  EXPECT_TRUE(batch.empty());
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired[0].input[0], 1);
+  // Second call forms the batch from what is still alive.
+  expired.clear();
+  batch = b.nextBatch(&expired);
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].input[0], 0);
+  EXPECT_TRUE(expired.empty());
+}
+
+TEST(MicroBatcher, DeadlineWakesWaitingWorker) {
+  // A request whose deadline lands inside the batch-formation wait must be
+  // swept out at its deadline, not when maxWait finally closes the batch.
+  MicroBatcher b({/*maxBatch=*/8, /*maxWaitMicros=*/2000000, 64});
+  auto r = makeRequest(Endpoint::kPredictSpectrum, 12, 0);
+  r.deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(20);
+  ASSERT_TRUE(b.enqueue(r));
+  std::vector<PendingRequest> expired;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto batch = b.nextBatch(&expired);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_TRUE(batch.empty());
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_LT(waited, std::chrono::seconds(1));  // not the 2 s maxWait
+}
+
+TEST(InferenceServer, ExpiredDeadlineRejectedBeforeBatching) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(63));
+  // Batch closes at 4 or after 200 ms: a lone request with a 1 ms deadline
+  // deterministically expires while queued and never reaches the engine.
+  InferenceServer server(quickServerConfig(4, 200000, 1), registry);
+  Rng rng(17);
+  auto fut = server.predictSpectrum(randomCloud(8, rng),
+                                    /*deadlineMicros=*/1000);
+  EXPECT_THROW(fut.get(), DeadlineError);
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.deadlineTimeouts, 1u);
+  EXPECT_EQ(rep.predict.completed, 0u);
+  EXPECT_EQ(rep.predict.batches, 0u);  // never consumed engine time
+}
+
+TEST(InferenceServer, BoundedQueueShedsNewestAndCountsIt) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(64));
+  ServerConfig cfg = quickServerConfig(/*maxBatch=*/1, /*maxWaitMicros=*/0);
+  cfg.policy.maxQueueDepth = 2;
+  InferenceServer server(cfg, registry);
+  Rng rng(18);
+  // A large request occupies the single worker while a burst overflows
+  // the depth-2 queue; the overflow sheds as ShedError, newest first out.
+  const auto bigCloud = randomCloud(4096, rng);
+  const auto cloud = randomCloud(8, rng);
+  std::vector<std::future<InferenceResult>> futs;
+  futs.push_back(server.predictSpectrum(bigCloud));
+  for (int i = 0; i < 16; ++i) futs.push_back(server.predictSpectrum(cloud));
+  std::size_t ok = 0, shed = 0;
+  for (auto& f : futs) {
+    try {
+      f.get();
+      ++ok;
+    } catch (const ShedError&) {
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, 17u);  // a shed response is never silently dropped
+  EXPECT_GE(shed, 1u);
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.shed, shed);
+  EXPECT_EQ(rep.predict.completed, ok);
+  EXPECT_EQ(rep.predict.submitted,
+            rep.predict.completed + rep.predict.shed);
+  // The shed counter is visible in the JSON export too.
+  const std::string json = server.metricsSink()->toJson();
+  EXPECT_NE(json.find("serve.predict.shed"), std::string::npos);
+}
+
+TEST(InferenceServer, DeadlineZeroMeansNoDeadline) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(65));
+  InferenceServer server(quickServerConfig(4, 1000, 1), registry);
+  Rng rng(20);
+  EXPECT_NO_THROW(server.predictSpectrum(randomCloud(8, rng), 0).get());
+  const auto rep = server.metrics();
+  EXPECT_EQ(rep.predict.deadlineTimeouts, 0u);
+}
+
+TEST(InferenceServer, SharedMetricsSinkAggregatesAcrossServers) {
+  // The sharded TCP front end hangs N single-worker servers off one
+  // ServeMetrics; counts must aggregate across them.
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(66));
+  auto shared = std::make_shared<ServeMetrics>();
+  ServerConfig cfg = quickServerConfig();
+  cfg.metrics = shared;
+  InferenceServer a(cfg, registry);
+  InferenceServer b(cfg, registry);
+  Rng rng(22);
+  const auto cloud = randomCloud(8, rng);
+  a.predictSpectrum(cloud).get();
+  b.predictSpectrum(cloud).get();
+  EXPECT_EQ(shared->report().predict.completed, 2u);
+  EXPECT_EQ(a.metricsSink(), shared);
+}
+
 TEST(ServeMetrics, SingleSampleLatency) {
   ServeMetrics m(4);
   m.recordBatch(Endpoint::kPredictSpectrum, 1, {42.0});
