@@ -20,7 +20,9 @@
 
 #include "common/rng.hpp"
 #include "common/timer.hpp"
+#include "ml/arena.hpp"
 #include "ml/coupling.hpp"
+#include "ml/kernels/gemm.hpp"
 #include "ml/layers.hpp"
 #include "ml/losses.hpp"
 #include "pic/deposit.hpp"
@@ -120,6 +122,71 @@ void BM_MatmulBackward(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 3 * n * n * n);
 }
 BENCHMARK(BM_MatmulBackward)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatmulKPanel(benchmark::State& state) {
+  // Tall-K shapes whose B panel exceeds L2: exercises the K-panel cache
+  // blocking in gemm_nn (panels are sequential per output element, so the
+  // result is bitwise identical to the unpanelled kernel).
+  const long k = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::randn({64, k}, rng);
+  Tensor b = Tensor::randn({k, 64}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 * 64 * k);
+}
+BENCHMARK(BM_MatmulKPanel)->Arg(2048)->Arg(8192);
+
+// A/B pair for the batched small-GEMM entry point: the INN-coupling-sized
+// problem list issued as one kernel call vs one OpenMP dispatch per GEMM.
+constexpr long kBatchedProblems = 16;
+
+void buildSmallProblems(std::vector<Real>& a, std::vector<Real>& b,
+                        std::vector<Real>& c,
+                        std::vector<kernels::GemmNnProblem>& probs) {
+  const long M = 16, K = 64, N = 48;  // coupling-subnet sized
+  Rng rng(9);
+  a.resize(static_cast<std::size_t>(kBatchedProblems * M * K));
+  b.resize(static_cast<std::size_t>(kBatchedProblems * K * N));
+  c.resize(static_cast<std::size_t>(kBatchedProblems * M * N));
+  for (auto& v : a) v = rng.normal();
+  for (auto& v : b) v = rng.normal();
+  probs.resize(kBatchedProblems);
+  for (long p = 0; p < kBatchedProblems; ++p) {
+    probs[static_cast<std::size_t>(p)] = kernels::GemmNnProblem{
+        a.data() + p * M * K, b.data() + p * K * N, c.data() + p * M * N,
+        M, N, K, -1, false};
+  }
+}
+
+void BM_GemmBatchedSmall(benchmark::State& state) {
+  std::vector<Real> a, b, c;
+  std::vector<kernels::GemmNnProblem> probs;
+  buildSmallProblems(a, b, c, probs);
+  for (auto _ : state) {
+    kernels::gemm_batched_nn(probs.data(), kBatchedProblems, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchedProblems * 16 * 48 *
+                          64);
+}
+BENCHMARK(BM_GemmBatchedSmall);
+
+void BM_GemmLoopedSmall(benchmark::State& state) {
+  std::vector<Real> a, b, c;
+  std::vector<kernels::GemmNnProblem> probs;
+  buildSmallProblems(a, b, c, probs);
+  for (auto _ : state) {
+    for (const auto& p : probs)
+      kernels::gemm_nn(p.a, p.b, p.c, p.M, p.N, p.K, false, true);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatchedProblems * 16 * 48 *
+                          64);
+}
+BENCHMARK(BM_GemmLoopedSmall);
 
 void BM_ChamferDistance(benchmark::State& state) {
   const long n = state.range(0);
@@ -301,6 +368,120 @@ AcceptanceResult runGemmAcceptance(double threshold) {
   return r;
 }
 
+// --- trainer-step acceptance gate ------------------------------------------
+// The PR 9 gate: an INN fwd+bwd training step on the arena + view path
+// must beat the pre-refactor execution by the given factor, with
+// bit-identical gradients and zero steady-state heap allocations proven
+// via Arena::stats(). The baseline runs in the pinned legacy lane
+// (ExecOptions::legacyExec: heap tensors, copying ops, hash-set topo
+// sort, div/mod elementwise backward indexing — the pre-PR 9 executor,
+// kept alive exactly so this comparison stays honest) outside any
+// ArenaScope.
+
+struct StepAcceptanceResult {
+  double baselineMs = 0;      ///< pre-refactor step (heap + copies)
+  double arenaMs = 0;         ///< arena + views steady-state step
+  double ratio = 0;
+  std::uint64_t steadyAllocs = 0;  ///< mallocs across the timed steps
+  bool bitIdentical = false;  ///< grads equal across both paths
+  bool pass = false;
+};
+
+StepAcceptanceResult runTrainerStepAcceptance(double threshold) {
+  Rng rng(7);
+  Inn::Config cfg;
+  cfg.dim = 64;
+  cfg.blocks = 4;
+  cfg.hidden = {48, 48};
+  Inn inn(cfg, rng);
+  Tensor x = Tensor::randn({16, 64}, rng);
+  auto params = inn.parameters();
+
+  auto step = [&] {
+    for (auto& p : params) p.zeroGrad();
+    Tensor loss = sumAll(square(inn.forward(x)));
+    loss.backward();
+  };
+  auto grads = [&] {
+    std::vector<Real> g;
+    for (const auto& p : params) {
+      const Real* gp = p.gradPtr();
+      g.insert(g.end(), gp, gp + p.numel());
+    }
+    return g;
+  };
+
+  StepAcceptanceResult r;
+
+  // Baseline: the pre-refactor executor — heap-backed results, copying
+  // slice/transpose/reshape semantics, separate activation nodes,
+  // per-tensor grad zeroing, hash-set topological sort, generic
+  // broadcast-index backward loops.
+  execOptions().legacyExec = true;
+  step();
+  const std::vector<Real> reference = grads();
+  execOptions().legacyExec = false;
+
+  // Arena path: warm up until the allocation plan replays.
+  Arena arena;
+  for (int i = 0; i < 3; ++i) {
+    arena.beginStep();
+    ArenaScope scope(arena);
+    step();
+  }
+  r.bitIdentical = grads() == reference;
+
+  // Time the two lanes in alternating rounds, keeping each lane's best
+  // round. Machine load varies between runs, so timing lane A fully and
+  // then lane B can skew the ratio either way; interleaving makes both
+  // lanes see the same load profile and the ratio of minima stays stable
+  // even when absolute timings drift 2x.
+  execOptions().legacyExec = true;
+  long iters = 1;
+  for (;;) {  // calibrate a round to ~50 ms of legacy-lane work
+    Timer t;
+    for (long i = 0; i < iters; ++i) step();
+    if (t.seconds() > 0.05 || iters > (1L << 18)) break;
+    iters *= 4;
+  }
+  execOptions().legacyExec = false;
+
+  const std::uint64_t allocsBefore = arena.stats().heapAllocations;
+  double bestLegacy = 1e300, bestArena = 1e300;
+  constexpr int kRounds = 7;
+  for (int round = 0; round < kRounds; ++round) {
+    execOptions().legacyExec = true;
+    {
+      Timer t;
+      for (long i = 0; i < iters; ++i) step();
+      bestLegacy = std::min(bestLegacy, t.seconds() / iters);
+    }
+    execOptions().legacyExec = false;
+    {
+      Timer t;
+      for (long i = 0; i < iters; ++i) {
+        arena.beginStep();
+        ArenaScope scope(arena);
+        step();
+      }
+      bestArena = std::min(bestArena, t.seconds() / iters);
+    }
+  }
+  r.baselineMs = bestLegacy * 1e3;
+  r.arenaMs = bestArena * 1e3;
+  // Every timed arena step must have replayed the recorded plan without
+  // touching the heap.
+  r.steadyAllocs = arena.stats().heapAllocations - allocsBefore;
+  r.bitIdentical = r.bitIdentical && grads() == reference;
+
+  r.ratio = r.baselineMs / r.arenaMs;
+  r.pass = r.ratio >= threshold && r.steadyAllocs == 0 && r.bitIdentical;
+  return r;
+}
+
+/// The PR 9 trainer-step gate factor (arena+views vs pre-refactor).
+constexpr double kTrainerStepThreshold = 1.3;
+
 int acceptanceMain(double threshold, const char* jsonPath) {
   std::printf(
       "GEMM acceptance: ml::matmul fwd+bwd (shared blocked kernels) vs the "
@@ -310,6 +491,22 @@ int acceptanceMain(double threshold, const char* jsonPath) {
   std::printf("  blocked : %7.2f GF/s\n", r.blockedGflops);
   std::printf("acceptance (blocked >= %.2fx naive): %.2fx -> %s\n", threshold,
               r.ratio, r.pass ? "PASS" : "FAIL");
+
+  std::printf(
+      "\nTrainer-step acceptance: INN fwd+bwd (dim=64, blocks=4, hidden "
+      "{48,48}, batch=16), arena+views vs pre-refactor path\n");
+  const StepAcceptanceResult s = runTrainerStepAcceptance(
+      kTrainerStepThreshold);
+  std::printf("  pre-refactor : %8.3f ms/step\n", s.baselineMs);
+  std::printf("  arena+views  : %8.3f ms/step\n", s.arenaMs);
+  std::printf("  steady-state heap allocations: %llu\n",
+              static_cast<unsigned long long>(s.steadyAllocs));
+  std::printf("  gradients bit-identical across paths: %s\n",
+              s.bitIdentical ? "yes" : "NO");
+  std::printf(
+      "acceptance (>= %.2fx, 0 allocs, bit-identical): %.2fx -> %s\n",
+      kTrainerStepThreshold, s.ratio, s.pass ? "PASS" : "FAIL");
+
   if (jsonPath != nullptr) {
     std::FILE* f = std::fopen(jsonPath, "w");
     if (f == nullptr) {
@@ -318,19 +515,36 @@ int acceptanceMain(double threshold, const char* jsonPath) {
     }
     std::fprintf(f,
                  "{\n"
-                 "  \"bench\": \"micro_ops_gemm_acceptance\",\n"
-                 "  \"shapes\": [[256, 256, 256], [200, 120, 72]],\n"
-                 "  \"naive_gflops\": %.4f,\n"
-                 "  \"blocked_gflops\": %.4f,\n"
-                 "  \"ratio\": %.4f,\n"
-                 "  \"threshold\": %.4f,\n"
+                 "  \"bench\": \"micro_ops_acceptance\",\n"
+                 "  \"gemm\": {\n"
+                 "    \"shapes\": [[256, 256, 256], [200, 120, 72]],\n"
+                 "    \"naive_gflops\": %.4f,\n"
+                 "    \"blocked_gflops\": %.4f,\n"
+                 "    \"ratio\": %.4f,\n"
+                 "    \"threshold\": %.4f,\n"
+                 "    \"pass\": %s\n"
+                 "  },\n"
+                 "  \"trainer_step\": {\n"
+                 "    \"workload\": \"inn_fwd_bwd_dim64_blocks4_batch16\",\n"
+                 "    \"baseline_ms\": %.4f,\n"
+                 "    \"arena_ms\": %.4f,\n"
+                 "    \"ratio\": %.4f,\n"
+                 "    \"threshold\": %.4f,\n"
+                 "    \"steady_state_heap_allocations\": %llu,\n"
+                 "    \"grads_bit_identical\": %s,\n"
+                 "    \"pass\": %s\n"
+                 "  },\n"
                  "  \"pass\": %s\n"
                  "}\n",
                  r.naiveGflops, r.blockedGflops, r.ratio, threshold,
-                 r.pass ? "true" : "false");
+                 r.pass ? "true" : "false", s.baselineMs, s.arenaMs, s.ratio,
+                 kTrainerStepThreshold,
+                 static_cast<unsigned long long>(s.steadyAllocs),
+                 s.bitIdentical ? "true" : "false", s.pass ? "true" : "false",
+                 (r.pass && s.pass) ? "true" : "false");
     std::fclose(f);
   }
-  return r.pass ? 0 : 1;
+  return (r.pass && s.pass) ? 0 : 1;
 }
 
 }  // namespace

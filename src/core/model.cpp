@@ -76,8 +76,10 @@ ml::LossTerms ArtificialScientistModel::lossTerms(const Tensor& clouds,
 
   // --- INN forward: z -> [I' || N'] -------------------------------------
   Tensor y = inn_->forward(z);
-  Tensor iPred = ml::slice(y, -1, 0, cfg_.spectrumDim);
-  Tensor nPred = ml::slice(y, -1, cfg_.spectrumDim, latent);
+  // Zero-copy column views into the INN output; the loss ops read them
+  // through strides (or feed GEMM via lda) without materialising.
+  Tensor iPred = ml::sliceFast(y, -1, 0, cfg_.spectrumDim);
+  Tensor nPred = ml::sliceFast(y, -1, cfg_.spectrumDim, latent);
   terms.mse = ml::mseLoss(iPred, spectra);
   Tensor nTarget = Tensor::randn({B, noiseDim}, rng);
   terms.mmdPosterior = ml::mmdInverseMultiquadratic(nPred, nTarget);
@@ -104,7 +106,10 @@ Tensor ArtificialScientistModel::invertSpectra(const Tensor& spectra,
   const long noiseDim = cfg_.encoder.latentDim - cfg_.spectrumDim;
   Tensor noise = Tensor::randn({B, noiseDim}, rng);
   Tensor z = inn_->inverse(ml::cat({spectra, noise}, -1));
-  return decoder_->forward(z);
+  // The decoder tail is a zero-copy reshape view; public API results are
+  // owned tensors (callers read .data()), so materialize here — the same
+  // one memcpy the pre-view copying reshape always paid.
+  return ml::contiguousCopy(decoder_->forward(z));
 }
 
 Tensor ArtificialScientistModel::predictSpectra(const Tensor& clouds) const {

@@ -37,7 +37,13 @@ InTransitTrainer::InTransitTrainer(ArtificialScientistModel::Config modelCfg,
         {replicas_.back()->innParameters(), cfg_.baseLearningRate * scale});
     optimizers_.push_back(
         std::make_unique<ml::Adam>(std::move(groups), cfg_.adam));
+    arenas_.push_back(std::make_unique<ml::Arena>());
   }
+}
+
+ml::Arena::Stats InTransitTrainer::arenaStats(std::size_t rank) const {
+  ARTSCI_EXPECTS(rank < arenas_.size());
+  return arenas_[rank]->stats();
 }
 
 std::pair<ml::Real, ml::Real> InTransitTrainer::learningRates() const {
@@ -67,7 +73,6 @@ void InTransitTrainer::trainIterations(long iterations) {
   const long specDim = modelCfg_.spectrumDim;
 
   std::vector<std::vector<double>> lossPerRank(cfg_.ranks);
-  std::vector<ml::LossTerms> lastTerms(cfg_.ranks);
 
   // Resolved once; rank 0 is the reporter so multi-rank runs don't
   // multiply-count iterations (replicas step in lockstep).
@@ -90,15 +95,26 @@ void InTransitTrainer::trainIterations(long iterations) {
       ml::Tensor clouds = batchClouds(batch, points);
       ml::Tensor spectra = batchSpectra(batch, specDim);
       opt.zeroGrad();
+      // The whole forward/backward graph for this iteration lives in the
+      // rank's step arena: beginStep() recycles last iteration's memory
+      // (and, once the allocation plan is recorded, replays it with zero
+      // heap traffic). Nothing arena-backed may outlive the iteration —
+      // the scalar terms are read out via item() below, before the next
+      // beginStep() reclaims the buffers.
+      arenas_[rank]->beginStep();
       ml::LossTerms terms;
+      ml::Tensor total;
       {
-        TRACE_SCOPE("train", "forward");
-        terms = model.lossTerms(clouds, spectra, rng);
-      }
-      ml::Tensor total = ml::totalLoss(terms, modelCfg_.weights);
-      {
-        TRACE_SCOPE("train", "backward");
-        total.backward();
+        ml::ArenaScope arenaScope(*arenas_[rank]);
+        {
+          TRACE_SCOPE("train", "forward");
+          terms = model.lossTerms(clouds, spectra, rng);
+        }
+        total = ml::totalLoss(terms, modelCfg_.weights);
+        {
+          TRACE_SCOPE("train", "backward");
+          total.backward();
+        }
       }
       ml::allReduceGradients(comm_, rank, model.parameters());
       {
@@ -111,7 +127,6 @@ void InTransitTrainer::trainIterations(long iterations) {
       }
       if (rank == 0) {
         lossPerRank[0].push_back(total.item());
-        lastTerms[0] = terms;
         stats_.chamferHistory.push_back(terms.chamfer.item());
         stats_.mseHistory.push_back(terms.mse.item());
         stats_.mmdLatentHistory.push_back(terms.mmdLatent.item());

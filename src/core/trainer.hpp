@@ -11,6 +11,7 @@
 
 #include "core/model.hpp"
 #include "core/sample.hpp"
+#include "ml/arena.hpp"
 #include "ml/ddp.hpp"
 #include "ml/optim.hpp"
 #include "replay/training_buffer.hpp"
@@ -64,6 +65,10 @@ class InTransitTrainer {
   /// Effective learning rates after scaling (VAE group, INN group).
   std::pair<ml::Real, ml::Real> learningRates() const;
 
+  /// Rank-0 step-arena statistics (allocation-plan replay counters); the
+  /// bench gate asserts zero steady-state heap allocations through these.
+  ml::Arena::Stats arenaStats(std::size_t rank = 0) const;
+
  private:
   TrainerConfig cfg_;
   ArtificialScientistModel::Config modelCfg_;
@@ -71,6 +76,9 @@ class InTransitTrainer {
   std::vector<std::unique_ptr<ArtificialScientistModel>> replicas_;
   std::vector<std::unique_ptr<ml::Adam>> optimizers_;
   std::vector<Rng> rankRngs_;
+  /// One step arena per rank: every iteration's forward/backward graph is
+  /// bump-allocated here and recycled wholesale at the next beginStep().
+  std::vector<std::unique_ptr<ml::Arena>> arenas_;
   ml::Communicator comm_;
   TrainStats stats_;
 };

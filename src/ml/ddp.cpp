@@ -10,6 +10,12 @@ Communicator::Communicator(std::size_t ranks)
   ARTSCI_EXPECTS(ranks > 0);
   gatherSlots_.resize(ranks, nullptr);
   reduceSlots_.resize(ranks, nullptr);
+  gradBuckets_.resize(ranks);
+}
+
+std::vector<Real>& Communicator::gradBucket(std::size_t rank) {
+  ARTSCI_EXPECTS(rank < ranks_);
+  return gradBuckets_[rank];
 }
 
 void Communicator::allReduceMean(std::size_t rank,
@@ -95,24 +101,31 @@ void allReduceGradients(Communicator& comm, std::size_t rank,
                         const std::vector<Tensor>& params) {
   TRACE_SCOPE("train", "allreduce");
   // Flatten all gradients into one bucket (DDP-style) to amortize the
-  // collective's synchronization cost.
+  // collective's synchronization cost. The bucket lives on the
+  // Communicator (one per rank): the fixed parameter list means resize()
+  // is a no-op after the first step, so the steady-state training loop
+  // crosses the collective without touching the heap.
+  std::vector<Real>& bucket = comm.gradBucket(rank);
   std::size_t total = 0;
-  for (const auto& p : params) total += p.data().size();
-  std::vector<Real> bucket;
-  bucket.reserve(total);
+  for (const auto& p : params) total += static_cast<std::size_t>(p.numel());
+  bucket.resize(total);
+  std::size_t offset = 0;
   for (const auto& p : params) {
     auto* impl = p.impl();
     impl->ensureGrad();
-    bucket.insert(bucket.end(), impl->grad.begin(), impl->grad.end());
+    const Real* g = impl->gradPtr();
+    const long n = p.numel();
+    std::copy(g, g + n, bucket.begin() + static_cast<long>(offset));
+    offset += static_cast<std::size_t>(n);
   }
   comm.allReduceMean(rank, bucket);
-  std::size_t offset = 0;
+  offset = 0;
   for (const auto& p : params) {
-    auto& grad = p.impl()->grad;
+    Real* g = p.impl()->gradPtr();
+    const long n = p.numel();
     std::copy(bucket.begin() + static_cast<long>(offset),
-              bucket.begin() + static_cast<long>(offset + grad.size()),
-              grad.begin());
-    offset += grad.size();
+              bucket.begin() + static_cast<long>(offset + n), g);
+    offset += static_cast<std::size_t>(n);
   }
 }
 

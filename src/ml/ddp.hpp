@@ -41,6 +41,11 @@ class Communicator {
   double communicationSeconds(std::size_t rank) const;
   void resetTimers();
 
+  /// Persistent per-rank gradient-flattening buffer for allReduceGradients.
+  /// Sized on first use and reused every step afterwards, so the collective
+  /// adds no steady-state heap allocations to the training loop.
+  std::vector<Real>& gradBucket(std::size_t rank);
+
  private:
   std::size_t ranks_;
   Barrier barrier_;
@@ -49,6 +54,7 @@ class Communicator {
   std::size_t reduceLength_ = 0;
   std::vector<const std::vector<Real>*> gatherSlots_;
   std::vector<double> commSeconds_;
+  std::vector<std::vector<Real>> gradBuckets_;  ///< one per rank
 };
 
 /// Average the gradients of `params` across all ranks (flattens all grads

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 namespace artsci::ml::kernels {
 namespace {
@@ -56,16 +57,18 @@ inline void activateRow(Real* c, long n, Act act) {
 /// 4 per 9 for the row-at-a-time loop, and the j-loops vectorize cleanly.
 /// The k-unroll does not reassociate: each element still accumulates
 /// strictly k-ascending from its initial value, in *every* path (4-row
-/// block, row tail, odd-K step), so blocking never changes bits.
+/// block, row tail, odd-K step), so blocking never changes bits. A rows
+/// are strided by `lda` (dense A passes lda == K).
 ARTSCI_GEMM_CLONES
 void nnBlock(const Real* __restrict a, const Real* __restrict b,
-             Real* __restrict c, long rows, long N, long K, bool accumulate) {
+             Real* __restrict c, long rows, long N, long K, long lda,
+             bool accumulate) {
   long i = 0;
   for (; i + 4 <= rows; i += 4) {
-    const Real* a0 = a + i * K;
-    const Real* a1 = a0 + K;
-    const Real* a2 = a1 + K;
-    const Real* a3 = a2 + K;
+    const Real* a0 = a + i * lda;
+    const Real* a1 = a0 + lda;
+    const Real* a2 = a1 + lda;
+    const Real* a3 = a2 + lda;
     Real* c0 = c + i * N;
     Real* c1 = c0 + N;
     Real* c2 = c1 + N;
@@ -107,7 +110,7 @@ void nnBlock(const Real* __restrict a, const Real* __restrict b,
     }
   }
   for (; i < rows; ++i) {
-    const Real* arow = a + i * K;
+    const Real* arow = a + i * lda;
     Real* crow = c + i * N;
     if (!accumulate) std::fill(crow, crow + N, Real(0));
     for (long kk = 0; kk < K; ++kk) {
@@ -115,6 +118,33 @@ void nnBlock(const Real* __restrict a, const Real* __restrict b,
       const Real* brow = b + kk * N;
       for (long j = 0; j < N; ++j) crow[j] += x * brow[j];
     }
+  }
+}
+
+/// K-panel width for an nn product: sized so one B panel (~512 KiB of
+/// doubles) stays L2-resident while a row chunk streams over it.
+inline long kPanelFor(long N) {
+  return std::max<long>(64, (1L << 16) / std::max<long>(N, 1));
+}
+
+/// nnBlock with K-panel cache blocking. Panels run sequentially per
+/// output element (panel 0 initializes, later panels accumulate), so each
+/// element performs the exact unpanelled k-ascending FMA sequence — the
+/// split is invisible in the bits, only in the B-operand's cache
+/// residency. The per-element accumulate chain in nnBlock is strictly
+/// sequential in k (the 2-k unroll does not reassociate), so any panel
+/// boundary, even or odd, preserves it.
+void nnPanels(const Real* a, const Real* b, Real* c, long rows, long N,
+              long K, long lda, bool accumulate) {
+  const long P = kPanelFor(N);
+  if (P >= K) {
+    nnBlock(a, b, c, rows, N, K, lda, accumulate);
+    return;
+  }
+  for (long k0 = 0; k0 < K; k0 += P) {
+    const long kc = std::min(P, K - k0);
+    nnBlock(a + k0, b + k0 * N, c, rows, N, kc, lda,
+            accumulate || k0 > 0);
   }
 }
 
@@ -137,14 +167,16 @@ inline Real dotLanes(const Real* __restrict x, const Real* __restrict y,
 }
 
 /// `rows` rows of C = A·Bᵀ. Four A rows share each streamed B row; every
-/// (i,j) element is one dotLanes() call.
+/// (i,j) element is one dotLanes() call. C rows are strided by `ldc`
+/// (dense C passes ldc == N).
 ARTSCI_GEMM_CLONES
 void ntBlock(const Real* __restrict a, const Real* __restrict b,
-             Real* __restrict c, long rows, long N, long K, bool accumulate) {
+             Real* __restrict c, long rows, long N, long K, long ldc,
+             bool accumulate) {
   long i = 0;
   for (; i + 4 <= rows; i += 4) {
     const Real* a0 = a + i * K;
-    Real* c0 = c + i * N;
+    Real* c0 = c + i * ldc;
     for (long j = 0; j < N; ++j) {
       const Real* brow = b + j * K;
       const Real s0 = dotLanes(a0, brow, K);
@@ -153,20 +185,20 @@ void ntBlock(const Real* __restrict a, const Real* __restrict b,
       const Real s3 = dotLanes(a0 + 3 * K, brow, K);
       if (accumulate) {
         c0[j] += s0;
-        c0[N + j] += s1;
-        c0[2 * N + j] += s2;
-        c0[3 * N + j] += s3;
+        c0[ldc + j] += s1;
+        c0[2 * ldc + j] += s2;
+        c0[3 * ldc + j] += s3;
       } else {
         c0[j] = s0;
-        c0[N + j] = s1;
-        c0[2 * N + j] = s2;
-        c0[3 * N + j] = s3;
+        c0[ldc + j] = s1;
+        c0[2 * ldc + j] = s2;
+        c0[3 * ldc + j] = s3;
       }
     }
   }
   for (; i < rows; ++i) {
     const Real* arow = a + i * K;
-    Real* crow = c + i * N;
+    Real* crow = c + i * ldc;
     for (long j = 0; j < N; ++j) {
       const Real s = dotLanes(arow, b + j * K, K);
       crow[j] = accumulate ? crow[j] + s : s;
@@ -250,49 +282,103 @@ void biasActEpilogue(const Real* __restrict bias, Real* __restrict c, long m,
   }
 }
 
+/// One (problem, row-chunk) item of a batched call's flattened work list.
+struct BatchWorkItem {
+  long problem;
+  long row0;
+};
+
+/// Flatten ragged per-problem row ranges into one deterministic work list
+/// (problem-major, row-chunks ascending) so a single static OpenMP loop
+/// covers the whole batch. The list depends only on the problem sizes —
+/// never on thread count — so the partition is reproducible.
+template <typename ProblemT, typename RowsOf>
+long flattenBatch(const ProblemT* problems, long count, RowsOf rowsOf,
+                  BatchWorkItem* stackBuf, long stackCap,
+                  std::vector<BatchWorkItem>& heapBuf,
+                  BatchWorkItem** workOut) {
+  long nw = 0;
+  for (long p = 0; p < count; ++p)
+    nw += (rowsOf(problems[p]) + kParChunk - 1) / kParChunk;
+  BatchWorkItem* work = stackBuf;
+  if (nw > stackCap) {
+    heapBuf.resize(static_cast<std::size_t>(nw));
+    work = heapBuf.data();
+  }
+  long w = 0;
+  for (long p = 0; p < count; ++p)
+    for (long i0 = 0; i0 < rowsOf(problems[p]); i0 += kParChunk)
+      work[w++] = {p, i0};
+  *workOut = work;
+  return nw;
+}
+
+/// Work lists up to this size avoid a heap allocation (the serving engine
+/// dispatches tens of tiles × a few layers per call).
+constexpr long kBatchStackItems = 512;
+
+inline void runNnProblemRows(const GemmNnProblem& p, long i0, long rows) {
+  const long lda = p.lda < 0 ? p.K : p.lda;
+  nnPanels(p.a + i0 * lda, p.b, p.c + i0 * p.N, rows, p.N, p.K, lda,
+           p.accumulate);
+}
+
+inline void runLinearProblemRows(const LinearProblem& p, long i0, long rows) {
+  const long lda = p.lda < 0 ? p.k : p.lda;
+  nnPanels(p.a + i0 * lda, p.w, p.c + i0 * p.n, rows, p.n, p.k, lda,
+           /*accumulate=*/false);
+  if (p.bias != nullptr || p.act != Act::kNone)
+    biasActEpilogue(p.bias, p.c + i0 * p.n, rows, p.n, p.act);
+}
+
 }  // namespace
 
 void gemm_nn(const Real* a, const Real* b, Real* c, long M, long N, long K,
-             bool accumulate, bool parallel) {
+             bool accumulate, bool parallel, long lda) {
+  if (lda < 0) lda = K;
   if (!parallel || M <= kParChunk) {
-    nnBlock(a, b, c, M, N, K, accumulate);
+    nnPanels(a, b, c, M, N, K, lda, accumulate);
     return;
   }
 #pragma omp parallel for schedule(static)
   for (long i0 = 0; i0 < M; i0 += kParChunk)
-    nnBlock(a + i0 * K, b, c + i0 * N, std::min(kParChunk, M - i0), N, K,
-            accumulate);
+    nnPanels(a + i0 * lda, b, c + i0 * N, std::min(kParChunk, M - i0), N, K,
+             lda, accumulate);
 }
 
 void gemm_nt(const Real* a, const Real* b, Real* c, long M, long N, long K,
-             bool accumulate, bool parallel) {
+             bool accumulate, bool parallel, long ldc) {
+  if (ldc < 0) ldc = N;
   if (!parallel || M <= kParChunk) {
-    ntBlock(a, b, c, M, N, K, accumulate);
+    ntBlock(a, b, c, M, N, K, ldc, accumulate);
     return;
   }
 #pragma omp parallel for schedule(static)
   for (long i0 = 0; i0 < M; i0 += kParChunk)
-    ntBlock(a + i0 * K, b, c + i0 * N, std::min(kParChunk, M - i0), N, K,
-            accumulate);
+    ntBlock(a + i0 * K, b, c + i0 * ldc, std::min(kParChunk, M - i0), N, K,
+            ldc, accumulate);
 }
 
 void gemm_tn(const Real* a, const Real* b, Real* c, long M, long N, long K,
-             bool accumulate, bool parallel) {
+             bool accumulate, bool parallel, long strideA) {
+  if (strideA < 0) strideA = M;
   if (!parallel || M <= kParChunk) {
-    tnBlock(a, b, c, M, N, K, /*strideA=*/M, accumulate);
+    tnBlock(a, b, c, M, N, K, strideA, accumulate);
     return;
   }
 #pragma omp parallel for schedule(static)
   for (long i0 = 0; i0 < M; i0 += kParChunk)
     tnBlock(a + i0, b, c + i0 * N, std::min(kParChunk, M - i0), N, K,
-            /*strideA=*/M, accumulate);
+            strideA, accumulate);
 }
 
 void linear_forward(const Real* a, const Real* w, const Real* bias, Real* c,
-                    long m, long k, long n, Act act, bool parallel) {
+                    long m, long k, long n, Act act, bool parallel,
+                    long lda) {
+  if (lda < 0) lda = k;
   const bool epilogue = bias != nullptr || act != Act::kNone;
   if (!parallel || m <= kParChunk) {
-    nnBlock(a, w, c, m, n, k, /*accumulate=*/false);
+    nnPanels(a, w, c, m, n, k, lda, /*accumulate=*/false);
     if (epilogue) biasActEpilogue(bias, c, m, n, act);
     return;
   }
@@ -302,7 +388,8 @@ void linear_forward(const Real* a, const Real* w, const Real* bias, Real* c,
 #pragma omp parallel for schedule(static)
   for (long i0 = 0; i0 < m; i0 += kParChunk) {
     const long rows = std::min(kParChunk, m - i0);
-    nnBlock(a + i0 * k, w, c + i0 * n, rows, n, k, /*accumulate=*/false);
+    nnPanels(a + i0 * lda, w, c + i0 * n, rows, n, k, lda,
+             /*accumulate=*/false);
     if (epilogue) biasActEpilogue(bias, c + i0 * n, rows, n, act);
   }
 }
@@ -312,6 +399,95 @@ void colsum(const Real* g, Real* out, long m, long n, bool accumulate) {
   for (long i = 0; i < m; ++i) {
     const Real* grow = g + i * n;
     for (long j = 0; j < n; ++j) out[j] += grow[j];
+  }
+}
+
+void gemm_batched_nn(const GemmNnProblem* problems, long count,
+                     bool parallel) {
+  if (count <= 0) return;
+  if (!parallel) {
+    for (long p = 0; p < count; ++p)
+      runNnProblemRows(problems[p], 0, problems[p].M);
+    return;
+  }
+  BatchWorkItem stackBuf[kBatchStackItems];
+  std::vector<BatchWorkItem> heapBuf;
+  BatchWorkItem* work = nullptr;
+  const long nw =
+      flattenBatch(problems, count,
+                   [](const GemmNnProblem& p) { return p.M; }, stackBuf,
+                   kBatchStackItems, heapBuf, &work);
+#pragma omp parallel for schedule(static)
+  for (long w = 0; w < nw; ++w) {
+    const GemmNnProblem& p = problems[work[w].problem];
+    runNnProblemRows(p, work[w].row0,
+                     std::min(kParChunk, p.M - work[w].row0));
+  }
+}
+
+void linear_forward_batched(const LinearProblem* problems, long count,
+                            bool parallel) {
+  if (count <= 0) return;
+  if (!parallel) {
+    for (long p = 0; p < count; ++p)
+      runLinearProblemRows(problems[p], 0, problems[p].m);
+    return;
+  }
+  BatchWorkItem stackBuf[kBatchStackItems];
+  std::vector<BatchWorkItem> heapBuf;
+  BatchWorkItem* work = nullptr;
+  const long nw =
+      flattenBatch(problems, count,
+                   [](const LinearProblem& p) { return p.m; }, stackBuf,
+                   kBatchStackItems, heapBuf, &work);
+#pragma omp parallel for schedule(static)
+  for (long w = 0; w < nw; ++w) {
+    const LinearProblem& p = problems[work[w].problem];
+    runLinearProblemRows(p, work[w].row0,
+                         std::min(kParChunk, p.m - work[w].row0));
+  }
+}
+
+void linear_seq_forward(const DenseStep* steps, long count, const Real* input,
+                        long rows, Real* output, Real* scratchA,
+                        Real* scratchB, bool parallel) {
+  if (count <= 0 || rows <= 0) return;
+  if (!parallel) {
+    const Real* cur = input;
+    for (long l = 0; l < count; ++l) {
+      Real* dst = (l == count - 1) ? output
+                                   : (l % 2 == 0 ? scratchA : scratchB);
+      nnPanels(cur, steps[l].w, dst, rows, steps[l].out, steps[l].in,
+               steps[l].in, /*accumulate=*/false);
+      if (steps[l].bias != nullptr || steps[l].act != Act::kNone)
+        biasActEpilogue(steps[l].bias, dst, rows, steps[l].out, steps[l].act);
+      cur = dst;
+    }
+    return;
+  }
+  // One parallel region for the whole chain: per layer a static
+  // worksharing loop over the fixed row chunks; its implicit barrier
+  // sequences layer l+1 after layer l. Per-row op order matches the
+  // per-layer linear_forward dispatch exactly.
+#pragma omp parallel
+  {
+    const Real* cur = input;
+    for (long l = 0; l < count; ++l) {
+      const long k = steps[l].in, n = steps[l].out;
+      Real* dst = (l == count - 1) ? output
+                                   : (l % 2 == 0 ? scratchA : scratchB);
+      const bool epilogue =
+          steps[l].bias != nullptr || steps[l].act != Act::kNone;
+#pragma omp for schedule(static)
+      for (long i0 = 0; i0 < rows; i0 += kParChunk) {
+        const long r = std::min(kParChunk, rows - i0);
+        nnPanels(cur + i0 * k, steps[l].w, dst + i0 * n, r, n, k, k,
+                 /*accumulate=*/false);
+        if (epilogue)
+          biasActEpilogue(steps[l].bias, dst + i0 * n, r, n, steps[l].act);
+      }
+      cur = dst;
+    }
   }
 }
 

@@ -6,9 +6,18 @@
 /// autograd, or logging headers — so both layers link the exact same hot
 /// loops and a unit test can drive them on raw buffers.
 ///
-/// All matrices are dense row-major. Every kernel covers ragged M/N/K
-/// (tail rows/columns take a scalar path that performs the *same*
-/// per-element operation sequence as the blocked body, see below).
+/// All matrices are dense row-major. A-operands (and the C of gemm_nt)
+/// additionally take a leading dimension, so row- and column-sliced tensor
+/// views feed the kernels in place with zero copies. Every kernel covers
+/// ragged M/N/K (tail rows/columns take a scalar path that performs the
+/// *same* per-element operation sequence as the blocked body, see below).
+///
+/// K-panel blocking: the nn-family kernels split K into panels sized so
+/// one B panel (~512 KiB) stays L2-resident across a row chunk. Panels
+/// run sequentially per output element, so the per-element FMA sequence
+/// is exactly the unpanelled k-ascending order — blocking never changes
+/// bits (tests/ml/test_gemm_kernels.cpp pins this against the naive
+/// triple loop).
 ///
 /// Dispatch: on GCC/x86-64/Linux (non-sanitized) each inner kernel is
 /// compiled as GCC `target_clones("avx512f","avx2,fma","default")` — the
@@ -38,20 +47,25 @@ inline constexpr Real kLeakySlope = 0.01;
 
 /// C[M,N] = A[M,K] · B[K,N] (accumulate=false) or += (accumulate=true).
 /// Per-element order: k ascending — identical to the naive triple loop.
+/// `lda` is A's row stride in elements (< 0 means dense, i.e. K).
 void gemm_nn(const Real* a, const Real* b, Real* c, long M, long N, long K,
-             bool accumulate, bool parallel);
+             bool accumulate, bool parallel, long lda = -1);
 
 /// C[M,N] (+)= A[M,K] · B[N,K]ᵀ — both operands row-contiguous along the
 /// contraction axis (the grad-A product G·Bᵀ of matmul backward).
 /// Per-element order: fixed 8-lane strided partial sums over k, reduced in
 /// lane order (independent of ISA clone and of row blocking).
+/// `ldc` is C's row stride in elements (< 0 means dense, i.e. N) — the
+/// grad of a column-sliced A view accumulates straight into the base
+/// gradient buffer.
 void gemm_nt(const Real* a, const Real* b, Real* c, long M, long N, long K,
-             bool accumulate, bool parallel);
+             bool accumulate, bool parallel, long ldc = -1);
 
 /// C[M,N] (+)= A[K,M]ᵀ · B[K,N] — A read down its columns (the grad-B
 /// product Aᵀ·G of matmul backward). Per-element order: k ascending.
+/// `strideA` is A's row stride in elements (< 0 means dense, i.e. M).
 void gemm_tn(const Real* a, const Real* b, Real* c, long M, long N, long K,
-             bool accumulate, bool parallel);
+             bool accumulate, bool parallel, long strideA = -1);
 
 /// Fused serving/inference epilogue: C[m,n] = act(A[m,k] · W[k,n] + bias);
 /// bias may be nullptr. Accumulation order matches gemm_nn (k ascending,
@@ -61,10 +75,74 @@ void gemm_tn(const Real* a, const Real* b, Real* c, long M, long N, long K,
 /// sequence is partition-independent, so results stay bit-identical
 /// across thread counts (and to the serial path).
 void linear_forward(const Real* a, const Real* w, const Real* bias, Real* c,
-                    long m, long k, long n, Act act, bool parallel = false);
+                    long m, long k, long n, Act act, bool parallel = false,
+                    long lda = -1);
 
 /// out[j] (+)= sum_i g[i*n + j] — the bias gradient of a Linear layer.
 /// i ascends per column, so the result is partition-independent.
 void colsum(const Real* g, Real* out, long m, long n, bool accumulate);
+
+// --- batched entry points ---------------------------------------------------
+// A serving batch over the INN is many *small* GEMMs: per coupling block
+// two subnet chains, per conv layer one GEMM per sample tile. Dispatching
+// each through its own OpenMP region costs a fork/join barrier per call —
+// 2×depth barriers per predict. These entries take the whole problem list
+// and run ONE parallel region over a deterministic flattened
+// (problem, row-chunk) work list, preserving the per-row op sequence of
+// the unbatched kernels exactly (each work item is the same nn-panel body
+// the unbatched path runs), so results are bit-identical to looping the
+// single-problem entries.
+
+/// One independent C = A·B (+)= problem of a gemm_batched_nn call.
+struct GemmNnProblem {
+  const Real* a = nullptr;
+  const Real* b = nullptr;
+  Real* c = nullptr;
+  long M = 0, N = 0, K = 0;
+  long lda = -1;  ///< A row stride (< 0 = dense K)
+  bool accumulate = false;
+};
+
+/// Run `count` independent nn-GEMMs in one parallel region. Outputs must
+/// not alias each other.
+void gemm_batched_nn(const GemmNnProblem* problems, long count,
+                     bool parallel);
+
+/// One independent fused linear (+bias +activation) problem.
+struct LinearProblem {
+  const Real* a = nullptr;
+  const Real* w = nullptr;
+  const Real* bias = nullptr;  ///< may be null
+  Real* c = nullptr;
+  long m = 0, k = 0, n = 0;
+  long lda = -1;  ///< A row stride (< 0 = dense k)
+  Act act = Act::kNone;
+};
+
+/// Run `count` independent fused linears in one parallel region — the
+/// per-tile convolution layers of the serving engine issue one call per
+/// layer instead of one per (layer, tile).
+void linear_forward_batched(const LinearProblem* problems, long count,
+                            bool parallel);
+
+/// One layer of a sequential dense chain (see linear_seq_forward).
+struct DenseStep {
+  const Real* w = nullptr;     ///< [in, out], dense row-major
+  const Real* bias = nullptr;  ///< [out] or null
+  long in = 0, out = 0;
+  Act act = Act::kNone;
+};
+
+/// Run a whole dense chain (x → layer 0 → … → layer count-1) inside ONE
+/// OpenMP parallel region: per layer a static worksharing loop over the
+/// usual fixed row chunks, with the implicit barrier sequencing layers.
+/// This replaces `count` fork/joins per subnet with one — the INN
+/// coupling subnets and the mu head in serve/engine.cpp ride on it.
+/// Intermediates ping-pong through scratchA/scratchB (each must hold
+/// rows × max-layer-width elements); the last layer writes `output`.
+/// Bit-identical to calling linear_forward per layer.
+void linear_seq_forward(const DenseStep* steps, long count, const Real* input,
+                        long rows, Real* output, Real* scratchA,
+                        Real* scratchB, bool parallel);
 
 }  // namespace artsci::ml::kernels

@@ -35,21 +35,22 @@ Linear::Linear(long in, long out, Rng& rng, bool bias) : in_(in), out_(out) {
   if (bias) bias_ = Tensor::zeros({out}, /*requiresGrad=*/true);
 }
 
-Tensor Linear::forward(const Tensor& x) const {
+Tensor Linear::forward(const Tensor& x, Activation act) const {
   ARTSCI_EXPECTS_MSG(x.dim(-1) == in_, "Linear(" << in_ << "->" << out_
                                                  << ") got input "
                                                  << shapeToString(x.shape()));
   Tensor h = x;
   Shape original = x.shape();
   const bool needReshape = x.ndim() != 2;
-  if (needReshape) h = reshape(h, {x.numel() / in_, in_});
-  // Fused matmul+bias node on the shared blocked kernels (same bits as
-  // matmul-then-add: k-ascending accumulation, bias last).
-  Tensor y = linear(h, weight_, bias_);
+  if (needReshape) h = reshapeFast(h, {x.numel() / in_, in_});
+  // Fused matmul+bias+activation node on the shared blocked kernels
+  // (same bits as matmul-then-add-then-activate: k-ascending
+  // accumulation, bias last, activation after).
+  Tensor y = linear(h, weight_, bias_, act);
   if (needReshape) {
     Shape outShape = original;
     outShape.back() = out_;
-    y = reshape(y, outShape);
+    y = reshapeFast(y, outShape);
   }
   return y;
 }
@@ -71,10 +72,17 @@ Mlp::Mlp(std::vector<long> dims, Rng& rng, Activation hidden,
 
 Tensor Mlp::forward(const Tensor& x) const {
   Tensor h = x;
+  const bool legacy = execOptions().legacyExec;
   for (std::size_t i = 0; i < layers_.size(); ++i) {
-    h = layers_[i].forward(h);
     const bool last = (i + 1 == layers_.size());
-    h = activate(h, last ? output_ : hidden_);
+    const Activation act = last ? output_ : hidden_;
+    if (legacy) {
+      // Baseline lane: separate linear and activation nodes, as the
+      // pre-fusion code built the graph.
+      h = activate(layers_[i].forward(h), act);
+    } else {
+      h = layers_[i].forward(h, act);
+    }
   }
   return h;
 }
@@ -103,8 +111,10 @@ PointNetEncoder::Moments PointNetEncoder::forward(const Tensor& x) const {
                                         << shapeToString(x.shape()));
   ARTSCI_EXPECTS(x.dim(2) == cfg_.channels.front());
   Tensor h = x;
+  const bool legacy = execOptions().legacyExec;
   for (const auto& layer : pointLayers_)
-    h = leakyRelu(layer.forward(h), Real(0.01));
+    h = legacy ? leakyRelu(layer.forward(h), Real(0.01))
+               : layer.forward(h, Activation::kLeakyRelu);
   // Transposition-invariant pooling over the particle axis.
   Tensor pooled = maxAxis(h, /*axis=*/1);  // [B, feat]
   Moments m;
@@ -179,19 +189,21 @@ VoxelDecoder::VoxelDecoder(Config cfg, Rng& rng) : cfg_(std::move(cfg)) {
 Tensor VoxelDecoder::forward(const Tensor& z) const {
   ARTSCI_EXPECTS(z.ndim() == 2 && z.dim(1) == cfg_.latentDim);
   const long B = z.dim(0);
-  Tensor h = leakyRelu(fc_->forward(z), Real(0.01));  // [B, V0^3 * C0]
+  Tensor h = execOptions().legacyExec
+                 ? leakyRelu(fc_->forward(z), Real(0.01))
+                 : fc_->forward(z, Activation::kLeakyRelu);  // [B, V0^3*C0]
   for (std::size_t s = 0; s < deconvs_.size(); ++s) {
     const long V = gridSizes_[s];
     const long cin = cfg_.channels[s];
     // per-voxel linear map: [B*V^3, cin] -> [B*V^3, 8*cout]
-    h = reshape(h, {B * V * V * V, cin});
+    h = reshapeFast(h, {B * V * V * V, cin});
     h = deconvs_[s].forward(h);
-    h = reshape(h, {B, V * V * V * 8 * cfg_.channels[s + 1]});
+    h = reshapeFast(h, {B, V * V * V * 8 * cfg_.channels[s + 1]});
     h = permuteLast(h, shuffles_[s]);
     const bool last = (s + 1 == deconvs_.size());
     if (!last) h = leakyRelu(h, Real(0.01));
   }
-  return reshape(h, {B, pointCount_, cfg_.channels.back()});
+  return reshapeFast(h, {B, pointCount_, cfg_.channels.back()});
 }
 
 std::vector<Tensor> VoxelDecoder::parameters() const {

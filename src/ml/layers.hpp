@@ -16,9 +16,10 @@
 
 namespace artsci::ml {
 
-enum class Activation { kNone, kRelu, kLeakyRelu, kTanh };
+// Activation lives in ml/ops.hpp next to the fused linear op.
 
-/// Apply an activation as a graph op.
+/// Apply an activation as a separate graph op (the pre-fusion
+/// formulation; the legacy baseline lane and non-layer call sites use it).
 Tensor activate(const Tensor& x, Activation act);
 
 /// Base class for anything owning trainable parameters.
@@ -37,7 +38,11 @@ class Linear : public Module {
  public:
   Linear(long in, long out, Rng& rng, bool bias = true);
 
-  Tensor forward(const Tensor& x) const;
+  /// y = act(x W + b), with the activation fused into the linear node
+  /// (one elementwise epilogue instead of a separate graph op — same
+  /// bits, see ml::linear). Under ExecOptions::legacyExec the caller is
+  /// expected to apply activate() itself, as the pre-fusion code did.
+  Tensor forward(const Tensor& x, Activation act = Activation::kNone) const;
   std::vector<Tensor> parameters() const override;
 
   long inFeatures() const { return in_; }

@@ -115,15 +115,17 @@ Real otCost(const Real* x, long N, const Real* y, long M, long D,
 
 }  // namespace
 
-Tensor emdSinkhorn(const Tensor& a, const Tensor& b,
+Tensor emdSinkhorn(const Tensor& a0, const Tensor& b0,
                    const SinkhornParams& params) {
-  ARTSCI_EXPECTS(a.ndim() == 3 && b.ndim() == 3);
+  ARTSCI_EXPECTS(a0.ndim() == 3 && b0.ndim() == 3);
+  Tensor a = asContiguous(a0);
+  Tensor b = asContiguous(b0);
   const long B = a.dim(0), N = a.dim(1), D = a.dim(2), M = b.dim(1);
   ARTSCI_EXPECTS(b.dim(0) == B && b.dim(2) == D);
   Tensor out = makeResult({1}, {a, b}, "emdSinkhorn");
 
-  const Real* A = a.data().data();
-  const Real* Bd = b.data().data();
+  const Real* A = a.dataPtr();
+  const Real* Bd = b.dataPtr();
   // Debiased Sinkhorn divergence (geomloss): S = OT(a,b) - OT(a,a)/2
   // - OT(b,b)/2, which removes the entropic bias so S(a,a) == 0.
   std::vector<std::vector<Real>> planAB(static_cast<std::size_t>(B));
@@ -145,7 +147,7 @@ Tensor emdSinkhorn(const Tensor& a, const Tensor& b,
   }
   Real total = Real(0);
   for (Real p : partial) total += p;
-  out.data()[0] = std::max(total / static_cast<Real>(B), Real(0));
+  out.dataPtr()[0] = std::max(total / static_cast<Real>(B), Real(0));
 
   if (out.requiresGrad()) {
     auto pa = a.impl_;
@@ -156,25 +158,24 @@ Tensor emdSinkhorn(const Tensor& a, const Tensor& b,
                              D](TensorImpl& self) {
       // Envelope theorem: at the converged plans the cost gradient w.r.t.
       // the points keeps the plans fixed.
-      const Real g = self.grad[0] / static_cast<Real>(B);
-      const Real* A2 = pa->data.data();
-      const Real* B2 = pb->data.data();
-      std::vector<Real>* ga = nullptr;
-      std::vector<Real>* gb = nullptr;
+      const Real g = self.gradPtr()[0] / static_cast<Real>(B);
+      const Real* A2 = pa->dataPtr();
+      const Real* B2 = pb->dataPtr();
+      Real* ga = nullptr;
+      Real* gb = nullptr;
       if (pa->requiresGrad) {
         pa->ensureGrad();
-        ga = &pa->grad;
+        ga = pa->gradPtr();
       }
       if (pb->requiresGrad) {
         pb->ensureGrad();
-        gb = &pb->grad;
+        gb = pb->gradPtr();
       }
       // d/dx sum_ij P_ij ||x_i - y_j||^2 = sum_j 2 P_ij (x_i - y_j),
       // and symmetrically for y. `sign` scales the term's weight.
       auto accumulate = [g, D](const std::vector<Real>& plan, const Real* x,
-                               long n, std::vector<Real>* gx, long xBase,
-                               const Real* y, long m, std::vector<Real>* gy,
-                               long yBase, Real sign) {
+                               long n, Real* gx, long xBase, const Real* y,
+                               long m, Real* gy, long yBase, Real sign) {
         if (!gx && !gy) return;
         for (long i = 0; i < n; ++i) {
           for (long j = 0; j < m; ++j) {
@@ -183,12 +184,8 @@ Tensor emdSinkhorn(const Tensor& a, const Tensor& b,
             for (long d = 0; d < D; ++d) {
               const Real diff =
                   Real(2) * p * (x[i * D + d] - y[j * D + d]);
-              if (gx)
-                (*gx)[static_cast<std::size_t>(xBase + i * D + d)] +=
-                    sign * g * diff;
-              if (gy)
-                (*gy)[static_cast<std::size_t>(yBase + j * D + d)] -=
-                    sign * g * diff;
+              if (gx) gx[xBase + i * D + d] += sign * g * diff;
+              if (gy) gy[yBase + j * D + d] -= sign * g * diff;
             }
           }
         }

@@ -16,21 +16,19 @@ static_assert(std::is_same_v<Real, kernels::Real>,
 
 namespace {
 
-/// Row-major strides of a shape.
-std::vector<long> stridesOf(const Shape& s) {
-  std::vector<long> st(s.size(), 1);
-  for (int i = static_cast<int>(s.size()) - 2; i >= 0; --i)
-    st[static_cast<std::size_t>(i)] =
-        st[static_cast<std::size_t>(i) + 1] * s[static_cast<std::size_t>(i) + 1];
-  return st;
+/// Storage index of logical flat index `i` for any layout.
+inline long physIdx(const TensorImpl& im, long i) {
+  return im.contiguous ? i : logicalToStorage(im.shape, im.strides, i);
 }
 
-/// Map a flat index in `outShape` to the flat index in `inShape`, where
-/// inShape broadcasts to outShape (right-aligned).
+/// Map a logical flat index in `outShape` to the *storage* index of an
+/// input that broadcasts to outShape (right-aligned). `inStrides` are the
+/// input's physical strides, so stride-0 broadcast axes and view layouts
+/// are handled by the same arithmetic; for contiguous inputs this
+/// produces exactly the indices the pre-view code computed.
 long mapBroadcastIndex(long flat, const Shape& outShape,
-                       const std::vector<long>& outStrides,
-                       const Shape& inShape,
-                       const std::vector<long>& inStrides) {
+                       const Strides& outStrides, const Shape& inShape,
+                       const Strides& inStrides) {
   const int offset = static_cast<int>(outShape.size() - inShape.size());
   long idx = 0;
   for (std::size_t d = 0; d < outShape.size(); ++d) {
@@ -44,7 +42,59 @@ long mapBroadcastIndex(long flat, const Shape& outShape,
   return idx;
 }
 
+/// Row-major traversal cursor yielding successive storage indices of an
+/// input that broadcasts to `outShape` — the same mapping as
+/// mapBroadcastIndex, but the per-element div/mod chain is amortized to
+/// counter increments (a couple of adds per step). Traversal order and
+/// the produced indices are identical, so results are bitwise unchanged;
+/// this is what makes elementwise ops on strided views cost roughly the
+/// same as on dense tensors.
+class StridedCursor {
+ public:
+  StridedCursor(const Shape& outShape, const Shape& inShape,
+                const Strides& inStrides)
+      : shape_(outShape),
+        eff_(outShape.size(), 0),
+        counters_(outShape.size(), 0) {
+    const int offset = static_cast<int>(outShape.size() - inShape.size());
+    for (std::size_t d = 0; d < outShape.size(); ++d) {
+      const int din = static_cast<int>(d) - offset;
+      if (din >= 0 && inShape[static_cast<std::size_t>(din)] != 1)
+        eff_[d] = inStrides[static_cast<std::size_t>(din)];
+    }
+  }
+  /// Convenience for the non-broadcast case (same logical shape).
+  StridedCursor(const Shape& shape, const Strides& strides)
+      : StridedCursor(shape, shape, strides) {}
+
+  /// Storage index of the current logical slot, then advance one slot.
+  long next() {
+    const long cur = idx_;
+    for (int d = static_cast<int>(shape_.size()) - 1; d >= 0; --d) {
+      const std::size_t du = static_cast<std::size_t>(d);
+      idx_ += eff_[du];
+      if (++counters_[du] < shape_[du]) return cur;
+      idx_ -= eff_[du] * shape_[du];
+      counters_[du] = 0;
+    }
+    return cur;
+  }
+
+ private:
+  Shape shape_;
+  Strides eff_;
+  Shape counters_;
+  long idx_ = 0;
+};
+
 bool sameShape(const Shape& a, const Shape& b) { return a == b; }
+
+/// View-producing ops materialize copies when views are toggled off OR
+/// the pre-refactor baseline lane is pinned (ExecOptions::legacyExec).
+inline bool viewsOn() {
+  const ExecOptions& o = execOptions();
+  return o.useViews && !o.legacyExec;
+}
 
 /// True if b's shape is an exact suffix of a's shape (fast bias-add path).
 bool isSuffix(const Shape& a, const Shape& b) {
@@ -55,11 +105,12 @@ bool isSuffix(const Shape& a, const Shape& b) {
   return true;
 }
 
-/// ensureGrad + return pointer, or nullptr if the parent doesn't need grad.
-std::vector<Real>* gradOf(const std::shared_ptr<TensorImpl>& p) {
+/// ensureGrad + return base grad pointer, or nullptr if the parent
+/// doesn't need grad. Index with the parent's physical strides.
+Real* gradOf(const std::shared_ptr<TensorImpl>& p) {
   if (!p->requiresGrad) return nullptr;
   p->ensureGrad();
-  return &p->grad;
+  return p->gradPtr();
 }
 
 /// Work threshold above which the GEMM kernels go OpenMP row-parallel
@@ -68,40 +119,42 @@ inline bool gemmParallel(long M, long N, long K) {
   return M * N * K > (1L << 16);
 }
 
+/// A 2-D tensor the GEMM kernels can read in place: unit inner stride and
+/// non-overlapping rows (arbitrary leading dimension). Column-slice views
+/// qualify; transposed views do not.
+bool gemmCompatible(const TensorImpl& im) {
+  return im.contiguous ||
+         (im.shape.size() == 2 && im.strides[1] == 1 &&
+          im.strides[0] >= im.shape[1]);
+}
+
 template <typename FwdOp, typename DA, typename DB>
 Tensor binaryOp(const Tensor& a, const Tensor& b, const char* name, FwdOp fwd,
                 DA dfdA, DB dfdB) {
   const Shape outShape = broadcastShapes(a.shape(), b.shape());
   Tensor out = makeResult(outShape, {a, b}, name);
   const long n = out.numel();
-  const auto& ad = a.data();
-  const auto& bd = b.data();
-  auto& od = out.data();
+  const TensorImpl& ai = *a.impl();
+  const TensorImpl& bi = *b.impl();
+  const Real* ad = ai.dataPtr();
+  const Real* bd = bi.dataPtr();
+  Real* od = out.dataPtr();
 
-  if (sameShape(a.shape(), outShape) && sameShape(b.shape(), outShape)) {
+  const bool aDense = ai.contiguous && sameShape(ai.shape, outShape);
+  const bool bDense = bi.contiguous && sameShape(bi.shape, outShape);
+  if (aDense && bDense) {
 #pragma omp parallel for schedule(static) if (n > (1L << 14))
     for (long i = 0; i < n; ++i)
-      od[static_cast<std::size_t>(i)] = fwd(ad[static_cast<std::size_t>(i)],
-                                            bd[static_cast<std::size_t>(i)]);
-  } else if (sameShape(a.shape(), outShape) && isSuffix(outShape, b.shape())) {
-    const long bn = b.numel();
+      od[i] = fwd(ad[i], bd[i]);
+  } else if (aDense && bi.contiguous && isSuffix(outShape, bi.shape)) {
+    const long bn = bi.numel_;
 #pragma omp parallel for schedule(static) if (n > (1L << 14))
     for (long i = 0; i < n; ++i)
-      od[static_cast<std::size_t>(i)] = fwd(
-          ad[static_cast<std::size_t>(i)], bd[static_cast<std::size_t>(i % bn)]);
+      od[i] = fwd(ad[i], bd[i % bn]);
   } else {
-    const auto outStrides = stridesOf(outShape);
-    const auto aStrides = stridesOf(a.shape());
-    const auto bStrides = stridesOf(b.shape());
-    const Shape aShape = a.shape(), bShape = b.shape();
-    for (long i = 0; i < n; ++i) {
-      const long ia =
-          mapBroadcastIndex(i, outShape, outStrides, aShape, aStrides);
-      const long ib =
-          mapBroadcastIndex(i, outShape, outStrides, bShape, bStrides);
-      od[static_cast<std::size_t>(i)] = fwd(ad[static_cast<std::size_t>(ia)],
-                                            bd[static_cast<std::size_t>(ib)]);
-    }
+    StridedCursor ca(outShape, ai.shape, ai.strides);
+    StridedCursor cb(outShape, bi.shape, bi.strides);
+    for (long i = 0; i < n; ++i) od[i] = fwd(ad[ca.next()], bd[cb.next()]);
   }
 
   if (out.requiresGrad()) {
@@ -109,21 +162,39 @@ Tensor binaryOp(const Tensor& a, const Tensor& b, const char* name, FwdOp fwd,
     auto pb = b.impl_;
     out.impl_->backwardFn = [pa, pb, outShape, dfdA, dfdB](TensorImpl& self) {
       const long n2 = self.numel();
-      const auto outStrides = stridesOf(outShape);
-      const auto aStrides = stridesOf(pa->shape);
-      const auto bStrides = stridesOf(pb->shape);
-      auto* ga = gradOf(pa);
-      auto* gb = gradOf(pb);
+      Real* ga = gradOf(pa);
+      Real* gb = gradOf(pb);
+      const Real* ad2 = pa->dataPtr();
+      const Real* bd2 = pb->dataPtr();
+      const Real* sg = self.gradPtr();
+      if (execOptions().legacyExec) {
+        // Baseline lane: the pre-refactor div/mod index mapping per
+        // element. Identical indices and arithmetic to the cursor loop
+        // below, just recomputed from scratch each iteration.
+        const Strides outStrides = rowMajorStrides(outShape);
+        for (long i = 0; i < n2; ++i) {
+          const long ia = mapBroadcastIndex(i, outShape, outStrides,
+                                            pa->shape, pa->strides);
+          const long ib = mapBroadcastIndex(i, outShape, outStrides,
+                                            pb->shape, pb->strides);
+          const Real av = ad2[ia];
+          const Real bv = bd2[ib];
+          const Real g = sg[i];
+          if (ga) ga[ia] += g * dfdA(av, bv);
+          if (gb) gb[ib] += g * dfdB(av, bv);
+        }
+        return;
+      }
+      StridedCursor ca(outShape, pa->shape, pa->strides);
+      StridedCursor cb(outShape, pb->shape, pb->strides);
       for (long i = 0; i < n2; ++i) {
-        const long ia =
-            mapBroadcastIndex(i, outShape, outStrides, pa->shape, aStrides);
-        const long ib =
-            mapBroadcastIndex(i, outShape, outStrides, pb->shape, bStrides);
-        const Real av = pa->data[static_cast<std::size_t>(ia)];
-        const Real bv = pb->data[static_cast<std::size_t>(ib)];
-        const Real g = self.grad[static_cast<std::size_t>(i)];
-        if (ga) (*ga)[static_cast<std::size_t>(ia)] += g * dfdA(av, bv);
-        if (gb) (*gb)[static_cast<std::size_t>(ib)] += g * dfdB(av, bv);
+        const long ia = ca.next();
+        const long ib = cb.next();
+        const Real av = ad2[ia];
+        const Real bv = bd2[ib];
+        const Real g = sg[i];
+        if (ga) ga[ia] += g * dfdA(av, bv);
+        if (gb) gb[ib] += g * dfdB(av, bv);
       }
     };
   }
@@ -134,22 +205,35 @@ template <typename FwdOp, typename DOp>
 Tensor unaryOp(const Tensor& a, const char* name, FwdOp fwd, DOp dfd) {
   Tensor out = makeResult(a.shape(), {a}, name);
   const long n = out.numel();
-  const auto& ad = a.data();
-  auto& od = out.data();
+  const TensorImpl& ai = *a.impl();
+  const Real* ad = ai.dataPtr();
+  Real* od = out.dataPtr();
+  if (ai.contiguous) {
 #pragma omp parallel for schedule(static) if (n > (1L << 14))
-  for (long i = 0; i < n; ++i)
-    od[static_cast<std::size_t>(i)] = fwd(ad[static_cast<std::size_t>(i)]);
+    for (long i = 0; i < n; ++i) od[i] = fwd(ad[i]);
+  } else {
+    // Sequential: the strided path is taken by small view tensors where
+    // the cursor beats a fork/join plus per-thread re-seeding.
+    StridedCursor c(ai.shape, ai.strides);
+    for (long i = 0; i < n; ++i) od[i] = fwd(ad[c.next()]);
+  }
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     out.impl_->backwardFn = [pa, dfd](TensorImpl& self) {
-      auto* ga = gradOf(pa);
+      Real* ga = gradOf(pa);
       if (!ga) return;
       const long n2 = self.numel();
-      for (long i = 0; i < n2; ++i) {
-        (*ga)[static_cast<std::size_t>(i)] +=
-            self.grad[static_cast<std::size_t>(i)] *
-            dfd(pa->data[static_cast<std::size_t>(i)],
-                self.data[static_cast<std::size_t>(i)]);
+      const Real* ad2 = pa->dataPtr();
+      const Real* sg = self.gradPtr();
+      const Real* sd = self.dataPtr();
+      if (pa->contiguous) {
+        for (long i = 0; i < n2; ++i) ga[i] += sg[i] * dfd(ad2[i], sd[i]);
+      } else {
+        StridedCursor c(pa->shape, pa->strides);
+        for (long i = 0; i < n2; ++i) {
+          const long ip = c.next();
+          ga[ip] += sg[i] * dfd(ad2[ip], sd[i]);
+        }
       }
     };
   }
@@ -244,16 +328,28 @@ Tensor expT(const Tensor& a) {
 Tensor logT(const Tensor& a) {
   // Validate outside the (OpenMP) elementwise loop: exceptions must not
   // escape a parallel region.
-  for (Real x : a.data())
-    ARTSCI_CHECK_MSG(x > Real(0), "log of non-positive value " << x);
+  {
+    const TensorImpl& ai = *a.impl();
+    const Real* ad = ai.dataPtr();
+    for (long i = 0; i < ai.numel_; ++i) {
+      const Real x = ad[physIdx(ai, i)];
+      ARTSCI_CHECK_MSG(x > Real(0), "log of non-positive value " << x);
+    }
+  }
   return unaryOp(
       a, "log", [](Real x) { return std::log(x); },
       [](Real x, Real) { return Real(1) / x; });
 }
 
 Tensor sqrtT(const Tensor& a) {
-  for (Real x : a.data())
-    ARTSCI_CHECK_MSG(x >= Real(0), "sqrt of negative value " << x);
+  {
+    const TensorImpl& ai = *a.impl();
+    const Real* ad = ai.dataPtr();
+    for (long i = 0; i < ai.numel_; ++i) {
+      const Real x = ad[physIdx(ai, i)];
+      ARTSCI_CHECK_MSG(x >= Real(0), "sqrt of negative value " << x);
+    }
+  }
   return unaryOp(
       a, "sqrt", [](Real x) { return std::sqrt(x); },
       [](Real, Real y) { return Real(0.5) / std::max(y, Real(1e-12)); });
@@ -281,83 +377,158 @@ Tensor softplus(const Tensor& a) {
       [](Real x, Real) { return Real(1) / (Real(1) + std::exp(-x)); });
 }
 
-Tensor matmul(const Tensor& a, const Tensor& b) {
-  ARTSCI_EXPECTS_MSG(a.ndim() == 2 && b.ndim() == 2,
+Tensor matmul(const Tensor& a0, const Tensor& b0) {
+  ARTSCI_EXPECTS_MSG(a0.ndim() == 2 && b0.ndim() == 2,
                      "matmul expects 2D tensors, got "
-                         << shapeToString(a.shape()) << " x "
-                         << shapeToString(b.shape()));
+                         << shapeToString(a0.shape()) << " x "
+                         << shapeToString(b0.shape()));
+  // Row-strided A feeds the kernels via lda; anything else (e.g. a
+  // transposed view) is materialized, reproducing the pre-view operand
+  // buffer bit-for-bit — the kernels' per-element FP order (k-ascending
+  // for nn/tn, fixed lane split for nt) must not change with layout.
+  Tensor a = gemmCompatible(*a0.impl()) ? a0 : contiguousCopy(a0);
+  Tensor b = b0.isContiguous() ? b0 : contiguousCopy(b0);
   const long M = a.dim(0), K = a.dim(1), K2 = b.dim(0), N = b.dim(1);
   ARTSCI_EXPECTS_MSG(K == K2, "matmul inner dims mismatch: "
                                   << shapeToString(a.shape()) << " x "
                                   << shapeToString(b.shape()));
+  const long lda = a.isContiguous() ? K : a.strides()[0];
   Tensor out = makeResult({M, N}, {a, b}, "matmul");
-  kernels::gemm_nn(a.data().data(), b.data().data(), out.data().data(), M, N,
-                   K, /*accumulate=*/false, gemmParallel(M, N, K));
+  kernels::gemm_nn(a.dataPtr(), b.dataPtr(), out.dataPtr(), M, N, K,
+                   /*accumulate=*/false, gemmParallel(M, N, K), lda);
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     auto pb = b.impl_;
-    out.impl_->backwardFn = [pa, pb, M, K, N](TensorImpl& self) {
-      const Real* G = self.grad.data();
+    out.impl_->backwardFn = [pa, pb, M, K, N, lda](TensorImpl& self) {
+      const Real* G = self.gradPtr();
       const bool par = gemmParallel(M, N, K);
-      // dA[M,K] += G[M,N] · B[K,N]ᵀ
-      if (auto* ga = gradOf(pa))
-        kernels::gemm_nt(G, pb->data.data(), ga->data(), M, K, N,
-                         /*accumulate=*/true, par);
+      // dA[M,K] += G[M,N] · B[K,N]ᵀ (dA rows strided like A's rows)
+      if (Real* ga = gradOf(pa))
+        kernels::gemm_nt(G, pb->dataPtr(), ga, M, K, N,
+                         /*accumulate=*/true, par, /*ldc=*/lda);
       // dB[K,N] += A[M,K]ᵀ · G[M,N]
-      if (auto* gb = gradOf(pb))
-        kernels::gemm_tn(pa->data.data(), G, gb->data(), K, N, M,
-                         /*accumulate=*/true, par);
+      if (Real* gb = gradOf(pb))
+        kernels::gemm_tn(pa->dataPtr(), G, gb, K, N, M,
+                         /*accumulate=*/true, par, /*strideA=*/lda);
     };
   }
   return out;
 }
 
-Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
-  ARTSCI_EXPECTS_MSG(x.ndim() == 2 && w.ndim() == 2,
+namespace {
+
+/// Forward/backward formulas of the fused linear epilogue — element for
+/// element the same arithmetic as the relu/leakyRelu/tanhT unary nodes.
+/// The backward form is derived from the *output*: for the monotone
+/// sign-preserving relu family `out > 0` decides exactly like `x > 0`
+/// did, and tanh' already reads the output, so the fused gradients match
+/// the separate-node gradients.
+inline Real actForward(Real x, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return x > 0 ? x : Real(0);
+    case Activation::kLeakyRelu:
+      return x > 0 ? x : kernels::kLeakySlope * x;
+    case Activation::kTanh:
+      return std::tanh(x);
+    case Activation::kNone:
+      break;
+  }
+  return x;
+}
+
+inline Real actGradFromOut(Real y, Activation act) {
+  switch (act) {
+    case Activation::kRelu:
+      return y > 0 ? Real(1) : Real(0);
+    case Activation::kLeakyRelu:
+      return y > 0 ? Real(1) : kernels::kLeakySlope;
+    case Activation::kTanh:
+      return Real(1) - y * y;
+    case Activation::kNone:
+      break;
+  }
+  return Real(1);
+}
+
+}  // namespace
+
+Tensor linear(const Tensor& x0, const Tensor& w, const Tensor& bias,
+              Activation act) {
+  ARTSCI_EXPECTS_MSG(x0.ndim() == 2 && w.ndim() == 2,
                      "linear expects 2D tensors, got "
-                         << shapeToString(x.shape()) << " x "
+                         << shapeToString(x0.shape()) << " x "
                          << shapeToString(w.shape()));
-  const long M = x.dim(0), K = x.dim(1), N = w.dim(1);
-  ARTSCI_EXPECTS_MSG(w.dim(0) == K, "linear inner dims mismatch: "
-                                        << shapeToString(x.shape()) << " x "
-                                        << shapeToString(w.shape()));
+  Tensor x = gemmCompatible(*x0.impl()) ? x0 : contiguousCopy(x0);
+  Tensor wc = w.isContiguous() ? w : contiguousCopy(w);
+  const long M = x.dim(0), K = x.dim(1), N = wc.dim(1);
+  ARTSCI_EXPECTS_MSG(wc.dim(0) == K, "linear inner dims mismatch: "
+                                         << shapeToString(x.shape()) << " x "
+                                         << shapeToString(wc.shape()));
+  const long lda = x.isContiguous() ? K : x.strides()[0];
   const bool hasBias = bias.defined();
   if (hasBias)
     ARTSCI_EXPECTS_MSG(bias.ndim() == 1 && bias.dim(0) == N,
                        "linear bias must be [" << N << "], got "
                                                << shapeToString(bias.shape()));
-  Tensor out = hasBias ? makeResult({M, N}, {x, w, bias}, "linear")
-                       : makeResult({M, N}, {x, w}, "linear");
+  Tensor out = hasBias ? makeResult({M, N}, {x, wc, bias}, "linear")
+                       : makeResult({M, N}, {x, wc}, "linear");
   const bool par = gemmParallel(M, N, K);
-  Real* C = out.data().data();
-  kernels::gemm_nn(x.data().data(), w.data().data(), C, M, N, K,
-                   /*accumulate=*/false, par);
+  Real* C = out.dataPtr();
+  kernels::gemm_nn(x.dataPtr(), wc.dataPtr(), C, M, N, K,
+                   /*accumulate=*/false, par, lda);
   if (hasBias) {
     // Bias rides after the k-accumulation, exactly like matmul+add did —
     // per-element bit pattern is unchanged by the fusion.
-    const Real* bptr = bias.data().data();
+    const Real* bptr = bias.dataPtr();
 #pragma omp parallel for schedule(static) if (par)
     for (long i = 0; i < M; ++i) {
       Real* crow = C + i * N;
       for (long j = 0; j < N; ++j) crow[j] += bptr[j];
     }
   }
+  if (act != Activation::kNone) {
+    // Activation after the bias, elementwise in place — the sequence the
+    // former separate activation node produced.
+    const long total = M * N;
+#pragma omp parallel for schedule(static) if (par)
+    for (long i = 0; i < total; ++i) C[i] = actForward(C[i], act);
+  }
   if (out.requiresGrad()) {
     auto px = x.impl_;
-    auto pw = w.impl_;
+    auto pw = wc.impl_;
     auto pb = hasBias ? bias.impl_ : nullptr;
-    out.impl_->backwardFn = [px, pw, pb, M, K, N](TensorImpl& self) {
-      const Real* G = self.grad.data();
+    out.impl_->backwardFn = [px, pw, pb, M, K, N, lda, act](TensorImpl& self) {
+      const Real* G = self.gradPtr();
       const bool par2 = gemmParallel(M, N, K);
-      if (auto* gx = gradOf(px))
-        kernels::gemm_nt(G, pw->data.data(), gx->data(), M, K, N,
-                         /*accumulate=*/true, par2);
-      if (auto* gw = gradOf(pw))
-        kernels::gemm_tn(px->data.data(), G, gw->data(), K, N, M,
-                         /*accumulate=*/true, par2);
+      // Pre-activation gradient: g * act'(out), exactly what the separate
+      // activation node accumulated into the matmul result's grad. Step
+      // scratch comes from the arena when one is active (recorded in the
+      // step plan like any other allocation).
+      std::vector<Real> scratch;
+      if (act != Activation::kNone) {
+        const long total = M * N;
+        Real* gp;
+        if (Arena* ar = currentArena()) {
+          gp = ar->allocData(total);
+        } else {
+          scratch.resize(static_cast<std::size_t>(total));
+          gp = scratch.data();
+        }
+        const Real* outData = self.dataPtr();
+        for (long i = 0; i < total; ++i)
+          gp[i] = G[i] * actGradFromOut(outData[i], act);
+        G = gp;
+      }
+      if (Real* gx = gradOf(px))
+        kernels::gemm_nt(G, pw->dataPtr(), gx, M, K, N,
+                         /*accumulate=*/true, par2, /*ldc=*/lda);
+      if (Real* gw = gradOf(pw))
+        kernels::gemm_tn(px->dataPtr(), G, gw, K, N, M,
+                         /*accumulate=*/true, par2, /*strideA=*/lda);
       if (pb)
-        if (auto* gb = gradOf(pb))
-          kernels::colsum(G, gb->data(), M, N, /*accumulate=*/true);
+        if (Real* gb = gradOf(pb))
+          kernels::colsum(G, gb, M, N, /*accumulate=*/true);
     };
   }
   return out;
@@ -366,39 +537,90 @@ Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
 Tensor transpose2d(const Tensor& a) {
   ARTSCI_EXPECTS(a.ndim() == 2);
   const long M = a.dim(0), N = a.dim(1);
+  if (viewsOn()) {
+    const Strides& s = a.strides();
+    return makeView(a, Shape{N, M}, Strides{s[1], s[0]}, 0, "transposeView");
+  }
   Tensor out = makeResult({N, M}, {a}, "transpose2d");
-  const auto& ad = a.data();
-  auto& od = out.data();
+  const TensorImpl& ai = *a.impl();
+  const Real* ad = ai.dataPtr();
+  Real* od = out.dataPtr();
+  const long sr = ai.strides[0], sc = ai.strides[1];
   for (long i = 0; i < M; ++i)
-    for (long j = 0; j < N; ++j)
-      od[static_cast<std::size_t>(j * M + i)] =
-          ad[static_cast<std::size_t>(i * N + j)];
+    for (long j = 0; j < N; ++j) od[j * M + i] = ad[i * sr + j * sc];
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     out.impl_->backwardFn = [pa, M, N](TensorImpl& self) {
-      auto* ga = gradOf(pa);
+      Real* ga = gradOf(pa);
       if (!ga) return;
+      const Real* sg = self.gradPtr();
+      const long sr2 = pa->strides[0], sc2 = pa->strides[1];
       for (long i = 0; i < M; ++i)
-        for (long j = 0; j < N; ++j)
-          (*ga)[static_cast<std::size_t>(i * N + j)] +=
-              self.grad[static_cast<std::size_t>(j * M + i)];
+        for (long j = 0; j < N; ++j) ga[i * sr2 + j * sc2] += sg[j * M + i];
     };
   }
   return out;
 }
 
-Tensor sumAll(const Tensor& a) {
-  Tensor out = makeResult({1}, {a}, "sumAll");
-  Real s = Real(0);
-  for (Real v : a.data()) s += v;
-  out.data()[0] = s;
+Tensor contiguousCopy(const Tensor& a) {
+  Tensor out = makeResult(a.shape(), {a}, "contiguous");
+  const TensorImpl& ai = *a.impl();
+  const Real* ad = ai.dataPtr();
+  Real* od = out.dataPtr();
+  const long n = out.numel();
+  if (ai.contiguous) {
+    std::memcpy(od, ad, sizeof(Real) * static_cast<std::size_t>(n));
+  } else {
+    StridedCursor c(ai.shape, ai.strides);
+    for (long i = 0; i < n; ++i) od[i] = ad[c.next()];
+  }
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     out.impl_->backwardFn = [pa](TensorImpl& self) {
-      auto* ga = gradOf(pa);
+      Real* ga = gradOf(pa);
       if (!ga) return;
-      const Real g = self.grad[0];
-      for (Real& v : *ga) v += g;
+      const long n2 = self.numel();
+      const Real* sg = self.gradPtr();
+      if (pa->contiguous) {
+        for (long i = 0; i < n2; ++i) ga[i] += sg[i];
+      } else {
+        StridedCursor c(pa->shape, pa->strides);
+        for (long i = 0; i < n2; ++i) ga[c.next()] += sg[i];
+      }
+    };
+  }
+  return out;
+}
+
+Tensor asContiguous(const Tensor& a) {
+  return a.isContiguous() ? a : contiguousCopy(a);
+}
+
+Tensor sumAll(const Tensor& a) {
+  Tensor out = makeResult({1}, {a}, "sumAll");
+  const TensorImpl& ai = *a.impl();
+  const Real* ad = ai.dataPtr();
+  Real s = Real(0);
+  if (ai.contiguous) {
+    for (long i = 0; i < ai.numel_; ++i) s += ad[i];
+  } else {
+    StridedCursor c(ai.shape, ai.strides);
+    for (long i = 0; i < ai.numel_; ++i) s += ad[c.next()];
+  }
+  out.dataPtr()[0] = s;
+  if (out.requiresGrad()) {
+    auto pa = a.impl_;
+    out.impl_->backwardFn = [pa](TensorImpl& self) {
+      Real* ga = gradOf(pa);
+      if (!ga) return;
+      const Real g = self.gradPtr()[0];
+      const long n = pa->numel_;
+      if (pa->contiguous) {
+        for (long i = 0; i < n; ++i) ga[i] += g;
+      } else {
+        StridedCursor c(pa->shape, pa->strides);
+        for (long i = 0; i < n; ++i) ga[c.next()] += g;
+      }
     };
   }
   return out;
@@ -433,32 +655,32 @@ Shape dropAxis(const Shape& s, int axis, bool keepdim) {
 }
 }  // namespace
 
-Tensor sumAxis(const Tensor& a, int axis, bool keepdim) {
+Tensor sumAxis(const Tensor& a0, int axis, bool keepdim) {
+  Tensor a = asContiguous(a0);
   if (axis < 0) axis += a.ndim();
   ARTSCI_EXPECTS(axis >= 0 && axis < a.ndim());
   long outer = 0, len = 0, inner = 0;
   axisSplit(a.shape(), axis, outer, len, inner);
   Tensor out = makeResult(dropAxis(a.shape(), axis, keepdim), {a}, "sumAxis");
-  const auto& ad = a.data();
-  auto& od = out.data();
+  const Real* ad = a.dataPtr();
+  Real* od = out.dataPtr();
   for (long o = 0; o < outer; ++o) {
     for (long i = 0; i < inner; ++i) {
       Real s = Real(0);
-      for (long l = 0; l < len; ++l)
-        s += ad[static_cast<std::size_t>((o * len + l) * inner + i)];
-      od[static_cast<std::size_t>(o * inner + i)] = s;
+      for (long l = 0; l < len; ++l) s += ad[(o * len + l) * inner + i];
+      od[o * inner + i] = s;
     }
   }
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     out.impl_->backwardFn = [pa, outer, len, inner](TensorImpl& self) {
-      auto* ga = gradOf(pa);
+      Real* ga = gradOf(pa);
       if (!ga) return;
+      const Real* sg = self.gradPtr();
       for (long o = 0; o < outer; ++o)
         for (long l = 0; l < len; ++l)
           for (long i = 0; i < inner; ++i)
-            (*ga)[static_cast<std::size_t>((o * len + l) * inner + i)] +=
-                self.grad[static_cast<std::size_t>(o * inner + i)];
+            ga[(o * len + l) * inner + i] += sg[o * inner + i];
     };
   }
   return out;
@@ -471,44 +693,45 @@ Tensor meanAxis(const Tensor& a, int axis, bool keepdim) {
   return mulScalar(sumAxis(a, axis, keepdim), scale);
 }
 
-Tensor maxAxis(const Tensor& a, int axis, bool keepdim) {
+Tensor maxAxis(const Tensor& a0, int axis, bool keepdim) {
+  Tensor a = asContiguous(a0);
   if (axis < 0) axis += a.ndim();
   ARTSCI_EXPECTS(axis >= 0 && axis < a.ndim());
   long outer = 0, len = 0, inner = 0;
   axisSplit(a.shape(), axis, outer, len, inner);
   Tensor out = makeResult(dropAxis(a.shape(), axis, keepdim), {a}, "maxAxis");
   std::vector<long> argmax(static_cast<std::size_t>(outer * inner), 0);
-  const auto& ad = a.data();
-  auto& od = out.data();
+  const Real* ad = a.dataPtr();
+  Real* od = out.dataPtr();
 #pragma omp parallel for schedule(static) if (outer * inner > (1L << 12))
   for (long oi = 0; oi < outer * inner; ++oi) {
     const long o = oi / inner;
     const long i = oi % inner;
-    Real best = ad[static_cast<std::size_t>(o * len * inner + i)];
+    Real best = ad[o * len * inner + i];
     long bestL = 0;
     for (long l = 1; l < len; ++l) {
-      const Real v = ad[static_cast<std::size_t>((o * len + l) * inner + i)];
+      const Real v = ad[(o * len + l) * inner + i];
       if (v > best) {
         best = v;
         bestL = l;
       }
     }
-    od[static_cast<std::size_t>(oi)] = best;
+    od[oi] = best;
     argmax[static_cast<std::size_t>(oi)] = bestL;
   }
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     out.impl_->backwardFn = [pa, argmax = std::move(argmax), inner,
                              len](TensorImpl& self) {
-      auto* ga = gradOf(pa);
+      Real* ga = gradOf(pa);
       if (!ga) return;
+      const Real* sg = self.gradPtr();
       const long total = self.numel();
       for (long oi = 0; oi < total; ++oi) {
         const long o = oi / inner;
         const long i = oi % inner;
         const long l = argmax[static_cast<std::size_t>(oi)];
-        (*ga)[static_cast<std::size_t>((o * len + l) * inner + i)] +=
-            self.grad[static_cast<std::size_t>(oi)];
+        ga[(o * len + l) * inner + i] += sg[oi];
       }
     };
   }
@@ -521,21 +744,83 @@ Tensor reshape(const Tensor& a, Shape newShape) {
                                 << shapeToString(newShape)
                                 << " changes element count");
   Tensor out = makeResult(std::move(newShape), {a}, "reshape");
-  out.data() = a.data();
+  const TensorImpl& ai = *a.impl();
+  const Real* ad = ai.dataPtr();
+  Real* od = out.dataPtr();
+  const long n = out.numel();
+  if (ai.contiguous) {
+    std::memcpy(od, ad, sizeof(Real) * static_cast<std::size_t>(n));
+  } else {
+    StridedCursor c(ai.shape, ai.strides);
+    for (long i = 0; i < n; ++i) od[i] = ad[c.next()];
+  }
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     out.impl_->backwardFn = [pa](TensorImpl& self) {
-      auto* ga = gradOf(pa);
+      Real* ga = gradOf(pa);
       if (!ga) return;
-      for (std::size_t i = 0; i < self.grad.size(); ++i)
-        (*ga)[i] += self.grad[i];
+      const Real* sg = self.gradPtr();
+      const long n2 = self.numel();
+      if (pa->contiguous) {
+        for (long i = 0; i < n2; ++i) ga[i] += sg[i];
+      } else {
+        StridedCursor c(pa->shape, pa->strides);
+        for (long i = 0; i < n2; ++i) ga[c.next()] += sg[i];
+      }
     };
   }
   return out;
 }
 
-Tensor cat(const std::vector<Tensor>& parts, int axis) {
-  ARTSCI_EXPECTS(!parts.empty());
+Tensor sliceFast(const Tensor& a, int axis, long start, long end) {
+  if (!viewsOn()) return slice(a, axis, start, end);
+  const int nd = a.ndim();
+  if (axis < 0) axis += nd;
+  ARTSCI_EXPECTS(axis >= 0 && axis < nd);
+  ARTSCI_EXPECTS_MSG(start >= 0 && end <= a.dim(axis) && start < end,
+                     "slice range [" << start << ", " << end
+                                     << ") out of bounds for axis size "
+                                     << a.dim(axis));
+  Shape outShape = a.shape();
+  outShape[static_cast<std::size_t>(axis)] = end - start;
+  const Strides& st = a.strides();
+  return makeView(a, std::move(outShape), st,
+                  start * st[static_cast<std::size_t>(axis)], "sliceView");
+}
+
+Tensor reshapeFast(const Tensor& a, Shape newShape) {
+  ARTSCI_EXPECTS_MSG(numelOf(newShape) == a.numel(),
+                     "reshape " << shapeToString(a.shape()) << " -> "
+                                << shapeToString(newShape)
+                                << " changes element count");
+  if (!viewsOn() || !a.isContiguous())
+    return reshape(a, std::move(newShape));
+  Strides st = rowMajorStrides(newShape);
+  return makeView(a, std::move(newShape), std::move(st), 0, "reshapeView");
+}
+
+Tensor broadcastTo(const Tensor& a, const Shape& target) {
+  const Shape check = broadcastShapes(a.shape(), target);
+  ARTSCI_EXPECTS_MSG(check == target, "cannot broadcast "
+                                          << shapeToString(a.shape())
+                                          << " to " << shapeToString(target));
+  Strides st(target.size(), 0);
+  const int off = static_cast<int>(target.size()) - a.ndim();
+  for (int d = 0; d < a.ndim(); ++d) {
+    const bool repeated = a.shape()[static_cast<std::size_t>(d)] == 1 &&
+                          target[static_cast<std::size_t>(off + d)] != 1;
+    st[static_cast<std::size_t>(off + d)] =
+        repeated ? 0 : a.strides()[static_cast<std::size_t>(d)];
+  }
+  Tensor view = makeView(a, target, std::move(st), 0, "broadcastView");
+  return viewsOn() ? view : contiguousCopy(view);
+}
+
+Tensor cat(const std::vector<Tensor>& parts0, int axis) {
+  ARTSCI_EXPECTS(!parts0.empty());
+  std::vector<Tensor> parts;
+  parts.reserve(parts0.size());
+  for (const auto& p : parts0) parts.push_back(asContiguous(p));
   const int nd = parts[0].ndim();
   if (axis < 0) axis += nd;
   ARTSCI_EXPECTS(axis >= 0 && axis < nd);
@@ -552,20 +837,20 @@ Tensor cat(const std::vector<Tensor>& parts, int axis) {
   }
   outShape[static_cast<std::size_t>(axis)] = axisTotal;
 
-  std::vector<Tensor> parents(parts.begin(), parts.end());
-  Tensor out = makeResult(outShape, parents, "cat");
+  Tensor out = makeResult(outShape, parts, "cat");
 
   long outer = 0, lenOut = 0, inner = 0;
   axisSplit(outShape, axis, outer, lenOut, inner);
-  auto& od = out.data();
+  Real* od = out.dataPtr();
   long axisOffset = 0;
   for (const auto& p : parts) {
     const long len = p.dim(axis);
-    const auto& pd = p.data();
+    const Real* pd = p.dataPtr();
     for (long o = 0; o < outer; ++o) {
-      const Real* src = pd.data() + o * len * inner;
-      Real* dst = od.data() + (o * lenOut + axisOffset) * inner;
-      std::memcpy(dst, src, sizeof(Real) * static_cast<std::size_t>(len * inner));
+      const Real* src = pd + o * len * inner;
+      Real* dst = od + (o * lenOut + axisOffset) * inner;
+      std::memcpy(dst, src,
+                  sizeof(Real) * static_cast<std::size_t>(len * inner));
     }
     axisOffset += len;
   }
@@ -578,14 +863,14 @@ Tensor cat(const std::vector<Tensor>& parts, int axis) {
     }
     out.impl_->backwardFn = [impls, lens, outer, lenOut,
                              inner](TensorImpl& self) {
+      const Real* sg = self.gradPtr();
       long axisOffset2 = 0;
       for (std::size_t pi = 0; pi < impls.size(); ++pi) {
         const long len = lens[pi];
-        if (auto* ga = gradOf(impls[pi])) {
+        if (Real* ga = gradOf(impls[pi])) {
           for (long o = 0; o < outer; ++o) {
-            const Real* src =
-                self.grad.data() + (o * lenOut + axisOffset2) * inner;
-            Real* dst = ga->data() + o * len * inner;
+            const Real* src = sg + (o * lenOut + axisOffset2) * inner;
+            Real* dst = ga + o * len * inner;
             for (long i = 0; i < len * inner; ++i) dst[i] += src[i];
           }
         }
@@ -596,7 +881,8 @@ Tensor cat(const std::vector<Tensor>& parts, int axis) {
   return out;
 }
 
-Tensor slice(const Tensor& a, int axis, long start, long end) {
+Tensor slice(const Tensor& a0, int axis, long start, long end) {
+  Tensor a = asContiguous(a0);
   const int nd = a.ndim();
   if (axis < 0) axis += nd;
   ARTSCI_EXPECTS(axis >= 0 && axis < nd);
@@ -610,22 +896,24 @@ Tensor slice(const Tensor& a, int axis, long start, long end) {
   long outer = 0, lenIn = 0, inner = 0;
   axisSplit(a.shape(), axis, outer, lenIn, inner);
   const long lenOut = end - start;
-  const auto& ad = a.data();
-  auto& od = out.data();
+  const Real* ad = a.dataPtr();
+  Real* od = out.dataPtr();
   for (long o = 0; o < outer; ++o) {
-    const Real* src = ad.data() + (o * lenIn + start) * inner;
-    Real* dst = od.data() + o * lenOut * inner;
-    std::memcpy(dst, src, sizeof(Real) * static_cast<std::size_t>(lenOut * inner));
+    const Real* src = ad + (o * lenIn + start) * inner;
+    Real* dst = od + o * lenOut * inner;
+    std::memcpy(dst, src,
+                sizeof(Real) * static_cast<std::size_t>(lenOut * inner));
   }
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     out.impl_->backwardFn = [pa, outer, lenIn, lenOut, inner,
                              start](TensorImpl& self) {
-      auto* ga = gradOf(pa);
+      Real* ga = gradOf(pa);
       if (!ga) return;
+      const Real* sg = self.gradPtr();
       for (long o = 0; o < outer; ++o) {
-        const Real* src = self.grad.data() + o * lenOut * inner;
-        Real* dst = ga->data() + (o * lenIn + start) * inner;
+        const Real* src = sg + o * lenOut * inner;
+        Real* dst = ga + (o * lenIn + start) * inner;
         for (long i = 0; i < lenOut * inner; ++i) dst[i] += src[i];
       }
     };
@@ -633,29 +921,31 @@ Tensor slice(const Tensor& a, int axis, long start, long end) {
   return out;
 }
 
-Tensor permuteLast(const Tensor& a, const std::vector<long>& perm) {
+Tensor permuteLast(const Tensor& a0, const std::vector<long>& perm) {
+  Tensor a = asContiguous(a0);
   const long L = a.dim(-1);
   ARTSCI_EXPECTS_MSG(static_cast<long>(perm.size()) == L,
                      "permuteLast: perm size " << perm.size()
                                                << " != last dim " << L);
   Tensor out = makeResult(a.shape(), {a}, "permuteLast");
   const long rows = a.numel() / L;
-  const auto& ad = a.data();
-  auto& od = out.data();
+  const Real* ad = a.dataPtr();
+  Real* od = out.dataPtr();
 #pragma omp parallel for schedule(static) if (rows * L > (1L << 14))
   for (long r = 0; r < rows; ++r) {
-    const Real* src = ad.data() + r * L;
-    Real* dst = od.data() + r * L;
+    const Real* src = ad + r * L;
+    Real* dst = od + r * L;
     for (long i = 0; i < L; ++i) dst[i] = src[perm[static_cast<std::size_t>(i)]];
   }
   if (out.requiresGrad()) {
     auto pa = a.impl_;
     out.impl_->backwardFn = [pa, perm, rows, L](TensorImpl& self) {
-      auto* ga = gradOf(pa);
+      Real* ga = gradOf(pa);
       if (!ga) return;
+      const Real* sg = self.gradPtr();
       for (long r = 0; r < rows; ++r) {
-        const Real* src = self.grad.data() + r * L;
-        Real* dst = ga->data() + r * L;
+        const Real* src = sg + r * L;
+        Real* dst = ga + r * L;
         for (long i = 0; i < L; ++i)
           dst[perm[static_cast<std::size_t>(i)]] += src[i];
       }
@@ -664,9 +954,11 @@ Tensor permuteLast(const Tensor& a, const std::vector<long>& perm) {
   return out;
 }
 
-Tensor chamferDistance(const Tensor& a, const Tensor& b) {
-  ARTSCI_EXPECTS_MSG(a.ndim() == 3 && b.ndim() == 3,
+Tensor chamferDistance(const Tensor& a0, const Tensor& b0) {
+  ARTSCI_EXPECTS_MSG(a0.ndim() == 3 && b0.ndim() == 3,
                      "chamferDistance expects [B,N,D] x [B,M,D]");
+  Tensor a = asContiguous(a0);
+  Tensor b = asContiguous(b0);
   const long B = a.dim(0), N = a.dim(1), D = a.dim(2);
   const long M = b.dim(1);
   ARTSCI_EXPECTS(b.dim(0) == B && b.dim(2) == D);
@@ -676,8 +968,8 @@ Tensor chamferDistance(const Tensor& a, const Tensor& b) {
   // vice versa. Stored for the backward pass.
   std::vector<long> nnAB(static_cast<std::size_t>(B * N));
   std::vector<long> nnBA(static_cast<std::size_t>(B * M));
-  const Real* A = a.data().data();
-  const Real* Bd = b.data().data();
+  const Real* A = a.dataPtr();
+  const Real* Bd = b.dataPtr();
   // Per-batch partials summed in index order afterwards: an OpenMP `+`
   // reduction combines in thread-arrival order, which is not run-invariant.
   std::vector<Real> partial(static_cast<std::size_t>(B));
@@ -727,7 +1019,7 @@ Tensor chamferDistance(const Tensor& a, const Tensor& b) {
   }
   Real total = Real(0);
   for (Real p : partial) total += p;
-  out.data()[0] = total / static_cast<Real>(B);
+  out.dataPtr()[0] = total / static_cast<Real>(B);
 
   if (out.requiresGrad()) {
     auto pa = a.impl_;
@@ -735,32 +1027,32 @@ Tensor chamferDistance(const Tensor& a, const Tensor& b) {
     out.impl_->backwardFn = [pa, pb, nnAB = std::move(nnAB),
                              nnBA = std::move(nnBA), B, N, M,
                              D](TensorImpl& self) {
-      const Real g = self.grad[0] / static_cast<Real>(B);
-      auto* ga = gradOf(pa);
-      auto* gb = gradOf(pb);
-      const Real* A2 = pa->data.data();
-      const Real* B2 = pb->data.data();
+      const Real g = self.gradPtr()[0] / static_cast<Real>(B);
+      Real* ga = gradOf(pa);
+      Real* gb = gradOf(pb);
+      const Real* A2 = pa->dataPtr();
+      const Real* B2 = pb->dataPtr();
       const Real wA = g / static_cast<Real>(N);
       const Real wB = g / static_cast<Real>(M);
       for (long bi = 0; bi < B; ++bi) {
         for (long i = 0; i < N; ++i) {
           const long j = nnAB[static_cast<std::size_t>(bi * N + i)];
           for (long d = 0; d < D; ++d) {
-            const std::size_t ia = static_cast<std::size_t>((bi * N + i) * D + d);
-            const std::size_t ib = static_cast<std::size_t>((bi * M + j) * D + d);
+            const long ia = (bi * N + i) * D + d;
+            const long ib = (bi * M + j) * D + d;
             const Real diff = Real(2) * (A2[ia] - B2[ib]);
-            if (ga) (*ga)[ia] += wA * diff;
-            if (gb) (*gb)[ib] -= wA * diff;
+            if (ga) ga[ia] += wA * diff;
+            if (gb) gb[ib] -= wA * diff;
           }
         }
         for (long j = 0; j < M; ++j) {
           const long i = nnBA[static_cast<std::size_t>(bi * M + j)];
           for (long d = 0; d < D; ++d) {
-            const std::size_t ia = static_cast<std::size_t>((bi * N + i) * D + d);
-            const std::size_t ib = static_cast<std::size_t>((bi * M + j) * D + d);
+            const long ia = (bi * N + i) * D + d;
+            const long ib = (bi * M + j) * D + d;
             const Real diff = Real(2) * (B2[ib] - A2[ia]);
-            if (gb) (*gb)[ib] += wB * diff;
-            if (ga) (*ga)[ia] -= wB * diff;
+            if (gb) gb[ib] += wB * diff;
+            if (ga) ga[ia] -= wB * diff;
           }
         }
       }
@@ -773,7 +1065,10 @@ Tensor pairwiseSquaredDistances(const Tensor& x, const Tensor& y) {
   ARTSCI_EXPECTS(x.ndim() == 2 && y.ndim() == 2);
   ARTSCI_EXPECTS(x.dim(1) == y.dim(1));
   // ||x - y||^2 = ||x||^2 + ||y||^2 - 2 x.y — fully differentiable
-  // composition, so no dedicated backward needed.
+  // composition, so no dedicated backward needed. transpose2d(y) is a
+  // view; matmul materializes it (strides [1, D] are not row-strided),
+  // which reproduces the old transposed copy buffer exactly, keeping the
+  // gemm_nn bit pattern.
   Tensor xx = sumAxis(square(x), 1, /*keepdim=*/true);      // [N,1]
   Tensor yy = sumAxis(square(y), 1, /*keepdim=*/false);     // [M]
   Tensor cross = matmul(x, transpose2d(y));                 // [N,M]

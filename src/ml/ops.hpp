@@ -50,14 +50,27 @@ Tensor softplus(const Tensor& a);
 /// products run on the shared register-blocked SIMD kernels
 /// (ml/kernels/gemm.hpp); the OpenMP path partitions output rows with a
 /// fixed static chunking, so results are bit-identical across thread
-/// counts.
+/// counts. Row-strided views of `a` (column slices, arbitrary lda) feed
+/// the kernels directly; any other layout is materialized first, which
+/// reproduces the pre-view buffer bit-for-bit.
 Tensor matmul(const Tensor& a, const Tensor& b);
-/// Fused linear layer x[rows,in] · w[in,out] (+ bias[out]) -> [rows,out]:
-/// one graph node instead of matmul+add, on the same shared kernels.
-/// `bias` may be an undefined Tensor (no-bias layer). This is the training
-/// hot path — ml::Linear routes through it.
-Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias);
-/// [M,N] -> [N,M].
+
+/// Elementwise nonlinearity selector. Enumerator order matches
+/// kernels::Act so serving-side mappings stay a checked static_cast;
+/// ml/layers.hpp re-exports it for the layer constructors.
+enum class Activation { kNone, kRelu, kLeakyRelu, kTanh };
+
+/// Fused linear layer act(x[rows,in] · w[in,out] (+ bias[out])) ->
+/// [rows,out]: one graph node instead of matmul+add+activation, on the
+/// same shared kernels. The epilogue order (k-ascending accumulation,
+/// bias last, activation after) and the backward formulas are exactly
+/// those of the former separate nodes, so fusion never changes bits.
+/// `bias` may be an undefined Tensor (no-bias layer). This is the
+/// training hot path — ml::Linear routes through it.
+Tensor linear(const Tensor& x, const Tensor& w, const Tensor& bias,
+              Activation act = Activation::kNone);
+/// [M,N] -> [N,M]. With execOptions().useViews (default) this is a
+/// zero-copy stride-swap view; otherwise a materialized copy node.
 Tensor transpose2d(const Tensor& a);
 
 // --- reductions ------------------------------------------------------------
@@ -69,6 +82,23 @@ Tensor meanAxis(const Tensor& a, int axis, bool keepdim = false);
 /// Max over one axis; backward routes gradient to argmax positions
 /// (the PointNet max-pool over the particle axis).
 Tensor maxAxis(const Tensor& a, int axis, bool keepdim = false);
+
+// --- views (zero-copy; ml/shape.hpp stride machinery) -----------------------
+/// Materialized contiguous copy node of any (possibly strided) tensor.
+/// Backward scatters one gradient add per storage slot, so the result is
+/// bit-identical to the copy ops the views replaced.
+Tensor contiguousCopy(const Tensor& a);
+/// `a` itself if already contiguous, else contiguousCopy(a).
+Tensor asContiguous(const Tensor& a);
+/// slice() as a zero-copy view (offset + unchanged strides); falls back
+/// to the copying slice() when execOptions().useViews is off.
+Tensor sliceFast(const Tensor& a, int axis, long start, long end);
+/// reshape() as a zero-copy view when `a` is contiguous; copying
+/// reshape() otherwise (or when useViews is off).
+Tensor reshapeFast(const Tensor& a, Shape newShape);
+/// Broadcast `a` to `target` as a stride-0 view (numpy right-aligned);
+/// materialized when useViews is off.
+Tensor broadcastTo(const Tensor& a, const Shape& target);
 
 // --- shape manipulation -----------------------------------------------------
 Tensor reshape(const Tensor& a, Shape newShape);

@@ -11,9 +11,10 @@ namespace {
 constexpr std::uint64_t kMagicV1 = 0x41525453'43495031ULL;  // "ARTSCIP1"
 constexpr std::uint64_t kMagicV2 = 0x41525453'43495032ULL;  // "ARTSCIP2"
 constexpr std::uint64_t kVersion = 2;
-/// Reject absurd header words before allocating: a corrupt dimension count
-/// would otherwise turn into a multi-gigabyte resize.
-constexpr std::uint64_t kMaxNdim = 32;
+/// Reject absurd header words before allocating: the in-memory Shape is a
+/// fixed small buffer (ml::detail::kMaxNdim == 8), so anything larger is a
+/// corrupt header by construction.
+constexpr std::uint64_t kMaxNdim = 8;
 
 std::uint64_t totalElements(const std::vector<Tensor>& params) {
   std::uint64_t n = 0;

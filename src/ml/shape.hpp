@@ -1,0 +1,148 @@
+/// \file shape.hpp
+/// Small-buffer `Shape` and `Strides` value types for the tensor stack.
+///
+/// Modeled on xchainer's strides.h/shape.h (the related chainer repo):
+/// dimension vectors live in a fixed inline buffer — no heap allocation,
+/// trivially copyable, cheap to pass by value — so building an autograd
+/// node never mallocs for metadata, and transpose/slice/broadcast become
+/// pure stride arithmetic (ml/ops.hpp view ops).
+///
+/// `Shape` holds extents; `Strides` holds *element* (not byte) strides.
+/// A tensor is contiguous iff its strides equal rowMajorStrides(shape);
+/// broadcast views use stride 0 along expanded axes.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace artsci::ml {
+
+namespace detail {
+
+/// Fixed-capacity inline vector of longs with the std::vector surface the
+/// tensor stack uses (push_back/erase/back/range-for/==). Capacity is a
+/// hard cap: no tensor in this codebase exceeds rank 3, and a bounded rank
+/// is what makes Shape/Strides stack-allocated values.
+class DimBuffer {
+ public:
+  static constexpr std::size_t kMaxNdim = 8;
+  using value_type = long;
+  using iterator = long*;
+  using const_iterator = const long*;
+
+  DimBuffer() = default;
+  DimBuffer(std::initializer_list<long> init) {
+    ARTSCI_EXPECTS_MSG(init.size() <= kMaxNdim,
+                       "tensor rank " << init.size() << " exceeds kMaxNdim");
+    for (long v : init) dims_[size_++] = v;
+  }
+  explicit DimBuffer(std::size_t n, long fill = 0) {
+    ARTSCI_EXPECTS_MSG(n <= kMaxNdim,
+                       "tensor rank " << n << " exceeds kMaxNdim");
+    size_ = n;
+    for (std::size_t i = 0; i < n; ++i) dims_[i] = fill;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  long& operator[](std::size_t i) { return dims_[i]; }
+  long operator[](std::size_t i) const { return dims_[i]; }
+  long& front() { return dims_[0]; }
+  long front() const { return dims_[0]; }
+  long& back() { return dims_[size_ - 1]; }
+  long back() const { return dims_[size_ - 1]; }
+
+  iterator begin() { return dims_; }
+  iterator end() { return dims_ + size_; }
+  const_iterator begin() const { return dims_; }
+  const_iterator end() const { return dims_ + size_; }
+
+  void push_back(long v) {
+    ARTSCI_EXPECTS_MSG(size_ < kMaxNdim, "tensor rank exceeds kMaxNdim");
+    dims_[size_++] = v;
+  }
+  void pop_back() {
+    ARTSCI_EXPECTS(size_ > 0);
+    --size_;
+  }
+  iterator erase(iterator pos) {
+    ARTSCI_EXPECTS(pos >= begin() && pos < end());
+    for (iterator it = pos; it + 1 < end(); ++it) *it = *(it + 1);
+    --size_;
+    return pos;
+  }
+  void clear() { size_ = 0; }
+  void resize(std::size_t n, long fill = 0) {
+    ARTSCI_EXPECTS_MSG(n <= kMaxNdim,
+                       "tensor rank " << n << " exceeds kMaxNdim");
+    for (std::size_t i = size_; i < n; ++i) dims_[i] = fill;
+    size_ = n;
+  }
+
+  friend bool operator==(const DimBuffer& a, const DimBuffer& b) {
+    if (a.size_ != b.size_) return false;
+    for (std::size_t i = 0; i < a.size_; ++i)
+      if (a.dims_[i] != b.dims_[i]) return false;
+    return true;
+  }
+  friend bool operator!=(const DimBuffer& a, const DimBuffer& b) {
+    return !(a == b);
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, const DimBuffer& d) {
+    os << '[';
+    for (std::size_t i = 0; i < d.size_; ++i) {
+      if (i) os << ", ";
+      os << d.dims_[i];
+    }
+    return os << ']';
+  }
+
+ private:
+  long dims_[kMaxNdim] = {};
+  std::size_t size_ = 0;
+};
+
+}  // namespace detail
+
+/// Tensor extents. `Shape{2, 3}` is a rank-2 shape; `Shape(n)` (like
+/// std::vector) is n zeroed dimensions.
+class Shape : public detail::DimBuffer {
+ public:
+  using DimBuffer::DimBuffer;
+};
+
+/// Per-axis element strides. Stride 0 marks a broadcast (repeated) axis.
+class Strides : public detail::DimBuffer {
+ public:
+  using DimBuffer::DimBuffer;
+};
+
+/// Contiguous row-major strides of `shape` (innermost axis stride 1).
+inline Strides rowMajorStrides(const Shape& shape) {
+  Strides st(shape.size(), 1);
+  for (int i = static_cast<int>(shape.size()) - 2; i >= 0; --i)
+    st[static_cast<std::size_t>(i)] =
+        st[static_cast<std::size_t>(i) + 1] *
+        shape[static_cast<std::size_t>(i) + 1];
+  return st;
+}
+
+/// Storage offset of logical flat index `flat` under `strides` (both
+/// row-major logical order). Broadcast axes (stride 0) collapse naturally.
+inline long logicalToStorage(const Shape& shape, const Strides& strides,
+                             long flat) {
+  long idx = 0;
+  for (int d = static_cast<int>(shape.size()) - 1; d >= 0; --d) {
+    const long dim = shape[static_cast<std::size_t>(d)];
+    idx += (flat % dim) * strides[static_cast<std::size_t>(d)];
+    flat /= dim;
+  }
+  return idx;
+}
+
+}  // namespace artsci::ml

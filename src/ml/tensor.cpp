@@ -1,6 +1,7 @@
 #include "ml/tensor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 
@@ -18,14 +19,25 @@ long numelOf(const Shape& shape) {
 
 std::string shapeToString(const Shape& shape) {
   std::ostringstream os;
-  os << '[';
-  for (std::size_t i = 0; i < shape.size(); ++i) {
-    if (i) os << ", ";
-    os << shape[i];
-  }
-  os << ']';
+  os << shape;
   return os.str();
 }
+
+ExecOptions& execOptions() {
+  static ExecOptions opts;
+  return opts;
+}
+
+namespace {
+/// Shared tail of the leaf constructors: stride/numel bookkeeping for a
+/// freshly built contiguous heap owner.
+void finishOwned(TensorImpl& im, Shape shape, long n) {
+  im.strides = rowMajorStrides(shape);
+  im.shape = std::move(shape);
+  im.numel_ = n;
+  im.contiguous = true;
+}
+}  // namespace
 
 Tensor Tensor::zeros(Shape shape, bool requiresGrad) {
   return full(std::move(shape), Real(0), requiresGrad);
@@ -34,8 +46,9 @@ Tensor Tensor::zeros(Shape shape, bool requiresGrad) {
 Tensor Tensor::full(Shape shape, Real value, bool requiresGrad) {
   Tensor t;
   t.impl_ = std::make_shared<TensorImpl>();
-  t.impl_->data.assign(static_cast<std::size_t>(numelOf(shape)), value);
-  t.impl_->shape = std::move(shape);
+  const long n = numelOf(shape);
+  t.impl_->data.assign(static_cast<std::size_t>(n), value);
+  finishOwned(*t.impl_, std::move(shape), n);
   t.impl_->requiresGrad = requiresGrad;
   return t;
 }
@@ -49,8 +62,9 @@ Tensor Tensor::fromVector(Shape shape, std::vector<Real> values,
                            << values.size());
   Tensor t;
   t.impl_ = std::make_shared<TensorImpl>();
-  t.impl_->shape = std::move(shape);
+  const long n = static_cast<long>(values.size());
   t.impl_->data = std::move(values);
+  finishOwned(*t.impl_, std::move(shape), n);
   t.impl_->requiresGrad = requiresGrad;
   return t;
 }
@@ -75,57 +89,121 @@ long Tensor::dim(int i) const {
 Real Tensor::item() const {
   ARTSCI_EXPECTS_MSG(numel() == 1, "item() on tensor of shape "
                                        << shapeToString(shape()));
-  return data()[0];
+  // Logical flat index 0 maps to storage offset 0 under any strides.
+  return impl()->dataPtr()[0];
 }
 
 Real Tensor::at(long flatIndex) const {
   ARTSCI_EXPECTS(flatIndex >= 0 && flatIndex < numel());
-  return data()[static_cast<std::size_t>(flatIndex)];
+  const TensorImpl* im = impl();
+  const long idx = im->contiguous
+                       ? flatIndex
+                       : logicalToStorage(im->shape, im->strides, flatIndex);
+  return im->dataPtr()[idx];
 }
 
 void Tensor::setAt(long flatIndex, Real value) {
   ARTSCI_EXPECTS(flatIndex >= 0 && flatIndex < numel());
-  data()[static_cast<std::size_t>(flatIndex)] = value;
+  TensorImpl* im = impl();
+  const long idx = im->contiguous
+                       ? flatIndex
+                       : logicalToStorage(im->shape, im->strides, flatIndex);
+  im->dataPtr()[idx] = value;
+}
+
+std::vector<Real> Tensor::toVector() const {
+  const TensorImpl* im = impl();
+  std::vector<Real> out(static_cast<std::size_t>(im->numel_));
+  const Real* src = im->dataPtr();
+  if (im->contiguous) {
+    std::copy(src, src + im->numel_, out.begin());
+  } else {
+    for (long i = 0; i < im->numel_; ++i)
+      out[static_cast<std::size_t>(i)] =
+          src[logicalToStorage(im->shape, im->strides, i)];
+  }
+  return out;
 }
 
 void Tensor::zeroGrad() {
-  impl()->grad.assign(impl()->data.size(), Real(0));
+  TensorImpl* im = impl();
+  im->ensureGrad();
+  Real* g = im->gradPtr();
+  if (im->contiguous) {
+    std::fill(g, g + im->numel_, Real(0));
+  } else {
+    for (long i = 0; i < im->numel_; ++i)
+      g[logicalToStorage(im->shape, im->strides, i)] = Real(0);
+  }
 }
 
 Tensor Tensor::detach() const {
   Tensor t;
   t.impl_ = std::make_shared<TensorImpl>();
-  t.impl_->shape = shape();
-  t.impl_->data = data();
-  t.impl_->requiresGrad = false;
+  t.impl_->data = toVector();
+  finishOwned(*t.impl_, shape(), numel());
   return t;
 }
 
+namespace {
+/// Monotone traversal-epoch source for the visitMark-based topo sort.
+/// Atomic only so independent graphs may run backward() concurrently
+/// (e.g. DDP ranks); nodes of one graph are never shared across threads.
+std::atomic<std::uint64_t> gVisitEpoch{0};
+}  // namespace
+
 void Tensor::backward() {
   ARTSCI_EXPECTS_MSG(numel() == 1, "backward() requires a scalar loss");
-  // Iterative post-order DFS to get a topological order.
+  // Iterative post-order DFS to get a topological order. Visited nodes
+  // are marked with a per-traversal epoch stamped on the node itself —
+  // profiling showed the former unordered_set membership test dominating
+  // the whole step (~40% in the pre-refactor binary). The legacy lane
+  // keeps the hash set so the acceptance bench's baseline pays the same
+  // bookkeeping the pre-refactor executor did. Both produce the same DFS
+  // visit order, hence the same gradient accumulation order and bits.
   std::vector<TensorImpl*> topo;
-  std::unordered_set<TensorImpl*> visited;
   struct Frame {
     TensorImpl* node;
     std::size_t nextParent;
   };
   std::vector<Frame> stack;
   stack.push_back({impl(), 0});
-  visited.insert(impl());
-  while (!stack.empty()) {
-    Frame& f = stack.back();
-    if (f.nextParent < f.node->parents.size()) {
-      TensorImpl* p = f.node->parents[f.nextParent++].get();
-      if (visited.insert(p).second) stack.push_back({p, 0});
-    } else {
-      topo.push_back(f.node);
-      stack.pop_back();
+  if (execOptions().legacyExec) {
+    std::unordered_set<TensorImpl*> visited;
+    visited.insert(impl());
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.nextParent < f.node->parents.size()) {
+        TensorImpl* p = f.node->parents[f.nextParent++].get();
+        if (visited.insert(p).second) stack.push_back({p, 0});
+      } else {
+        topo.push_back(f.node);
+        stack.pop_back();
+      }
+    }
+  } else {
+    const std::uint64_t epoch =
+        gVisitEpoch.fetch_add(1, std::memory_order_relaxed) + 1;
+    impl()->visitMark = epoch;
+    while (!stack.empty()) {
+      Frame& f = stack.back();
+      if (f.nextParent < f.node->parents.size()) {
+        TensorImpl* p = f.node->parents[f.nextParent++].get();
+        if (p->visitMark != epoch) {
+          p->visitMark = epoch;
+          stack.push_back({p, 0});
+        }
+      } else {
+        topo.push_back(f.node);
+        stack.pop_back();
+      }
     }
   }
-  // Seed and propagate in reverse topological order.
+  // Seed and propagate in reverse topological order. View nodes have no
+  // backwardFn — their consumers already accumulated into the aliased
+  // base gradient, which runs its own backwardFn later in the order.
   impl()->ensureGrad();
-  impl()->grad[0] = Real(1);
+  impl()->gradPtr()[0] = Real(1);
   for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
     TensorImpl* node = *it;
     if (node->backwardFn && node->requiresGrad) {
@@ -137,15 +215,48 @@ void Tensor::backward() {
 
 Tensor makeResult(Shape shape, std::vector<Tensor> parents,
                   const char* opName) {
-  Tensor t = Tensor::zeros(std::move(shape));
+  Tensor t;
+  t.impl_ = std::make_shared<TensorImpl>();
+  TensorImpl* im = t.impl_.get();
+  const long n = numelOf(shape);
+  if (Arena* a = currentArena()) {
+    // Uninitialized step storage: every op in ml/ops.cpp fully overwrites
+    // its result before anything reads it, so the heap path's zero-fill
+    // is pure memory traffic.
+    im->arena = a;
+    im->arenaData = a->allocData(n);
+  } else {
+    im->data.assign(static_cast<std::size_t>(n), Real(0));
+  }
+  finishOwned(*im, std::move(shape), n);
   bool needsGrad = false;
-  t.impl_->parents.reserve(parents.size());
+  im->parents.reserve(parents.size());
   for (auto& p : parents) {
     needsGrad = needsGrad || p.requiresGrad();
-    t.impl_->parents.push_back(p.impl_);
+    im->parents.push_back(p.impl_);
   }
-  t.impl_->requiresGrad = needsGrad;
-  t.impl_->opName = opName;
+  im->requiresGrad = needsGrad;
+  im->opName = opName;
+  return t;
+}
+
+Tensor makeView(const Tensor& src, Shape shape, Strides strides, long offset,
+                const char* opName) {
+  Tensor t;
+  t.impl_ = std::make_shared<TensorImpl>();
+  TensorImpl* im = t.impl_.get();
+  TensorImpl* s = src.impl();
+  im->numel_ = numelOf(shape);
+  im->contiguous = (strides == rowMajorStrides(shape));
+  im->shape = std::move(shape);
+  im->strides = std::move(strides);
+  im->offset = s->offset + offset;
+  // Collapse view chains: always alias the ultimate storage owner, so
+  // dataPtr() is one hop regardless of how the view was built.
+  im->viewBase = s->viewBase ? s->viewBase : src.impl_;
+  im->parents.push_back(src.impl_);
+  im->requiresGrad = s->requiresGrad;
+  im->opName = opName;
   return t;
 }
 

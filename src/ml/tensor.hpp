@@ -8,8 +8,29 @@
 /// Scalars are double: CPU throughput is not the bottleneck at the scales
 /// we train, and double precision makes finite-difference gradient checks
 /// in the test-suite exact to ~1e-8.
+///
+/// Storage model (PR 9). A node's elements live in exactly one of three
+/// places:
+///  - heap vectors (`data`/`grad`) — every leaf (parameters, batches) and
+///    any result built outside an ArenaScope. The `data()`/`grad()`
+///    vector accessors only work here, which keeps the optimizer,
+///    serialization, DDP parameter broadcast, and tests on the same API
+///    they always had.
+///  - an Arena (`arenaData`/`arenaGrad`) — results built under an
+///    ArenaScope get step-lifetime bump storage; see ml/arena.hpp.
+///  - another node (`viewBase` + `offset`/`strides`) — zero-copy views
+///    produced by transpose2d / sliceFast / broadcasts. Views have
+///    parents (so autograd reaches them) but no backwardFn: consumers
+///    accumulate straight into the aliased base gradient, which is
+///    bit-identical to the copy-node formulation because each storage
+///    slot receives the same additions in the same topological order.
+///
+/// `dataPtr()`/`gradPtr()` resolve the active storage per call; all ops
+/// go through them. Strided (non-contiguous) tensors are handled by the
+/// same physical-stride machinery that already served broadcasting.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -17,11 +38,12 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "ml/arena.hpp"
+#include "ml/shape.hpp"
 
 namespace artsci::ml {
 
 using Real = double;
-using Shape = std::vector<long>;
 
 /// Product of dimensions (1 for rank-0/empty shape).
 long numelOf(const Shape& shape);
@@ -29,20 +51,87 @@ long numelOf(const Shape& shape);
 /// "[2, 3, 4]" — for error messages.
 std::string shapeToString(const Shape& shape);
 
+/// Process-wide execution switches, mainly for A/B benchmarks and
+/// bit-identity tests. Not thread-safe to mutate mid-graph.
+struct ExecOptions {
+  /// When false, the view-producing ops (transpose2d, sliceFast,
+  /// reshapeFast, broadcast views) materialize copies exactly as the
+  /// pre-view code path did. The determinism tests verify bitwise-equal
+  /// gradients across both settings.
+  bool useViews = true;
+  /// Pin the pre-refactor executor so a single binary can measure an
+  /// honest "before" lane: copying view ops (overrides useViews), the
+  /// hash-set-based topological sort in backward(), and the generic
+  /// div/mod broadcast indexing in elementwise backward loops. The
+  /// arithmetic per element is unchanged — both lanes produce
+  /// bit-identical values and gradients (bench-verified every run) —
+  /// only the bookkeeping around it reverts. The acceptance bench runs
+  /// its baseline in this lane (outside any ArenaScope); nothing else
+  /// should set it.
+  bool legacyExec = false;
+};
+ExecOptions& execOptions();
+
 struct TensorImpl {
   Shape shape;
-  std::vector<Real> data;
-  std::vector<Real> grad;  ///< same length as data once backward touched it
+  Strides strides;        ///< element strides; stride 0 = broadcast axis
+  long offset = 0;        ///< element offset into the owning storage
+  long numel_ = 0;        ///< product of shape (logical element count)
+  bool contiguous = true; ///< strides == rowMajorStrides(shape)
+
+  std::vector<Real> data;  ///< heap storage (owners only)
+  std::vector<Real> grad;  ///< heap grad, same length as data once touched
+  std::shared_ptr<TensorImpl> viewBase;  ///< storage owner if this is a view
+  Arena* arena = nullptr;                ///< step arena if arena-backed
+  Real* arenaData = nullptr;
+  Real* arenaGrad = nullptr;
+
   bool requiresGrad = false;
+  /// Last backward() traversal that visited this node (0 = never). An
+  /// epoch compare replaces the former unordered_set membership test in
+  /// the topological sort — same DFS, same visit order, no hashing.
+  std::uint64_t visitMark = 0;
   std::vector<std::shared_ptr<TensorImpl>> parents;
   /// Propagates this node's grad into its parents' grads. The node itself
   /// is passed as argument to avoid a shared_ptr self-capture cycle.
   std::function<void(TensorImpl&)> backwardFn;
   const char* opName = "leaf";
 
-  long numel() const { return static_cast<long>(data.size()); }
-  /// Allocate + zero the gradient buffer if absent.
+  long numel() const { return numel_; }
+  bool isView() const { return viewBase != nullptr; }
+
+  /// Base address of this node's elements (views: base storage + offset;
+  /// apply `strides` for non-contiguous access).
+  Real* dataPtr() {
+    if (viewBase) return viewBase->dataPtr() + offset;
+    if (arena) return arenaData;
+    return data.data();
+  }
+  const Real* dataPtr() const {
+    return const_cast<TensorImpl*>(this)->dataPtr();
+  }
+
+  /// Base address of the gradient; only valid after ensureGrad() ran on
+  /// this node (or its view base).
+  Real* gradPtr() {
+    if (viewBase) return viewBase->gradPtr() + offset;
+    if (arena) return arenaGrad;
+    return grad.data();
+  }
+
+  /// Materialize (and zero) the gradient buffer if absent. Views delegate
+  /// to their storage owner; arena nodes take pre-zeroed plan storage
+  /// (one bulk memset per step instead of per-node assigns); heap nodes
+  /// keep the original assign-on-size-mismatch behavior.
   void ensureGrad() {
+    if (viewBase) {
+      viewBase->ensureGrad();
+      return;
+    }
+    if (arena) {
+      if (!arenaGrad) arenaGrad = arena->allocGrad(numel_);
+      return;
+    }
     if (grad.size() != data.size()) grad.assign(data.size(), Real(0));
   }
 };
@@ -51,7 +140,7 @@ class Tensor {
  public:
   Tensor() = default;  ///< undefined tensor
 
-  /// Leaf constructors ---------------------------------------------------
+  /// Leaf constructors (always heap-backed, never arena) -----------------
   static Tensor zeros(Shape shape, bool requiresGrad = false);
   static Tensor full(Shape shape, Real value, bool requiresGrad = false);
   static Tensor fromVector(Shape shape, std::vector<Real> values,
@@ -64,14 +153,43 @@ class Tensor {
 
   bool defined() const { return impl_ != nullptr; }
   const Shape& shape() const { return impl()->shape; }
+  const Strides& strides() const { return impl()->strides; }
   int ndim() const { return static_cast<int>(shape().size()); }
   long dim(int i) const;
   long numel() const { return impl()->numel(); }
+  bool isView() const { return impl()->isView(); }
+  bool isContiguous() const { return impl()->contiguous; }
 
-  std::vector<Real>& data() { return impl()->data; }
-  const std::vector<Real>& data() const { return impl()->data; }
-  std::vector<Real>& grad() { return impl()->grad; }
-  const std::vector<Real>& grad() const { return impl()->grad; }
+  /// Heap vector accessors — valid only for heap-owning tensors (leaves,
+  /// params, results built outside an ArenaScope). Views and arena nodes
+  /// trip the guard: use dataPtr()/toVector() there.
+  std::vector<Real>& data() {
+    TensorImpl* im = impl();
+    ARTSCI_EXPECTS_MSG(!im->viewBase && !im->arena,
+                       "data(): vector access on " << im->opName
+                           << " (view/arena tensor) — use dataPtr()");
+    return im->data;
+  }
+  const std::vector<Real>& data() const {
+    return const_cast<Tensor*>(this)->data();
+  }
+  std::vector<Real>& grad() {
+    TensorImpl* im = impl();
+    ARTSCI_EXPECTS_MSG(!im->viewBase && !im->arena,
+                       "grad(): vector access on " << im->opName
+                           << " (view/arena tensor) — use gradPtr()");
+    return im->grad;
+  }
+  const std::vector<Real>& grad() const {
+    return const_cast<Tensor*>(this)->grad();
+  }
+
+  Real* dataPtr() { return impl()->dataPtr(); }
+  const Real* dataPtr() const { return impl()->dataPtr(); }
+  Real* gradPtr() const { return impl()->gradPtr(); }
+
+  /// Logical-order copy of the elements (strided gather for views).
+  std::vector<Real> toVector() const;
 
   bool requiresGrad() const { return impl()->requiresGrad; }
   Tensor& setRequiresGrad(bool value) {
@@ -82,7 +200,7 @@ class Tensor {
   /// Value of a single-element tensor.
   Real item() const;
 
-  /// Element access by flat index (bounds-checked).
+  /// Element access by logical flat index (bounds-checked, stride-aware).
   Real at(long flatIndex) const;
   void setAt(long flatIndex, Real value);
 
@@ -93,7 +211,7 @@ class Tensor {
   /// Zero this tensor's gradient buffer (allocating it if needed).
   void zeroGrad();
 
-  /// A leaf copy sharing no graph history (fresh buffer).
+  /// A leaf copy sharing no graph history (fresh contiguous heap buffer).
   Tensor detach() const;
 
   std::shared_ptr<TensorImpl> impl_;
@@ -104,8 +222,15 @@ class Tensor {
   }
 };
 
-/// Construct a non-leaf result node. Parents keep the graph alive.
+/// Construct a non-leaf result node (contiguous; arena-backed when an
+/// ArenaScope is active on this thread). Parents keep the graph alive.
 Tensor makeResult(Shape shape, std::vector<Tensor> parents,
                   const char* opName);
+
+/// Construct a zero-copy view of `src`: same storage, new shape/strides,
+/// `offset` extra elements past src's own offset. View chains collapse —
+/// the new node aliases src's ultimate storage owner directly.
+Tensor makeView(const Tensor& src, Shape shape, Strides strides, long offset,
+                const char* opName);
 
 }  // namespace artsci::ml

@@ -183,44 +183,108 @@ void FusedPipeline::pushAndScatter(ParticleBuffer& p, const VectorField& E,
       const CacheAt bx = at(3), by = at(4), bz = at(5);
 
       const DepositBuffer::TileAccum sink = accum.zeroedTile(t);
-      for (std::size_t i = range.begin; i < range.end; ++i) {
-        const double ox = p.x[i], oy = p.y[i], oz = p.z[i];
-        // (a) gather — the shared gatherStaggeredAt body keeps the
-        // accumulation order identical to the split path's gatherE/B.
-        const Vec3d Ep{gatherStaggeredAt(ex, ox, oy, oz, 0.5, 0.0, 0.0),
-                       gatherStaggeredAt(ey, ox, oy, oz, 0.0, 0.5, 0.0),
-                       gatherStaggeredAt(ez, ox, oy, oz, 0.0, 0.0, 0.5)};
-        const Vec3d Bp{gatherStaggeredAt(bx, ox, oy, oz, 0.0, 0.5, 0.5),
-                       gatherStaggeredAt(by, ox, oy, oz, 0.5, 0.0, 0.5),
-                       gatherStaggeredAt(bz, ox, oy, oz, 0.5, 0.5, 0.0)};
-        // (b) push + move.
-        const Vec3d uOld{p.ux[i], p.uy[i], p.uz[i]};
-        const double gOld = std::sqrt(1.0 + uOld.dot(uOld));
-        const Vec3d uNew = borisPush(uOld, Ep, Bp, qOverM, dt);
-        const double gNew = std::sqrt(1.0 + uNew.dot(uNew));
-        p.ux[i] = uNew.x;
-        p.uy[i] = uNew.y;
-        p.uz[i] = uNew.z;
-        if (bdx != nullptr) {
-          (*bdx)[i] = (uNew.x / gNew - uOld.x / gOld) / dt;
-          (*bdy)[i] = (uNew.y / gNew - uOld.y / gOld) / dt;
-          (*bdz)[i] = (uNew.z / gNew - uOld.z / gOld) / dt;
+
+      // (a) gather, with SoA-staged addressing. Yee staggering only ever
+      // offsets an axis by 0 or 0.5, so a particle has just 6 distinct
+      // staggered (floor, frac) pairs — two per axis — not the 18 the
+      // six per-component gatherStaggeredAt calls recomputed. Phase 1
+      // stages those pairs for a block of particles in SoA form (a flat
+      // simd loop); the per-particle pass then reads its pairs from the
+      // staging arrays and accumulates the 8 corners per component in
+      // registers — corner terms add in (a,b,c)-ascending order with the
+      // exact gatherStaggeredAt weight expression, so every field value
+      // is bit-identical to the split path's gatherE/B (pinned by
+      // test_fused_pipeline). Keeping the corner accumulation
+      // particle-outer matters: a corner-outer/particle-inner layout is
+      // an indirect gather the compiler cannot vectorize, and measured
+      // ~20% slower end-to-end than this form.
+      constexpr std::size_t kBlock = 64;
+      long ix[2][kBlock], iy[2][kBlock], iz[2][kBlock];
+      double fx[2][kBlock], fy[2][kBlock], fz[2][kBlock];
+      const CacheAt comps6[6] = {ex, ey, ez, bx, by, bz};
+      // Per component and axis: 0 -> offset 0.0 pair, 1 -> offset 0.5.
+      static constexpr int sel[6][3] = {{1, 0, 0}, {0, 1, 0}, {0, 0, 1},
+                                        {0, 1, 1}, {1, 0, 1}, {1, 1, 0}};
+
+      for (std::size_t blk = range.begin; blk < range.end; blk += kBlock) {
+        const std::size_t m = std::min(kBlock, range.end - blk);
+        for (int s = 0; s < 2; ++s) {
+          const double off = s ? 0.5 : 0.0;
+#ifdef _OPENMP
+#pragma omp simd
+#endif
+          for (std::size_t u = 0; u < m; ++u) {
+            const double gx = p.x[blk + u] - off;
+            const double gy = p.y[blk + u] - off;
+            const double gz = p.z[blk + u] - off;
+            const long i0 = static_cast<long>(std::floor(gx));
+            const long j0 = static_cast<long>(std::floor(gy));
+            const long k0 = static_cast<long>(std::floor(gz));
+            ix[s][u] = i0;
+            iy[s][u] = j0;
+            iz[s][u] = k0;
+            fx[s][u] = gx - static_cast<double>(i0);
+            fy[s][u] = gy - static_cast<double>(j0);
+            fz[s][u] = gz - static_cast<double>(k0);
+          }
         }
-        const double nx1 = ox + uNew.x / gNew * dt / g.dx;
-        const double ny1 = oy + uNew.y / gNew * dt / g.dy;
-        const double nz1 = oz + uNew.z / gNew * dt / g.dz;
-        displacementOk = displacementOk && std::abs(nx1 - ox) < 1.0 &&
-                         std::abs(ny1 - oy) < 1.0 && std::abs(nz1 - oz) < 1.0;
-        // (c) deposit from the unwrapped displacement, straight into the
-        // tile's private accumulator — the support-clipped bit-exact
-        // replica of detail::scatterEsirkepov.
-        DepositBuffer::scatterEsirkepovTile(g, ox, oy, oz, nx1, ny1, nz1,
-                                            q * p.w[i], dt, sink);
-        // (d) wrap in place — the old position died in this iteration's
-        // registers; no snapshot vectors, no separate wrap sweep.
-        p.x[i] = wrapCoordinate(nx1, lx);
-        p.y[i] = wrapCoordinate(ny1, ly);
-        p.z[i] = wrapCoordinate(nz1, lz);
+        for (std::size_t u = 0; u < m; ++u) {
+          const std::size_t i = blk + u;
+          const double ox = p.x[i], oy = p.y[i], oz = p.z[i];
+          double field[6];  // Ex Ey Ez Bx By Bz
+          for (int comp = 0; comp < 6; ++comp) {
+            const CacheAt& f = comps6[comp];
+            const long i0 = ix[sel[comp][0]][u];
+            const long j0 = iy[sel[comp][1]][u];
+            const long k0 = iz[sel[comp][2]][u];
+            const double fxv = fx[sel[comp][0]][u];
+            const double fyv = fy[sel[comp][1]][u];
+            const double fzv = fz[sel[comp][2]][u];
+            double acc = 0.0;
+            for (int a = 0; a < 2; ++a) {
+              const double wxp = a ? fxv : 1.0 - fxv;
+              for (int b = 0; b < 2; ++b) {
+                const double wyp = b ? fyv : 1.0 - fyv;
+                for (int c = 0; c < 2; ++c) {
+                  const double wzp = c ? fzv : 1.0 - fzv;
+                  acc += wxp * wyp * wzp * f(i0 + a, j0 + b, k0 + c);
+                }
+              }
+            }
+            field[comp] = acc;
+          }
+          const Vec3d Ep{field[0], field[1], field[2]};
+          const Vec3d Bp{field[3], field[4], field[5]};
+          // (b) push + move.
+          const Vec3d uOld{p.ux[i], p.uy[i], p.uz[i]};
+          const double gOld = std::sqrt(1.0 + uOld.dot(uOld));
+          const Vec3d uNew = borisPush(uOld, Ep, Bp, qOverM, dt);
+          const double gNew = std::sqrt(1.0 + uNew.dot(uNew));
+          p.ux[i] = uNew.x;
+          p.uy[i] = uNew.y;
+          p.uz[i] = uNew.z;
+          if (bdx != nullptr) {
+            (*bdx)[i] = (uNew.x / gNew - uOld.x / gOld) / dt;
+            (*bdy)[i] = (uNew.y / gNew - uOld.y / gOld) / dt;
+            (*bdz)[i] = (uNew.z / gNew - uOld.z / gOld) / dt;
+          }
+          const double nx1 = ox + uNew.x / gNew * dt / g.dx;
+          const double ny1 = oy + uNew.y / gNew * dt / g.dy;
+          const double nz1 = oz + uNew.z / gNew * dt / g.dz;
+          displacementOk = displacementOk && std::abs(nx1 - ox) < 1.0 &&
+                           std::abs(ny1 - oy) < 1.0 &&
+                           std::abs(nz1 - oz) < 1.0;
+          // (c) deposit from the unwrapped displacement, straight into the
+          // tile's private accumulator — the support-clipped bit-exact
+          // replica of detail::scatterEsirkepov.
+          DepositBuffer::scatterEsirkepovTile(g, ox, oy, oz, nx1, ny1, nz1,
+                                              q * p.w[i], dt, sink);
+          // (d) wrap in place — the old position died in this iteration's
+          // registers; no snapshot vectors, no separate wrap sweep.
+          p.x[i] = wrapCoordinate(nx1, lx);
+          p.y[i] = wrapCoordinate(ny1, ly);
+          p.z[i] = wrapCoordinate(nz1, lz);
+        }
       }
     }
   }

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "ml/kernels/gemm.hpp"
 #include "obs/trace.hpp"
 
 namespace artsci::serve {
@@ -34,18 +33,20 @@ void linearForward(const ml::Real* a, const ml::Real* w, const ml::Real* bias,
 using ml::Activation;
 using ml::Real;
 
-void InferenceEngine::appendMlp(const ml::Mlp& mlp, std::vector<Dense>& seq) {
+void InferenceEngine::appendMlp(const ml::Mlp& mlp,
+                                std::vector<ml::kernels::DenseStep>& seq) {
   const auto& layers = mlp.layers();
   for (std::size_t i = 0; i < layers.size(); ++i) {
-    Dense d;
+    ml::kernels::DenseStep d;
     d.w = layers[i].weight().data().data();
-    d.b = layers[i].biasTensor().defined()
-              ? layers[i].biasTensor().data().data()
-              : nullptr;
+    d.bias = layers[i].biasTensor().defined()
+                 ? layers[i].biasTensor().data().data()
+                 : nullptr;
     d.in = layers[i].inFeatures();
     d.out = layers[i].outFeatures();
-    d.act = (i + 1 == layers.size()) ? mlp.outputActivation()
-                                     : mlp.hiddenActivation();
+    d.act = static_cast<ml::kernels::Act>(
+        (i + 1 == layers.size()) ? mlp.outputActivation()
+                                 : mlp.hiddenActivation());
     seq.push_back(d);
   }
 }
@@ -63,8 +64,9 @@ InferenceEngine::InferenceEngine(
                                      : nullptr;
     d.in = lin.inFeatures();
     d.out = lin.outFeatures();
-    d.act = Activation::kLeakyRelu;  // encoder applies leaky after each conv
+    d.act = ml::kernels::Act::kLeakyRelu;  // encoder leaky after each conv
     conv_.push_back(d);
+    maxConvWidth_ = std::max(maxConvWidth_, std::max(d.in, d.out));
   }
   features_ = enc.config().channels.back();
   appendMlp(enc.muHead(), muHead_);
@@ -85,24 +87,25 @@ InferenceEngine::InferenceEngine(
   }
   latentDim_ = enc.config().latentDim;
   spectrumDim_ = model_->config().spectrumDim;
+
+  auto widest = [](const std::vector<ml::kernels::DenseStep>& seq) {
+    long w = 0;
+    for (const auto& s : seq) w = std::max(w, std::max(s.in, s.out));
+    return w;
+  };
+  maxSeqWidth_ = widest(muHead_);
+  for (const auto& cp : blocks_) {
+    maxSeqWidth_ = std::max(maxSeqWidth_, widest(cp.s1));
+    maxSeqWidth_ = std::max(maxSeqWidth_, widest(cp.s2));
+  }
 }
 
-void InferenceEngine::runDenseSeq(const std::vector<Dense>& seq,
-                                  const Real* in, long rows, Real* out) {
-  const Real* cur = in;
-  for (std::size_t i = 0; i < seq.size(); ++i) {
-    Real* dst;
-    if (i + 1 == seq.size()) {
-      dst = out;
-    } else {
-      auto& scratch = (i % 2 == 0) ? seqA_ : seqB_;
-      scratch.resize(static_cast<std::size_t>(rows * seq[i].out));
-      dst = scratch.data();
-    }
-    detail::linearForward(cur, seq[i].w, seq[i].b, dst, rows, seq[i].in,
-                          seq[i].out, seq[i].act, options_.ompRowParallel);
-    cur = dst;
-  }
+void InferenceEngine::runDenseSeq(
+    const std::vector<ml::kernels::DenseStep>& seq, const Real* in, long rows,
+    Real* out, Real* scratchA, Real* scratchB) {
+  ml::kernels::linear_seq_forward(seq.data(), static_cast<long>(seq.size()),
+                                  in, rows, out, scratchA, scratchB,
+                                  options_.ompRowParallel);
 }
 
 void InferenceEngine::predictSpectra(const Real* clouds, long batch,
@@ -111,82 +114,119 @@ void InferenceEngine::predictSpectra(const Real* clouds, long batch,
   ARTSCI_EXPECTS(batch >= 1 && points >= 1);
   ARTSCI_EXPECTS(!conv_.empty() && conv_.front().in == 6);
 
-  // --- PointNet conv stack + max-pool, tiled so the per-tile activations
-  // stay cache-resident (the batch-32 conv intermediate would be ~2 MB).
-  pooled_.resize(static_cast<std::size_t>(batch * features_));
+  // All workspaces come from the step arena; a repeated (batch, points)
+  // geometry replays the recorded plan — same offsets, zero heap traffic.
+  arena_.beginStep();
+  const long rowsTotal = batch * points;
+  Real* convA = arena_.allocData(rowsTotal * maxConvWidth_);
+  Real* convB = arena_.allocData(rowsTotal * maxConvWidth_);
+  Real* pooled = arena_.allocData(batch * features_);
+  Real* h = arena_.allocData(batch * latentDim_);
+  Real* seqA = arena_.allocData(batch * maxSeqWidth_);
+  Real* seqB = arena_.allocData(batch * maxSeqWidth_);
+  long maxHalf = 0, maxRest = 0;
+  for (const auto& cp : blocks_) {
+    maxHalf = std::max(maxHalf, cp.half);
+    maxRest = std::max(maxRest, cp.rest);
+  }
+  Real* x2 = arena_.allocData(std::max(batch * maxRest, 1L));
+  Real* y1 = arena_.allocData(std::max(batch * maxHalf, 1L));
+  Real* y2 = arena_.allocData(std::max(batch * maxRest, 1L));
+  Real* st = arena_.allocData(
+      std::max(batch * 2 * std::max(maxHalf, maxRest), 1L));
+  Real* cat = arena_.allocData(batch * latentDim_);
+
+  // --- PointNet conv stack: ONE batched-kernel call per layer, with the
+  // cache-sized sample tiles as the problem list (each tile's rows stay
+  // the same fixed 32-row chunks the unbatched path used, so values are
+  // bit-identical to dispatching per tile).
   const long tileSamples = std::max<long>(1, (1L << 10) / points);
-  for (long b0 = 0; b0 < batch; b0 += tileSamples) {
-    const long nb = std::min(tileSamples, batch - b0);
-    const long rows = nb * points;
-    convOut_.resize(static_cast<std::size_t>(rows * features_));
-    runDenseSeq(conv_, clouds + b0 * points * 6, rows, convOut_.data());
-    // Pool over the particle axis (transposition invariance).
-    for (long s = 0; s < nb; ++s) {
-      Real* dst = pooled_.data() + (b0 + s) * features_;
-      const Real* src = convOut_.data() + s * points * features_;
-      for (long f = 0; f < features_; ++f) dst[f] = src[f];
-      for (long p = 1; p < points; ++p) {
-        const Real* row = src + p * features_;
-        for (long f = 0; f < features_; ++f)
-          dst[f] = row[f] > dst[f] ? row[f] : dst[f];
-      }
+  const long tiles = (batch + tileSamples - 1) / tileSamples;
+  const Real* cur = clouds;
+  Real* dst = convA;
+  for (std::size_t l = 0; l < conv_.size(); ++l) {
+    const Dense& d = conv_[l];
+    probs_.clear();
+    for (long t = 0; t < tiles; ++t) {
+      const long b0 = t * tileSamples;
+      const long nb = std::min(tileSamples, batch - b0);
+      ml::kernels::LinearProblem p;
+      p.a = cur + b0 * points * d.in;
+      p.w = d.w;
+      p.bias = d.b;
+      p.c = dst + b0 * points * d.out;
+      p.m = nb * points;
+      p.k = d.in;
+      p.n = d.out;
+      p.act = d.act;
+      probs_.push_back(p);
+    }
+    ml::kernels::linear_forward_batched(probs_.data(),
+                                        static_cast<long>(probs_.size()),
+                                        options_.ompRowParallel);
+    cur = dst;
+    dst = (dst == convA) ? convB : convA;
+  }
+
+  // --- max-pool over the particle axis (transposition invariance).
+  for (long s = 0; s < batch; ++s) {
+    Real* prow = pooled + s * features_;
+    const Real* src = cur + s * points * features_;
+    for (long f = 0; f < features_; ++f) prow[f] = src[f];
+    for (long p = 1; p < points; ++p) {
+      const Real* row = src + p * features_;
+      for (long f = 0; f < features_; ++f)
+        prow[f] = row[f] > prow[f] ? row[f] : prow[f];
     }
   }
 
-  // --- mu head: pooled features -> latent mean.
-  h_.resize(static_cast<std::size_t>(batch * latentDim_));
-  runDenseSeq(muHead_, pooled_.data(), batch, h_.data());
+  // --- mu head: pooled features -> latent mean (one fused chain).
+  runDenseSeq(muHead_, pooled, batch, h, seqA, seqB);
 
-  // --- INN forward: z -> [I' || N'], block by block.
+  // --- INN forward: z -> [I' || N'], block by block; each subnet is one
+  // fused chain (one parallel region instead of one per layer).
   for (const auto& cp : blocks_) {
     const long half = cp.half, rest = cp.rest, dim = half + rest;
     const Real invClamp = Real(1) / cp.clamp;
-    x2_.resize(static_cast<std::size_t>(batch * rest));
-    y1_.resize(static_cast<std::size_t>(batch * half));
-    y2_.resize(static_cast<std::size_t>(batch * rest));
-    cat_.resize(static_cast<std::size_t>(batch * dim));
     for (long i = 0; i < batch; ++i) {
-      const Real* hrow = h_.data() + i * dim;
-      std::copy(hrow + half, hrow + dim, x2_.data() + i * rest);
+      const Real* hrow = h + i * dim;
+      std::copy(hrow + half, hrow + dim, x2 + i * rest);
     }
     // y1 = x1 * exp(clamp * tanh(s1 / clamp)) + t1, with [s1||t1] from
     // subnet1(x2) — identical math to GlowCouplingBlock::forward.
-    st_.resize(static_cast<std::size_t>(batch * 2 * half));
-    runDenseSeq(cp.s1, x2_.data(), batch, st_.data());
+    runDenseSeq(cp.s1, x2, batch, st, seqA, seqB);
     for (long i = 0; i < batch; ++i) {
-      const Real* x1 = h_.data() + i * dim;
-      const Real* st = st_.data() + i * 2 * half;
-      Real* y1 = y1_.data() + i * half;
+      const Real* x1 = h + i * dim;
+      const Real* strow = st + i * 2 * half;
+      Real* y1row = y1 + i * half;
       for (long j = 0; j < half; ++j) {
-        const Real s = cp.clamp * std::tanh(st[j] * invClamp);
-        y1[j] = x1[j] * std::exp(s) + st[half + j];
+        const Real s = cp.clamp * std::tanh(strow[j] * invClamp);
+        y1row[j] = x1[j] * std::exp(s) + strow[half + j];
       }
     }
-    st_.resize(static_cast<std::size_t>(batch * 2 * rest));
-    runDenseSeq(cp.s2, y1_.data(), batch, st_.data());
+    runDenseSeq(cp.s2, y1, batch, st, seqA, seqB);
     for (long i = 0; i < batch; ++i) {
-      const Real* x2 = x2_.data() + i * rest;
-      const Real* st = st_.data() + i * 2 * rest;
-      Real* y2 = y2_.data() + i * rest;
+      const Real* x2row = x2 + i * rest;
+      const Real* strow = st + i * 2 * rest;
+      Real* y2row = y2 + i * rest;
       for (long j = 0; j < rest; ++j) {
-        const Real s = cp.clamp * std::tanh(st[j] * invClamp);
-        y2[j] = x2[j] * std::exp(s) + st[rest + j];
+        const Real s = cp.clamp * std::tanh(strow[j] * invClamp);
+        y2row[j] = x2row[j] * std::exp(s) + strow[rest + j];
       }
     }
     // h = permute([y1 || y2]) (gather: out feature j reads perm[j]).
     for (long i = 0; i < batch; ++i) {
-      Real* crow = cat_.data() + i * dim;
-      std::copy(y1_.data() + i * half, y1_.data() + (i + 1) * half, crow);
-      std::copy(y2_.data() + i * rest, y2_.data() + (i + 1) * rest,
-                crow + half);
-      Real* hrow = h_.data() + i * dim;
+      Real* crow = cat + i * dim;
+      std::copy(y1 + i * half, y1 + (i + 1) * half, crow);
+      std::copy(y2 + i * rest, y2 + (i + 1) * rest, crow + half);
+      Real* hrow = h + i * dim;
       for (long j = 0; j < dim; ++j) hrow[j] = crow[cp.perm[j]];
     }
   }
 
   // --- spectrum slice: first spectrumDim features of the INN output.
   for (long i = 0; i < batch; ++i) {
-    const Real* hrow = h_.data() + i * latentDim_;
+    const Real* hrow = h + i * latentDim_;
     std::copy(hrow, hrow + spectrumDim_, out + i * spectrumDim_);
   }
 }

@@ -11,6 +11,16 @@
 /// what makes micro-batching pay: at batch 32 the fused path is several
 /// times cheaper per sample than per-request graph forwards.
 ///
+/// Dispatch shape (PR 9): the conv stack issues ONE
+/// kernels::linear_forward_batched call per layer (the per-sample tiles
+/// are the problem list), and every dense chain (mu head, INN coupling
+/// subnets) runs through kernels::linear_seq_forward — one OpenMP region
+/// per chain instead of one per layer, so a predict over a d-deep INN
+/// costs O(blocks) fork/joins instead of O(blocks × depth). All
+/// workspaces come from a per-engine ml::Arena whose recorded allocation
+/// plan replays with zero heap traffic once the batch geometry repeats
+/// (see arenaStats()).
+///
 /// Thread-safety: an engine owns mutable workspaces — one engine per
 /// serving worker. The referenced model snapshot is immutable and shared.
 #pragma once
@@ -19,6 +29,8 @@
 #include <vector>
 
 #include "core/model.hpp"
+#include "ml/arena.hpp"
+#include "ml/kernels/gemm.hpp"
 
 namespace artsci::serve {
 
@@ -41,8 +53,8 @@ class InferenceEngine {
  public:
   /// Execution knobs.
   struct Options {
-    /// Run the fused linear_forward loops over fixed 32-row static OpenMP
-    /// chunks (bit-identical results for any thread count; see
+    /// Run the fused kernels over fixed 32-row static OpenMP chunks
+    /// (bit-identical results for any thread count; see
     /// ml/kernels/gemm.hpp). Turn on when the engine owns the host's
     /// cores — e.g. a single-worker server on a multi-core machine; leave
     /// off when many engine-owning workers already saturate them.
@@ -71,39 +83,50 @@ class InferenceEngine {
   const std::shared_ptr<const core::ArtificialScientistModel>& model() const {
     return model_;
   }
+  /// Workspace-arena counters: after the first predict of a given
+  /// (batch, points) geometry, every later call replays the recorded
+  /// allocation plan (planReplays grows, heapAllocations does not).
+  ml::Arena::Stats arenaStats() const { return arena_.stats(); }
 
  private:
   struct Dense {
     const ml::Real* w = nullptr;
     const ml::Real* b = nullptr;
     long in = 0, out = 0;
-    ml::Activation act = ml::Activation::kNone;
+    ml::kernels::Act act = ml::kernels::Act::kNone;
   };
   struct Coupling {
-    std::vector<Dense> s1, s2;  ///< subnet MLPs (x2 -> s,t ; y1 -> s,t)
+    /// Subnet MLPs as ready-to-run kernel chains (x2 -> s,t ; y1 -> s,t).
+    std::vector<ml::kernels::DenseStep> s1, s2;
     long half = 0, rest = 0;
     ml::Real clamp = 0;
     const long* perm = nullptr;  ///< gather indices after the block
   };
 
-  static void appendMlp(const ml::Mlp& mlp, std::vector<Dense>& seq);
-  /// Run `seq` over `rows` rows of `in`; final output lands in `out`.
-  void runDenseSeq(const std::vector<Dense>& seq, const ml::Real* in,
-                   long rows, ml::Real* out);
+  static void appendMlp(const ml::Mlp& mlp,
+                        std::vector<ml::kernels::DenseStep>& seq);
+  /// One fused parallel region over the whole chain (see
+  /// kernels::linear_seq_forward); scratch comes from the step arena.
+  void runDenseSeq(const std::vector<ml::kernels::DenseStep>& seq,
+                   const ml::Real* in, long rows, ml::Real* out,
+                   ml::Real* scratchA, ml::Real* scratchB);
 
   std::shared_ptr<const core::ArtificialScientistModel> model_;
   Options options_;
-  std::vector<Dense> conv_;     ///< per-point layers, leaky-ReLU fused
-  std::vector<Dense> muHead_;   ///< pooled features -> latent mean
+  std::vector<Dense> conv_;  ///< per-point layers, leaky-ReLU fused
+  std::vector<ml::kernels::DenseStep> muHead_;
   std::vector<Coupling> blocks_;
   long latentDim_ = 0, spectrumDim_ = 0, features_ = 0;
+  long maxConvWidth_ = 0;  ///< widest conv layer (ping-pong buffer width)
+  long maxSeqWidth_ = 0;   ///< widest dense-chain layer across all chains
 
-  // Workspaces (grow-only, reused across calls).
-  std::vector<ml::Real> seqA_, seqB_;  ///< dense-sequence ping-pong
-  std::vector<ml::Real> convOut_;      ///< conv-stack output for one tile
-  std::vector<ml::Real> pooled_;       ///< [batch, features]
-  std::vector<ml::Real> h_;            ///< INN state [batch, latent]
-  std::vector<ml::Real> x2_, y1_, y2_, st_, cat_;
+  /// Per-predict workspace arena: beginStep() at every call recycles the
+  /// previous call's buffers; with a stable batch geometry the allocation
+  /// plan replays and the engine stops touching the heap entirely.
+  ml::Arena arena_;
+  /// Per-layer problem list for the batched conv dispatch (grow-only
+  /// metadata, reused across calls).
+  std::vector<ml::kernels::LinearProblem> probs_;
 };
 
 }  // namespace artsci::serve

@@ -39,6 +39,21 @@ void epollAdd(int epollFd, int fd, std::uint32_t events) {
 
 }  // namespace
 
+std::size_t pickLeastLoadedShard(const std::size_t* depths, std::size_t count,
+                                 std::uint64_t hint) {
+  const std::size_t start = static_cast<std::size_t>(hint % count);
+  std::size_t best = start;
+  std::size_t bestDepth = depths[start];
+  for (std::size_t i = 1; i < count && bestDepth > 0; ++i) {
+    const std::size_t k = (start + i) % count;
+    if (depths[k] < bestDepth) {  // strict less: ties keep the earlier shard
+      best = k;
+      bestDepth = depths[k];
+    }
+  }
+  return best;
+}
+
 NetServer::Connection::~Connection() {
   if (fd >= 0) ::close(fd);
 }
@@ -106,6 +121,7 @@ NetServer::NetServer(NetServerConfig cfg,
     shard->server = std::make_unique<InferenceServer>(scfg, registry_);
     shards_.push_back(std::move(shard));
   }
+  depthScratch_.resize(shards_.size(), 0);
   for (auto& shard : shards_)
     shard->collector = std::thread([this, &shard] { collectorLoop(*shard); });
 
@@ -275,8 +291,7 @@ void NetServer::dispatchFrame(const std::shared_ptr<Connection>& conn,
   }
   const std::uint64_t deadline =
       frame.meta > 0 ? frame.meta : cfg_.defaultDeadlineMicros;
-  Shard& shard = *shards_[nextShard_.fetch_add(1, std::memory_order_relaxed) %
-                          shards_.size()];
+  Shard& shard = *shards_[pickShard()];
   PendingReply p;
   p.conn = conn;
   p.requestId = frame.requestId;
@@ -290,6 +305,20 @@ void NetServer::dispatchFrame(const std::shared_ptr<Connection>& conn,
     shard.pending.push_back(std::move(p));
   }
   shard.cv.notify_one();
+}
+
+std::size_t NetServer::pickShard() {
+  const std::uint64_t hint =
+      nextShard_.fetch_add(1, std::memory_order_relaxed);
+  if (shards_.size() == 1 || cfg_.dispatch == ShardDispatch::kRoundRobin)
+    return static_cast<std::size_t>(hint % shards_.size());
+  // Snapshot the per-shard queue depths (the gauges the batchers already
+  // maintain), then pick the shallowest; the rotating hint both spreads
+  // ties and keeps the scan O(shards) worst case.
+  for (std::size_t s = 0; s < shards_.size(); ++s)
+    depthScratch_[s] = shards_[s]->server->queueDepth();
+  return pickLeastLoadedShard(depthScratch_.data(), depthScratch_.size(),
+                              hint);
 }
 
 void NetServer::collectorLoop(Shard& shard) {

@@ -1,16 +1,19 @@
 /// \file net_server.hpp
 /// The TCP serving front end: an epoll-based, dependency-free network
 /// server speaking the ASV1 length-prefixed binary protocol
-/// (protocol.hpp), sharding decoded requests round-robin across N
-/// MicroBatcher + InferenceEngine workers (one InferenceServer of one
-/// worker per shard, optionally pinned to distinct cores), with
-/// admission control and deadline-based load shedding on every shard's
-/// bounded queue.
+/// (protocol.hpp), sharding decoded requests across N MicroBatcher +
+/// InferenceEngine workers (one InferenceServer of one worker per shard,
+/// optionally pinned to distinct cores), with admission control and
+/// deadline-based load shedding on every shard's bounded queue. Dispatch
+/// is least-loaded by default: each request goes to the shard with the
+/// shallowest queue (ties broken by a rotating hint so idle shards share
+/// work evenly); a long request can no longer head-of-line-block the
+/// short requests a fixed rotation would have put behind it.
 ///
 /// Data flow:
 ///
 ///   client conns ──► epoll I/O thread ──► FrameDecoder per connection
-///        ▲                                   │ round-robin dispatch
+///        ▲                                   │ least-loaded dispatch
 ///        │                                   ▼
 ///        │                     shard k: MicroBatcher ─► worker (engine)
 ///        │                                   │ std::future
@@ -47,11 +50,32 @@
 
 namespace artsci::serve {
 
+/// How dispatchFrame picks a shard for each decoded request.
+enum class ShardDispatch {
+  /// Route to the shard with the shallowest batcher queue, scanning from
+  /// a rotating start so ties spread evenly. Under skewed request sizes
+  /// (a few expensive inversions among cheap predictions) this keeps
+  /// short requests off the shard digesting a long one, collapsing their
+  /// tail latency versus a fixed rotation.
+  kLeastLoaded,
+  /// Legacy fixed rotation, kept for A/B comparison and as the baseline
+  /// the p99 test measures against.
+  kRoundRobin,
+};
+
+/// Pure shard-selection kernel (unit-testable without sockets): returns
+/// the index with the minimum depth, scanning the `count` depths starting
+/// from `hint % count` and keeping the first minimum encountered — i.e.
+/// ties go to the earliest shard in rotation order from the hint.
+std::size_t pickLeastLoadedShard(const std::size_t* depths, std::size_t count,
+                                 std::uint64_t hint);
+
 struct NetServerConfig {
   std::string host = "127.0.0.1";  ///< bind address
   std::uint16_t port = 0;          ///< 0 = ephemeral; NetServer::port() tells
   std::size_t shards = 1;          ///< MicroBatcher+engine workers
   BatchPolicy policy;              ///< per-shard batching policy
+  ShardDispatch dispatch = ShardDispatch::kLeastLoaded;
   /// Pin shard k's worker to CPU slot k of the process's allowed set.
   bool pinCores = false;
   /// Deadline applied to requests that carry none on the wire (0 = none).
@@ -124,6 +148,9 @@ class NetServer {
   void handleReadable(const std::shared_ptr<Connection>& conn);
   void dispatchFrame(const std::shared_ptr<Connection>& conn,
                      proto::Frame&& frame);
+  /// Applies cfg_.dispatch: queue-depth scan (kLeastLoaded) or fixed
+  /// rotation (kRoundRobin). Called from the single I/O thread.
+  std::size_t pickShard();
   void collectorLoop(Shard& shard);
   void closeConnection(std::uint64_t connId);
   /// Blocking write of a full frame (poll()s out EAGAIN); false once the
@@ -142,6 +169,7 @@ class NetServer {
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> nextShard_{0};
+  std::vector<std::size_t> depthScratch_;  ///< I/O-thread-only, preallocated
 
   std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> conns_;
   std::unordered_map<int, std::uint64_t> fdToConn_;

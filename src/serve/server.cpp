@@ -111,9 +111,17 @@ void InferenceServer::workerLoop(std::size_t workerIndex) {
       if (expired.empty()) return;  // stopped and drained: worker exits
       continue;
     }
+    // The batch left the queue but is not done: keep it visible to
+    // queueDepth() until right before its promises resolve, so
+    // least-loaded dispatch sees this worker as busy. The decrement must
+    // strictly precede promise resolution — a client that reacts to its
+    // reply by sending the next request would otherwise race a stale
+    // depth and get routed behind a busy shard it should have avoided.
+    inFlight_.fetch_add(batch.size(), std::memory_order_relaxed);
     // One snapshot per batch: the hot-swap consistency guarantee.
     std::shared_ptr<const ModelSnapshot> snap = registry_->current();
     if (!snap) {
+      inFlight_.fetch_sub(batch.size(), std::memory_order_relaxed);
       for (auto& r : batch) {
         metrics_->recordRejected(r.endpoint);
         r.promise.set_exception(std::make_exception_ptr(
@@ -134,6 +142,10 @@ void InferenceServer::workerLoop(std::size_t workerIndex) {
       else
         runInvertBatch(batch, *snap, rng);
     } catch (...) {
+      // finishBatch (which owns the success-path decrement) was not
+      // reached: it is the last call of run*Batch and resolves promises
+      // without throwing.
+      inFlight_.fetch_sub(batch.size(), std::memory_order_relaxed);
       const std::exception_ptr err = std::current_exception();
       for (auto& r : batch) {
         metrics_->recordRejected(r.endpoint);
@@ -200,8 +212,10 @@ void InferenceServer::finishBatch(std::vector<PendingRequest>& batch,
   std::vector<double> latencies(batch.size());
   for (std::size_t i = 0; i < batch.size(); ++i)
     latencies[i] = microsBetween(batch[i].enqueuedAt, done);
-  // Metrics before promises: a client that observed its future resolve
-  // must already see this batch accounted for.
+  // Metrics and the in-flight decrement before promises: a client that
+  // observed its future resolve must already see this batch accounted for
+  // and this worker's queueDepth() back at its queued-only value.
+  inFlight_.fetch_sub(batch.size(), std::memory_order_relaxed);
   metrics_->recordBatch(batch.front().endpoint, batch.size(), latencies);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     InferenceResult res;

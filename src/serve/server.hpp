@@ -98,6 +98,16 @@ class InferenceServer {
   /// resolve — with a value or an exception, never dangling.
   void shutdown(ShutdownMode mode = ShutdownMode::kDrain);
 
+  /// Outstanding load: requests still queued plus requests in a batch a
+  /// worker is currently executing. Counting in-flight work matters for
+  /// least-loaded dispatch — a shard digesting a long batch has an empty
+  /// queue but is NOT idle, and routing by queue alone would pile short
+  /// requests behind it. Lock-bounded O(1); the sharded front end polls
+  /// this per dispatch to route each request to the shallowest shard.
+  std::size_t queueDepth() const {
+    return batcher_.depth() + inFlight_.load(std::memory_order_relaxed);
+  }
+
   /// Metrics snapshot (includes current queue depth).
   ServeMetrics::Report metrics() const;
   /// The (possibly shared) metrics sink this server records into.
@@ -125,6 +135,8 @@ class InferenceServer {
   std::shared_ptr<ServeMetrics> metrics_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> shutdownDone_{false};
+  /// Requests popped from the queue whose batch is still executing.
+  std::atomic<std::size_t> inFlight_{0};
   // Declared last: destroyed first, after shutdown() joined the loops.
   ThreadPool pool_;
   std::vector<std::future<void>> workerDone_;

@@ -1,0 +1,228 @@
+/// Tests of the PR 9 step arena: results built under an ArenaScope live in
+/// arena storage (heap vector access trips the guard), the recorded
+/// allocation plan replays with zero steady-state heap allocations
+/// (proven via Arena::stats()), deviation re-records cleanly, and — the
+/// hard contract — gradients are bit-identical across {1,2,8} threads and
+/// across every {arena, views} on/off combination.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ml/arena.hpp"
+#include "ml/layers.hpp"
+#include "ml/ops.hpp"
+#include "ml/tensor.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace artsci::ml {
+namespace {
+
+/// RAII toggle for execOptions().useViews.
+struct ViewsOff {
+  ViewsOff() { execOptions().useViews = false; }
+  ~ViewsOff() { execOptions().useViews = true; }
+};
+
+/// A small fixed training step: MLP forward + scalar loss + backward.
+/// Heap-backed leaves (params, input) with all intermediates arena-backed
+/// when run under an ArenaScope — the same split the trainer uses.
+struct StepFixture {
+  Mlp mlp;
+  Tensor x;
+
+  explicit StepFixture(Rng& rng)
+      : mlp({8, 16, 16, 4}, rng), x(Tensor::randn({6, 8}, rng)) {}
+
+  /// One fwd+bwd; returns the flattened parameter gradients.
+  std::vector<Real> step() {
+    for (auto& p : mlp.parameters()) p.zeroGrad();
+    Tensor loss = sumAll(square(mlp.forward(x)));
+    loss.backward();
+    std::vector<Real> grads;
+    for (const auto& p : mlp.parameters()) {
+      const Real* g = p.gradPtr();
+      grads.insert(grads.end(), g, g + p.numel());
+    }
+    return grads;
+  }
+};
+
+TEST(Arena, ScopeMakesResultsArenaBacked) {
+  Rng rng(1);
+  Tensor a = Tensor::randn({4, 4}, rng);
+  Arena arena;
+  arena.beginStep();
+  {
+    ArenaScope scope(arena);
+    Tensor b = square(a);
+    // Results inside the scope are arena-backed: no heap vector behind
+    // them, so the vector accessor must trip the guard...
+    EXPECT_THROW(b.data(), ContractError);
+    // ...while the raw-pointer path works.
+    EXPECT_EQ(b.dataPtr()[0], a.dataPtr()[0] * a.dataPtr()[0]);
+    // Leaves stay heap-backed even inside the scope.
+    Tensor leaf = Tensor::zeros({3});
+    EXPECT_NO_THROW(leaf.data());
+  }
+  // Outside the scope results are heap again.
+  Tensor c = square(a);
+  EXPECT_NO_THROW(c.data());
+  EXPECT_GT(arena.stats().dataBytesPeak, 0u);
+}
+
+TEST(Arena, PlanReplayZeroSteadyStateAllocations) {
+  Rng rng(2);
+  StepFixture fixture(rng);
+  Arena arena;
+
+  // Warm-up: first step records the plan and grows the regions.
+  arena.beginStep();
+  std::vector<Real> g0;
+  {
+    ArenaScope scope(arena);
+    g0 = fixture.step();
+  }
+  const Arena::Stats warm = arena.stats();
+  EXPECT_EQ(warm.steps, 1u);
+  EXPECT_GT(warm.planLength, 0u);
+  EXPECT_GT(warm.heapAllocations, 0u);
+
+  // Step 2: the plan replays; its beginStep may still consolidate the
+  // warm-up chunks into one allocation. From here on the heap is off
+  // limits.
+  arena.beginStep();
+  {
+    ArenaScope scope(arena);
+    EXPECT_EQ(fixture.step(), g0);
+  }
+  const Arena::Stats settled = arena.stats();
+  EXPECT_EQ(settled.planReplays, 1u);
+
+  // Steady state: identical topology -> plan replays, zero new mallocs,
+  // and bit-identical gradients every step.
+  for (int i = 0; i < 4; ++i) {
+    arena.beginStep();
+    ArenaScope scope(arena);
+    EXPECT_EQ(fixture.step(), g0);
+  }
+  const Arena::Stats steady = arena.stats();
+  EXPECT_EQ(steady.steps, 6u);
+  EXPECT_EQ(steady.planReplays, 5u);
+  EXPECT_EQ(steady.planDeviations, 0u);
+  EXPECT_EQ(steady.heapAllocations, settled.heapAllocations)
+      << "steady-state steps must not touch the heap";
+}
+
+TEST(Arena, DeviationReRecordsThenReplays) {
+  Rng rng(3);
+  Arena arena;
+  Tensor a = Tensor::randn({4, 4}, rng);
+  Tensor b = Tensor::randn({8, 8}, rng);
+
+  auto run = [&](const Tensor& t) {
+    arena.beginStep();
+    ArenaScope scope(arena);
+    Tensor loss = sumAll(square(t));
+    (void)loss.item();
+  };
+  run(a);            // records plan A
+  run(b);            // deviates (different shapes)
+  run(b);            // re-records as plan B
+  run(b);            // replays plan B
+  const Arena::Stats s = arena.stats();
+  EXPECT_EQ(s.steps, 4u);
+  EXPECT_EQ(s.planDeviations, 1u);
+  EXPECT_EQ(s.planReplays, 1u);
+}
+
+TEST(Arena, GradsBitIdenticalAcrossArenaAndViewModes) {
+  Rng rng(4);
+  StepFixture fixture(rng);
+
+  // Reference: plain heap execution, views on (the default path).
+  const std::vector<Real> reference = fixture.step();
+
+  // Heap + views off.
+  {
+    ViewsOff off;
+    EXPECT_EQ(fixture.step(), reference);
+  }
+  // Arena + views on, warm-up and steady-state steps.
+  {
+    Arena arena;
+    for (int i = 0; i < 3; ++i) {
+      arena.beginStep();
+      ArenaScope scope(arena);
+      EXPECT_EQ(fixture.step(), reference);
+    }
+  }
+  // Arena + views off.
+  {
+    ViewsOff off;
+    Arena arena;
+    arena.beginStep();
+    ArenaScope scope(arena);
+    EXPECT_EQ(fixture.step(), reference);
+  }
+}
+
+TEST(Arena, PlanReplayBitIdenticalAcrossThreadCounts) {
+  Rng rng(5);
+  StepFixture fixture(rng);
+  Arena arena;
+
+  // Baseline at the default thread count, through plan warm-up + replay.
+  arena.beginStep();
+  std::vector<Real> reference;
+  {
+    ArenaScope scope(arena);
+    reference = fixture.step();
+  }
+#ifdef _OPENMP
+  for (int threads : {1, 2, 8}) {
+    omp_set_num_threads(threads);
+    arena.beginStep();
+    ArenaScope scope(arena);
+    EXPECT_EQ(fixture.step(), reference)
+        << "gradients diverged at " << threads << " threads";
+  }
+  omp_set_num_threads(omp_get_num_procs());
+#else
+  arena.beginStep();
+  {
+    ArenaScope scope(arena);
+    EXPECT_EQ(fixture.step(), reference);
+  }
+#endif
+  EXPECT_EQ(arena.stats().planDeviations, 0u)
+      << "thread count must not perturb the allocation plan";
+}
+
+TEST(Arena, ReleaseMemoryResetsRegionsAndPlan) {
+  Rng rng(6);
+  StepFixture fixture(rng);
+  Arena arena;
+  arena.beginStep();
+  {
+    ArenaScope scope(arena);
+    (void)fixture.step();
+  }
+  EXPECT_GT(arena.reservedBytes(), 0u);
+  arena.releaseMemory();
+  EXPECT_EQ(arena.reservedBytes(), 0u);
+  // The arena is reusable after release: next step re-records and runs.
+  arena.beginStep();
+  {
+    ArenaScope scope(arena);
+    (void)fixture.step();
+  }
+  EXPECT_GT(arena.reservedBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace artsci::ml
