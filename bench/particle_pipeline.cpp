@@ -10,6 +10,7 @@
 ///
 ///   ./bench/bench_particle_pipeline [--acceptance[=ratio]]
 ///                                   [--trace-overhead[=maxLoss]]
+///                                   [--fault-overhead[=maxLoss]]
 ///                                   [--json <path>] [steps] [repeats]
 ///
 /// --acceptance gates fused >= ratio x split (default 1.5) at 8 threads
@@ -21,6 +22,14 @@
 /// sink) and gates the enabled rate at >= (1 - maxLoss) x disabled
 /// (default maxLoss 0.01, the "enabled tracing costs < 1% on the FOM"
 /// contract of src/obs/trace.hpp).
+///
+/// --fault-overhead does the same for FAULT_POINT hooks
+/// (src/fault/fault.hpp): disarmed (the production state — one relaxed
+/// atomic load per site) vs armed with a never-matching plan (the full
+/// slow path: hit counting + rule scan, no injection). The armed rate
+/// bounds the disarmed cost from above, so gating it at
+/// >= (1 - maxLoss) x disarmed (default 0.01) enforces the "disabled
+/// fault points cost <= 1%" contract with margin.
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -31,6 +40,7 @@
 #include <memory>
 
 #include "common/timer.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 #include "pic/khi.hpp"
 #include "pic/simulation.hpp"
@@ -95,6 +105,7 @@ void setThreads(int n) {
 int main(int argc, char** argv) {
   double threshold = -1;
   double traceMaxLoss = -1;
+  double faultMaxLoss = -1;
   const char* jsonPath = nullptr;
   int steps = 6, repeats = 3;
   int positional = 0;
@@ -112,6 +123,19 @@ int main(int argc, char** argv) {
         std::fprintf(stderr,
                      "invalid %s — expected --trace-overhead=<maxLoss> with "
                      "0 < maxLoss < 1 (e.g. --trace-overhead=0.01)\n",
+                     arg);
+        return 2;
+      }
+    } else if (std::strcmp(arg, "--fault-overhead") == 0) {
+      faultMaxLoss = 0.01;
+    } else if (std::strncmp(arg, "--fault-overhead=", 17) == 0) {
+      char* end = nullptr;
+      faultMaxLoss = std::strtod(arg + 17, &end);
+      if (end == arg + 17 || *end != '\0' || !(faultMaxLoss > 0) ||
+          faultMaxLoss >= 1) {
+        std::fprintf(stderr,
+                     "invalid %s — expected --fault-overhead=<maxLoss> with "
+                     "0 < maxLoss < 1 (e.g. --fault-overhead=0.01)\n",
                      arg);
         return 2;
       }
@@ -135,6 +159,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "unknown option %s — usage: bench_particle_pipeline "
                    "[--acceptance[=ratio]] [--trace-overhead[=maxLoss]] "
+                   "[--fault-overhead[=maxLoss]] "
                    "[--json <path>] [steps] [repeats]\n",
                    arg);
       return 2;
@@ -198,6 +223,63 @@ int main(int argc, char** argv) {
                    "}\n",
                    threads, steps, spans, ratio, 1.0 - traceMaxLoss,
                    pass ? "true" : "false");
+      std::fclose(f);
+    }
+    return pass ? 0 : 1;
+  }
+
+  if (faultMaxLoss > 0) {
+    // Fault-hook overhead acceptance: disarmed (production: one relaxed
+    // atomic load per FAULT_POINT) vs armed with a rule that matches no
+    // real site (worst case short of injecting: per-hit counting plus a
+    // rule scan on every pass). Sites sit on step boundaries, so even the
+    // armed slow path must be invisible on the particle-update FOM.
+    const int threads = haveOmp ? 8 : 1;
+    setThreads(threads);
+    fault::Plan::global().disarm();
+    const double offRate =
+        particleUpdateRate(ParticlePipeline::Fused, steps, repeats);
+    fault::Plan::global().arm(
+        fault::Plan::parseSpec("bench.never@1:error"));
+    const double onRate =
+        particleUpdateRate(ParticlePipeline::Fused, steps, repeats);
+    const auto hits = fault::Plan::global().siteHits();
+    fault::Plan::global().disarm();
+    const auto it = hits.find("pic.step");
+    const std::uint64_t picHits = it == hits.end() ? 0 : it->second;
+    const double ratio = onRate / offRate;
+    // picHits > 0 guards against vacuity: the hook must actually sit on
+    // the measured path (ARTSCI_FAULTS=0 builds legitimately record 0 and
+    // fail here — this gate is for instrumented builds).
+    const bool pass = picHits > 0 && ratio >= 1.0 - faultMaxLoss;
+    std::printf(
+        "fault-point overhead: fused KHI 32x64x8 ppc 9, %d steps, best of "
+        "%d, %d threads\n"
+        "  disarmed:             %.3e p/s\n"
+        "  armed (non-matching): %.3e p/s  (%llu pic.step hits counted)\n"
+        "  armed/disarmed = %.4f (gate >= %.4f) -> %s\n",
+        steps, repeats, threads, offRate, onRate,
+        static_cast<unsigned long long>(picHits), ratio,
+        1.0 - faultMaxLoss, pass ? "PASS" : "FAIL");
+    if (jsonPath != nullptr) {
+      std::FILE* f = std::fopen(jsonPath, "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s for writing\n", jsonPath);
+        return 2;
+      }
+      std::fprintf(f,
+                   "{\n"
+                   "  \"bench\": \"fault_overhead\",\n"
+                   "  \"setup\": \"khi_quick_demo_32x64x8_ppc9_fused\",\n"
+                   "  \"threads\": %d,\n"
+                   "  \"steps\": %d,\n"
+                   "  \"site_hits\": %llu,\n"
+                   "  \"ratio\": %.4f,\n"
+                   "  \"threshold\": %.4f,\n"
+                   "  \"pass\": %s\n"
+                   "}\n",
+                   threads, steps, static_cast<unsigned long long>(picHits),
+                   ratio, 1.0 - faultMaxLoss, pass ? "true" : "false");
       std::fclose(f);
     }
     return pass ? 0 : 1;

@@ -39,6 +39,17 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// A wedged server must fail the bench, not hang CI: generous-but-finite
+/// connect/recv deadlines on every load-generator connection
+/// (serve/client.hpp timeout options). Retries stay off — a lost reply
+/// should show up in the numbers, not be papered over.
+serve::NetClientOptions loadgenClientOptions() {
+  serve::NetClientOptions opts;
+  opts.connectTimeoutMillis = 2'000;
+  opts.recvTimeoutMillis = 10'000;
+  return opts;
+}
+
 struct RunResult {
   double offeredQps = 0;   ///< what the sender tried to offer
   double achievedQps = 0;  ///< replies per wall-clock second
@@ -53,7 +64,7 @@ struct RunResult {
 RunResult openLoopRun(std::uint16_t port, proto::MsgType type,
                       const std::vector<ml::Real>& payload, long requests,
                       double offeredQps, std::uint64_t deadlineMicros) {
-  serve::NetClient client("127.0.0.1", port);
+  serve::NetClient client("127.0.0.1", port, loadgenClientOptions());
   std::vector<Clock::time_point> sentAt(static_cast<std::size_t>(requests));
   std::vector<double> latencies;
   latencies.reserve(static_cast<std::size_t>(requests));
@@ -122,7 +133,7 @@ double saturatedQps(std::uint16_t port, const std::vector<ml::Real>& payload,
   Timer timer;
   for (int c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
-      serve::NetClient client("127.0.0.1", port);
+      serve::NetClient client("127.0.0.1", port, loadgenClientOptions());
       std::vector<Clock::time_point> sentAt(
           static_cast<std::size_t>(perClient));
       std::thread reader([&] {

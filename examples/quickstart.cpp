@@ -9,10 +9,14 @@
 
 #include "common/config.hpp"
 #include "core/pipeline.hpp"
+#include "fault/fault.hpp"
 
 int main(int argc, char** argv) {
   using namespace artsci;
   const Config cli = Config::fromArgs(argc, argv);
+  // Chaos on demand: ARTSCI_FAULT_PLAN="sst.writer.end_step@3:die" etc.
+  // arms the deterministic fault schedule (src/fault) for this run.
+  fault::Plan::global().armFromEnv();
 
   // 1. Configure the pipeline (producer = PIC + radiation detector,
   //    consumer = replay buffer + DDP trainer). quickDemo() is a
@@ -36,6 +40,10 @@ int main(int argc, char** argv) {
 
   // 3. Look at what happened.
   const auto& r = run.result;
+  if (r.degraded)
+    std::printf("DEGRADED   : %s (model below trained on the data that "
+                "arrived)\n",
+                r.faultNote.c_str());
   std::printf("streamed   : %ld iterations, %zu samples, %.2f MB in-memory\n",
               r.iterationsStreamed, r.samplesReceived,
               static_cast<double>(r.bytesStreamed) / 1e6);

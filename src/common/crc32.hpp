@@ -1,0 +1,47 @@
+/// \file crc32.hpp
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) over a byte
+/// range — the integrity footer of the pipeline checkpoint format
+/// (core/checkpoint.hpp). Table-driven, header-only, no dependencies.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace artsci {
+
+namespace detail {
+inline const std::array<std::uint32_t, 256>& crc32Table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k)
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+}  // namespace detail
+
+/// Running update: feed chunks with the previous return value as `crc`
+/// (start from 0). The two-argument overload below covers the whole-buffer
+/// case.
+inline std::uint32_t crc32Update(std::uint32_t crc, const void* data,
+                                 std::size_t n) {
+  const auto& table = detail::crc32Table();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t c = crc ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < n; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+/// CRC-32 of a single buffer.
+inline std::uint32_t crc32(const void* data, std::size_t n) {
+  return crc32Update(0, data, n);
+}
+
+}  // namespace artsci

@@ -100,6 +100,29 @@ class Rng {
 
   double normal(double mean, double sigma) { return mean + sigma * normal(); }
 
+  /// Full engine state, exact to the bit — including the Box-Muller
+  /// cache, so a checkpointed generator resumes the identical draw
+  /// sequence (normal() included) from the identical position.
+  struct State {
+    std::uint64_t s[4]{};
+    double cached = 0.0;
+    bool hasCached = false;
+  };
+
+  State state() const {
+    State st;
+    for (int i = 0; i < 4; ++i) st.s[i] = state_[i];
+    st.cached = cached_;
+    st.hasCached = hasCached_;
+    return st;
+  }
+
+  void setState(const State& st) {
+    for (int i = 0; i < 4; ++i) state_[i] = st.s[i];
+    cached_ = st.cached;
+    hasCached_ = st.hasCached;
+  }
+
  private:
   static constexpr double kPi = 3.14159265358979323846;
   static std::uint64_t rotl(std::uint64_t x, int k) {

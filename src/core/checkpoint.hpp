@@ -1,0 +1,93 @@
+/// \file checkpoint.hpp
+/// Crash-consistent pipeline checkpointing. A PipelineCheckpoint captures
+/// everything the in-transit trainer needs to resume *bit-identically*
+/// after a crash: model parameters, Adam moments, every rank's RNG
+/// (Box-Muller cache included), the replay buffer's full contents and
+/// eviction RNG, and the step counters.
+///
+/// Atomicity protocol (torn writes can never corrupt the latest
+/// checkpoint):
+///   1. serialize to memory;
+///   2. write to `<path>.tmp`, append a CRC-32 footer over every
+///      preceding byte, fsync;
+///   3. rename(2) onto the final path (atomic on POSIX), fsync the
+///      directory.
+/// A crash before the rename leaves at worst a stale `.tmp`; a crash
+/// after it leaves a complete, CRC-verified file. Readers validate magic,
+/// version, CRC and every internal length *before* touching the trainer —
+/// a corrupt file yields a typed CheckpointError and an untouched
+/// trainer, never a partial restore.
+///
+/// CheckpointManager keeps the last `keep` checkpoints and falls back to
+/// the newest *intact* one on load, so a torn write (simulated via
+/// FAULT_POINT("ckpt.write")) costs at most one checkpoint interval of
+/// progress.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/trainer.hpp"
+
+namespace artsci::core {
+
+/// A checkpoint file failed to open, parse or validate (truncated, bit
+/// flips, CRC mismatch, wrong magic/version, or a layout that does not
+/// match the restoring trainer).
+class CheckpointError : public RuntimeError {
+ public:
+  using RuntimeError::RuntimeError;
+};
+
+/// Pipeline position stored next to the trainer state.
+struct CheckpointMeta {
+  long streamedSteps = 0;      ///< simulation steps consumed from the stream
+  long trainerIterations = 0;  ///< training iterations completed
+};
+
+/// Serialize trainer + pipeline position; returns the exact bytes a
+/// checkpoint file holds (including the CRC footer). Exposed for the
+/// corruption tests, which mutate these bytes.
+std::vector<std::uint8_t> serializePipelineCheckpoint(
+    const InTransitTrainer& trainer, const CheckpointMeta& meta);
+
+/// Atomic checkpoint write (tmp + CRC footer + fsync + rename). Honours
+/// FAULT_POINT("ckpt.save") and the torn-write site "ckpt.write"; a torn
+/// write throws fault::FaultInjectedError and leaves the final path
+/// untouched.
+void savePipelineCheckpoint(const std::string& path,
+                            const InTransitTrainer& trainer,
+                            const CheckpointMeta& meta);
+
+/// Read + fully validate + apply. Throws CheckpointError on any defect;
+/// the trainer is modified only after the entire file validated.
+CheckpointMeta loadPipelineCheckpoint(const std::string& path,
+                                      InTransitTrainer& trainer);
+
+/// Rotating checkpoint directory: `ckpt-<streamedSteps>.artsci` files,
+/// newest `keep` retained, newest intact loaded.
+class CheckpointManager {
+ public:
+  explicit CheckpointManager(std::string dir, std::size_t keep = 2);
+
+  /// Checkpoint and prune; returns the file written.
+  std::string save(const InTransitTrainer& trainer,
+                   const CheckpointMeta& meta);
+  /// Restore from the newest checkpoint that validates, skipping corrupt
+  /// ones (each skip bumps the `ckpt.load_fallbacks` counter). Empty
+  /// optional when no intact checkpoint exists.
+  std::optional<CheckpointMeta> loadLatest(InTransitTrainer& trainer);
+
+  /// Checkpoint paths, newest first.
+  std::vector<std::string> list() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  std::size_t keep_;
+};
+
+}  // namespace artsci::core

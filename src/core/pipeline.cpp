@@ -1,9 +1,13 @@
 #include "core/pipeline.hpp"
 
+#include <memory>
+#include <mutex>
 #include <thread>
 
 #include "common/log.hpp"
 #include "common/timer.hpp"
+#include "core/checkpoint.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 
 namespace artsci::core {
@@ -32,13 +36,34 @@ PipelineResult runPipeline(const PipelineConfig& cfg,
       "producer frequencyCount must equal the model's spectrumDim");
 
   Timer wall;
-  auto particleEngine = std::make_shared<stream::SstEngine>(
-      stream::SstParams{1, 1, cfg.queueLimit});
-  auto radiationEngine = std::make_shared<stream::SstEngine>(
-      stream::SstParams{1, 1, cfg.queueLimit});
+  auto particleEngine = std::make_shared<stream::SstEngine>(stream::SstParams{
+      1, 1, cfg.queueLimit, cfg.streamStepTimeoutMicros});
+  auto radiationEngine = std::make_shared<stream::SstEngine>(stream::SstParams{
+      1, 1, cfg.queueLimit, cfg.streamStepTimeoutMicros});
+
+  // The two channels fail as one: a producer that died on the particle
+  // channel must also wake a consumer blocked on the radiation channel
+  // (and vice versa), or the degraded shutdown deadlocks on the partner
+  // stream.
+  const auto failBoth = [&](const std::string& reason) {
+    particleEngine->abort(reason);
+    radiationEngine->abort(reason);
+  };
 
   KhiStreamProducer producer(cfg.producer, particleEngine, radiationEngine);
-  std::thread producerThread([&] { producer.run(); });
+  std::string producerFault;
+  std::mutex producerFaultMutex;
+  std::thread producerThread([&] {
+    try {
+      producer.run();
+    } catch (const std::exception& e) {
+      {
+        std::lock_guard<std::mutex> lock(producerFaultMutex);
+        producerFault = e.what();
+      }
+      failBoth(std::string("producer failed: ") + e.what());
+    }
+  });
 
   openpmd::Series particleRead(
       "particles", openpmd::Access::kRead,
@@ -48,37 +73,75 @@ PipelineResult runPipeline(const PipelineConfig& cfg,
       openpmd::StreamBackend::forReader(radiationEngine, 0));
 
   PipelineResult result;
+  std::unique_ptr<CheckpointManager> checkpoints;
+  if (!cfg.checkpointDir.empty() && cfg.checkpointEvery > 0)
+    checkpoints = std::make_unique<CheckpointManager>(cfg.checkpointDir,
+                                                      cfg.checkpointKeep);
   // Periodic one-line step report over the global registry (particles/s,
   // trainer ms/step, replay occupancy, ...) at info level, one line per
   // `stepReportEvery` streamed steps.
   obs::StepReporter reporter(obs::Registry::global(), cfg.stepReportEvery);
-  for (;;) {
-    auto itP = particleRead.readNextIteration();
-    auto itR = radiationRead.readNextIteration();
-    if (!itP || !itR) break;
-    ARTSCI_CHECK_MSG(itP->index == itR->index,
-                     "particle / radiation streams out of sync");
-    for (int r = 0; r < 3; ++r) {
-      const auto pIt = itP->data.find(cloudPath(r));
-      const auto sIt = itR->data.find(spectrumPath(r));
-      if (pIt == itP->data.end() || sIt == itR->data.end()) continue;
-      Sample sample;
-      sample.cloud = pIt->second;
-      sample.spectrum = sIt->second;
-      sample.region = r;
-      sample.step = itP->index;
-      trainer.buffer().push(std::move(sample));
-      ++result.samplesReceived;
+  try {
+    for (;;) {
+      auto itP = particleRead.readNextIteration();
+      auto itR = radiationRead.readNextIteration();
+      if (!itP || !itR) break;
+      ARTSCI_CHECK_MSG(itP->index == itR->index,
+                       "particle / radiation streams out of sync");
+      for (int r = 0; r < 3; ++r) {
+        const auto pIt = itP->data.find(cloudPath(r));
+        const auto sIt = itR->data.find(spectrumPath(r));
+        if (pIt == itP->data.end() || sIt == itR->data.end()) continue;
+        Sample sample;
+        sample.cloud = pIt->second;
+        sample.spectrum = sIt->second;
+        sample.region = r;
+        sample.step = itP->index;
+        trainer.buffer().push(std::move(sample));
+        ++result.samplesReceived;
+      }
+      ++result.iterationsStreamed;
+      // n_rep training iterations per streamed step (the training-buffer
+      // decoupling of §IV-C).
+      trainer.trainIterations(cfg.nRep);
+      if (checkpoints &&
+          result.iterationsStreamed % cfg.checkpointEvery == 0) {
+        try {
+          checkpoints->save(trainer,
+                            {result.iterationsStreamed,
+                             trainer.stats().iterations});
+          ++result.checkpointsWritten;
+        } catch (const std::exception& e) {
+          // A failed (possibly torn) checkpoint write never takes the
+          // pipeline down — the previous intact rotation still covers us.
+          log::warn("ckpt", std::string("checkpoint failed: ") + e.what());
+          result.faultNote = std::string("checkpoint failed: ") + e.what();
+        }
+      }
+      if (cfg.stepReportEvery > 0) {
+        if (const auto line = reporter.onStep()) log::info("obs", *line);
+      }
     }
-    ++result.iterationsStreamed;
-    // n_rep training iterations per streamed step (the training-buffer
-    // decoupling of §IV-C).
-    trainer.trainIterations(cfg.nRep);
-    if (cfg.stepReportEvery > 0) {
-      if (const auto line = reporter.onStep()) log::info("obs", *line);
-    }
+  } catch (const stream::StreamError& e) {
+    // Peer failure / step deadline: degrade. Fail both channels so the
+    // producer (possibly blocked on the partner stream) unwinds too.
+    result.degraded = true;
+    result.faultNote = e.what();
+    failBoth(std::string("consumer stopped: ") + e.what());
+  } catch (const fault::FaultInjectedError& e) {
+    result.degraded = true;
+    result.faultNote = e.what();
+    failBoth(std::string("consumer stopped: ") + e.what());
   }
   producerThread.join();
+  {
+    std::lock_guard<std::mutex> lock(producerFaultMutex);
+    if (!producerFault.empty()) {
+      result.degraded = true;
+      if (result.faultNote.empty())
+        result.faultNote = "producer failed: " + producerFault;
+    }
+  }
 
   result.train = trainer.stats();
   result.bytesStreamed =

@@ -8,6 +8,9 @@
 /// simulation if need be".
 #pragma once
 
+#include <cstdint>
+#include <string>
+
 #include "core/producer.hpp"
 #include "core/trainer.hpp"
 
@@ -23,6 +26,19 @@ struct PipelineConfig {
   /// Log an obs::StepReporter line every N streamed steps (0 disables).
   long stepReportEvery = 10;
 
+  /// Deadline for every blocking SST step call on both channels
+  /// (stream::SstParams::stepTimeoutMicros; 0 = wait forever). With a
+  /// deadline set, a dead or wedged peer degrades the run instead of
+  /// hanging it.
+  std::uint64_t streamStepTimeoutMicros = 0;
+  /// Crash-consistent checkpointing (core/checkpoint.hpp): when
+  /// `checkpointDir` is non-empty, the pipeline checkpoints the trainer
+  /// every `checkpointEvery` streamed steps, keeping `checkpointKeep`
+  /// rotations.
+  std::string checkpointDir;
+  long checkpointEvery = 0;
+  std::size_t checkpointKeep = 2;
+
   /// Consistency-checked defaults for a quick run.
   static PipelineConfig quickDemo();
 };
@@ -34,6 +50,14 @@ struct PipelineResult {
   std::size_t bytesStreamed = 0;
   double wallSeconds = 0;
   double producerStallSeconds = 0;  ///< back-pressure on the simulation
+  /// True when the run ended early on a stream/peer failure instead of
+  /// end-of-stream; `faultNote` records what happened. Data streamed
+  /// before the failure has been trained on, and the trainer remains
+  /// usable — the caller decides between resume-from-checkpoint and
+  /// accepting the shorter run.
+  bool degraded = false;
+  std::string faultNote;
+  long checkpointsWritten = 0;
 };
 
 /// Run the full in-transit pipeline; returns metrics and leaves the

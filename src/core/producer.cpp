@@ -1,6 +1,7 @@
 #include "core/producer.hpp"
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 
 namespace artsci::core {
 
@@ -81,6 +82,7 @@ void KhiStreamProducer::run() {
   for (long s = 0; s < cfg_.totalSteps; ++s) {
     sim_->step();
     if ((s + 1) % cfg_.streamEvery == 0) {
+      FAULT_POINT("producer.step");
       emitIteration(iterationsStreamed_);
       // Windowed spectra: reset so the next emission reflects the most
       // recent dynamics, matching the per-time-step training pairs.

@@ -4,6 +4,7 @@
 
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -61,7 +62,51 @@ std::shared_ptr<const ArtificialScientistModel> InTransitTrainer::exportSnapshot
   return cloneForInference(model(0));
 }
 
+TrainerCheckpointState InTransitTrainer::captureCheckpointState() const {
+  TrainerCheckpointState s;
+  for (auto& t : replicas_[0]->parameters()) s.params.push_back(t.data());
+  s.adamPacked = optimizers_[0]->packedState();
+  s.adamStep = optimizers_[0]->stepCount();
+  for (const auto& rng : rankRngs_) s.rankRngs.push_back(rng.state());
+  s.buffer = buffer_.snapshot();
+  s.iterations = stats_.iterations;
+  return s;
+}
+
+void InTransitTrainer::restoreCheckpointState(
+    const TrainerCheckpointState& s) {
+  ARTSCI_CHECK_MSG(s.rankRngs.size() == cfg_.ranks,
+                   "checkpoint has " << s.rankRngs.size()
+                                     << " rank RNG states, trainer has "
+                                     << cfg_.ranks << " ranks");
+  auto tensors = replicas_[0]->parameters();
+  ARTSCI_CHECK_MSG(s.params.size() == tensors.size(),
+                   "checkpoint has " << s.params.size()
+                                     << " parameter tensors, model has "
+                                     << tensors.size());
+  for (std::size_t i = 0; i < tensors.size(); ++i)
+    ARTSCI_CHECK_MSG(s.params[i].size() == tensors[i].data().size(),
+                     "checkpoint tensor " << i << " has "
+                                          << s.params[i].size()
+                                          << " values, model tensor has "
+                                          << tensors[i].data().size());
+  // All-or-nothing beyond this point: restorePackedState validates the
+  // Adam layout before mutating, and everything after it cannot fail.
+  for (std::size_t r = 0; r < cfg_.ranks; ++r) {
+    auto rankTensors = replicas_[r]->parameters();
+    for (std::size_t i = 0; i < rankTensors.size(); ++i)
+      rankTensors[i].data() = s.params[i];
+    optimizers_[r]->restorePackedState(s.adamPacked, s.adamStep);
+    rankRngs_[r].setState(s.rankRngs[r]);
+  }
+  buffer_.restore(s.buffer);
+  stats_.iterations = s.iterations;
+}
+
 void InTransitTrainer::trainIterations(long iterations) {
+  // Injected before the rank team forms: a fault inside the team would
+  // strand peers in allReduce.
+  FAULT_POINT("train.step");
   if (!buffer_.ready()) return;
   Timer timer;
   const long points = cfg_.buffer.nowPerBatch > 0

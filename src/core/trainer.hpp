@@ -29,6 +29,20 @@ struct TrainerConfig {
   std::uint64_t seed = 777;
 };
 
+/// Everything the trainer needs to resume *bit-identically* after a
+/// crash: rank-0 model parameters and Adam moments (replicas are
+/// identical across ranks by construction, so one copy restores all),
+/// every rank's RNG — including the Box-Muller cache — and the full
+/// replay-buffer snapshot. Serialized by core/checkpoint.hpp.
+struct TrainerCheckpointState {
+  std::vector<std::vector<ml::Real>> params;  ///< per-tensor, model order
+  std::vector<ml::Real> adamPacked;           ///< ml::Adam::packedState()
+  long adamStep = 0;
+  std::vector<Rng::State> rankRngs;
+  replay::TrainingBuffer<Sample>::Snapshot buffer;
+  long iterations = 0;
+};
+
 struct TrainStats {
   std::vector<double> lossHistory;      ///< rank-0 total loss per iteration
   std::vector<double> chamferHistory;   ///< VAE reconstruction term
@@ -68,6 +82,15 @@ class InTransitTrainer {
   /// Rank-0 step-arena statistics (allocation-plan replay counters); the
   /// bench gate asserts zero steady-state heap allocations through these.
   ml::Arena::Stats arenaStats(std::size_t rank = 0) const;
+
+  /// Capture resume state. Call between trainIterations() calls (like
+  /// exportSnapshot, not concurrently with an in-flight step).
+  TrainerCheckpointState captureCheckpointState() const;
+  /// Apply captured state to every rank. The trainer must be constructed
+  /// with the same model config and rank count the state came from
+  /// (ContractError otherwise); afterwards training evolves bit-identically
+  /// to the run that produced the state.
+  void restoreCheckpointState(const TrainerCheckpointState& state);
 
  private:
   TrainerConfig cfg_;

@@ -1,0 +1,175 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace artsci::fault {
+
+Plan& Plan::global() {
+  static Plan instance;
+  return instance;
+}
+
+void Plan::arm(std::vector<Rule> rules) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_ = std::move(rules);
+  hits_.clear();
+  injected_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void Plan::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+}
+
+namespace {
+
+/// Record one injection in the tallies and the global registry. Counters
+/// are name-resolved per injection — injections are rare by definition.
+void recordInjection(std::uint64_t& injected, const char* site,
+                     const char* action) {
+  ++injected;
+  obs::Registry::global().counter("fault.injected").add();
+  obs::Registry::global()
+      .counter(std::string("fault.site.") + site + "." + action)
+      .add();
+}
+
+}  // namespace
+
+void Plan::onSite(const char* site) {
+  std::uint64_t sleepMicros = 0;
+  const Rule* fire = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!armed_.load(std::memory_order_relaxed)) return;
+    const std::uint64_t hit = ++hits_[site];
+    for (const Rule& r : rules_) {
+      if (r.site != site || r.action == Action::kTornWrite) continue;
+      if (hit < r.hit || hit >= r.hit + r.count) continue;
+      fire = &r;
+      break;
+    }
+    if (!fire) return;
+    switch (fire->action) {
+      case Action::kDelay:
+        sleepMicros = fire->delayMicros;
+        recordInjection(injected_, site, "delay");
+        break;
+      case Action::kError:
+        recordInjection(injected_, site, "error");
+        break;
+      case Action::kPeerDeath:
+        recordInjection(injected_, site, "die");
+        break;
+      case Action::kTornWrite:
+        break;  // unreachable (filtered above)
+    }
+    // Throwing unwinds through the lock_guard; delays sleep unlocked so
+    // a stalled site never blocks the other threads' bookkeeping.
+    if (fire->action == Action::kError)
+      throw FaultInjectedError(std::string("injected fault at ") + site);
+    if (fire->action == Action::kPeerDeath)
+      throw PeerDeathError(std::string("injected peer death at ") + site);
+  }
+  if (sleepMicros > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(sleepMicros));
+}
+
+std::size_t Plan::tornBytes(const char* site, std::size_t n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!armed_.load(std::memory_order_relaxed)) return n;
+  const std::uint64_t hit = ++hits_[site];
+  for (const Rule& r : rules_) {
+    if (r.site != site || r.action != Action::kTornWrite) continue;
+    if (hit < r.hit || hit >= r.hit + r.count) continue;
+    recordInjection(injected_, site, "torn");
+    return static_cast<std::size_t>(
+        std::min<std::uint64_t>(r.keepBytes, n));
+  }
+  return n;
+}
+
+std::map<std::string, std::uint64_t> Plan::siteHits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::uint64_t Plan::injectedCount() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return injected_;
+}
+
+namespace {
+
+std::uint64_t parseUint(const std::string& text, const std::string& what) {
+  ARTSCI_CHECK_MSG(!text.empty() &&
+                       text.find_first_not_of("0123456789") ==
+                           std::string::npos,
+                   "fault spec: bad " << what << " '" << text << "'");
+  return std::stoull(text);
+}
+
+Rule parseRule(const std::string& token) {
+  const auto at = token.find('@');
+  const auto colon = token.find(':', at == std::string::npos ? 0 : at);
+  ARTSCI_CHECK_MSG(at != std::string::npos && colon != std::string::npos &&
+                       at > 0 && colon > at + 1,
+                   "fault spec: rule '" << token
+                                        << "' is not <site>@<hit>:<action>");
+  Rule r;
+  r.site = token.substr(0, at);
+  std::string hitPart = token.substr(at + 1, colon - at - 1);
+  const auto plus = hitPart.find('+');
+  if (plus != std::string::npos) {
+    r.count = parseUint(hitPart.substr(plus + 1), "count");
+    hitPart = hitPart.substr(0, plus);
+  }
+  r.hit = parseUint(hitPart, "hit index");
+  ARTSCI_CHECK_MSG(r.hit >= 1 && r.count >= 1,
+                   "fault spec: hit/count must be >= 1 in '" << token << "'");
+  const std::string action = token.substr(colon + 1);
+  if (action == "error") {
+    r.action = Action::kError;
+  } else if (action == "die") {
+    r.action = Action::kPeerDeath;
+  } else if (action.rfind("delay=", 0) == 0) {
+    r.action = Action::kDelay;
+    r.delayMicros = parseUint(action.substr(6), "delay micros");
+  } else if (action.rfind("torn=", 0) == 0) {
+    r.action = Action::kTornWrite;
+    r.keepBytes = parseUint(action.substr(5), "torn keep-bytes");
+  } else {
+    ARTSCI_CHECK_MSG(false, "fault spec: unknown action '" << action << "'");
+  }
+  return r;
+}
+
+}  // namespace
+
+std::vector<Rule> Plan::parseSpec(const std::string& spec) {
+  std::vector<Rule> rules;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    auto end = spec.find(';', pos);
+    if (end == std::string::npos) end = spec.size();
+    if (end > pos) rules.push_back(parseRule(spec.substr(pos, end - pos)));
+    pos = end + 1;
+  }
+  return rules;
+}
+
+bool Plan::armFromEnv() {
+  const char* spec = std::getenv("ARTSCI_FAULT_PLAN");
+  if (!spec || !*spec) return false;
+  arm(parseSpec(spec));
+  return true;
+}
+
+}  // namespace artsci::fault

@@ -1,5 +1,6 @@
 #include "ml/optim.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace artsci::ml {
@@ -50,6 +51,42 @@ void Adam::zeroGrad() {
 void Adam::setLearningRate(std::size_t group, Real lr) {
   ARTSCI_EXPECTS(group < groups_.size());
   groups_[group].lr = lr;
+}
+
+std::vector<Real> Adam::packedState() const {
+  std::vector<Real> packed;
+  for (const auto& group : state_) {
+    for (const auto& st : group) {
+      packed.insert(packed.end(), st.m.begin(), st.m.end());
+      packed.insert(packed.end(), st.v.begin(), st.v.end());
+    }
+  }
+  return packed;
+}
+
+void Adam::restorePackedState(const std::vector<Real>& packed, long t) {
+  ARTSCI_EXPECTS(t >= 0);
+  std::size_t need = 0;
+  for (const auto& group : state_)
+    for (const auto& st : group) need += st.m.size() + st.v.size();
+  ARTSCI_CHECK_MSG(packed.size() == need,
+                   "packed Adam state has " << packed.size()
+                                            << " values, optimizer needs "
+                                            << need);
+  std::size_t off = 0;
+  for (auto& group : state_) {
+    for (auto& st : group) {
+      std::copy(packed.begin() + static_cast<long>(off),
+                packed.begin() + static_cast<long>(off + st.m.size()),
+                st.m.begin());
+      off += st.m.size();
+      std::copy(packed.begin() + static_cast<long>(off),
+                packed.begin() + static_cast<long>(off + st.v.size()),
+                st.v.begin());
+      off += st.v.size();
+    }
+  }
+  t_ = t;
 }
 
 Real Adam::learningRate(std::size_t group) const {

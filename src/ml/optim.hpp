@@ -40,6 +40,16 @@ class Adam {
   std::size_t groupCount() const { return groups_.size(); }
   long stepCount() const { return t_; }
 
+  /// Flatten the full optimizer state — first/second moments in
+  /// group/param order (m then v per param) — for checkpointing. The
+  /// layout is an implementation detail shared only with
+  /// restorePackedState on an identically-constructed optimizer.
+  std::vector<Real> packedState() const;
+  /// Inverse of packedState; `t` is the step count the moments belong to.
+  /// Throws ContractError when the packed size does not match this
+  /// optimizer's parameter layout.
+  void restorePackedState(const std::vector<Real>& packed, long t);
+
  private:
   struct State {
     std::vector<Real> m, v;

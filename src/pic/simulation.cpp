@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/log.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pic/interpolate.hpp"
@@ -147,6 +148,7 @@ void Simulation::pushAndDeposit(std::size_t speciesIdx) {
 
 void Simulation::step() {
   TRACE_SCOPE("pic", "step");
+  FAULT_POINT("pic.step");
   // Resolved once; the registry owns the metrics for the process lifetime.
   static obs::Counter& steps = obs::Registry::global().counter("pic.steps");
   static obs::Counter& updates =

@@ -20,6 +20,7 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -48,6 +49,7 @@ class TrainingBuffer {
   /// displaced sample into the EP buffer with random eviction).
   void push(SampleT sample) {
     TRACE_SCOPE("replay", "push");
+    FAULT_POINT("replay.push");
     std::lock_guard<std::mutex> lock(mutex_);
     now_.push_front(std::move(sample));
     ++received_;
@@ -133,6 +135,36 @@ class TrainingBuffer {
   std::vector<SampleT> epSnapshot() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return {ep_.begin(), ep_.end()};
+  }
+
+  /// Complete buffer state for crash-consistent checkpointing: contents
+  /// of both internal buffers, the eviction RNG, and the counters. A
+  /// restored buffer evolves bit-identically to one that never stopped.
+  struct Snapshot {
+    std::vector<SampleT> now, ep;
+    Rng::State rng{};
+    std::size_t received = 0;
+    std::size_t batchesSampled = 0;
+  };
+
+  Snapshot snapshot() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot s;
+    s.now.assign(now_.begin(), now_.end());
+    s.ep = ep_;
+    s.rng = rng_.state();
+    s.received = received_;
+    s.batchesSampled = batchesSampled_;
+    return s;
+  }
+
+  void restore(const Snapshot& s) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    now_.assign(s.now.begin(), s.now.end());
+    ep_ = s.ep;
+    rng_.setState(s.rng);
+    received_ = s.received;
+    batchesSampled_ = s.batchesSampled;
   }
 
  private:

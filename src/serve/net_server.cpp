@@ -13,6 +13,7 @@
 #include <array>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/log.hpp"
@@ -73,6 +74,7 @@ NetServer::NetServer(NetServerConfig cfg,
   protocolErrors_ = &reg.counter("net.protocol_errors");
   repliesOut_ = &reg.counter("net.replies_out");
   errorsOut_ = &reg.counter("net.errors_out");
+  workerRestarts_ = &reg.counter("serve.worker_restarts");
   openConns_ = &reg.gauge("net.open_connections");
 
   // --- listen socket ------------------------------------------------------
@@ -110,24 +112,70 @@ NetServer::NetServer(NetServerConfig cfg,
   shards_.reserve(cfg_.shards);
   for (std::size_t s = 0; s < cfg_.shards; ++s) {
     auto shard = std::make_unique<Shard>();
-    ServerConfig scfg;
-    scfg.policy = cfg_.policy;
-    scfg.workers = 1;
-    // Distinct seed stream per shard so posterior draws never correlate
-    // across shards.
-    scfg.seed = cfg_.seed + 0x5bf03635ULL * (s + 1);
-    scfg.pinCoreBase = cfg_.pinCores ? static_cast<int>(s) : -1;
-    scfg.metrics = metrics_;
-    shard->server = std::make_unique<InferenceServer>(scfg, registry_);
+    shard->server = makeShardServer(s, 0);
     shards_.push_back(std::move(shard));
   }
   depthScratch_.resize(shards_.size(), 0);
   for (auto& shard : shards_)
     shard->collector = std::thread([this, &shard] { collectorLoop(*shard); });
 
+  if (cfg_.superviseWorkers)
+    supervisorThread_ = std::thread([this] { supervisorLoop(); });
+
   ioThread_ = std::thread([this] { ioLoop(); });
   log::info("serve.net", "listening on ", cfg_.host, ":", port_, " with ",
             cfg_.shards, " shard(s)");
+}
+
+std::shared_ptr<InferenceServer> NetServer::makeShardServer(
+    std::size_t index, std::size_t generation) {
+  ServerConfig scfg;
+  scfg.policy = cfg_.policy;
+  scfg.workers = 1;
+  // Distinct seed stream per shard so posterior draws never correlate
+  // across shards; a restarted incarnation gets its own stream too.
+  scfg.seed = cfg_.seed + 0x5bf03635ULL * (index + 1) +
+              0x9e3779b9ULL * generation;
+  scfg.pinCoreBase = cfg_.pinCores ? static_cast<int>(index) : -1;
+  scfg.metrics = metrics_;
+  return std::make_shared<InferenceServer>(scfg, registry_);
+}
+
+void NetServer::supervisorLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(cfg_.supervisorPollMillis));
+    for (std::size_t s = 0; s < shards_.size(); ++s) {
+      Shard& shard = *shards_[s];
+      const std::shared_ptr<InferenceServer> current = shardServer(shard);
+      if (current->healthy()) continue;
+      // Replace the crashed incarnation. Build the successor first so the
+      // shard is never without a server, then retire the corpse: kReject
+      // fails its queued requests with ShutdownError, which the collector
+      // (still holding their futures) turns into typed kShuttingDown
+      // frames — exactly one reply per request, even across the crash.
+      const std::size_t generation = shard.restarts + 1;
+      auto replacement = makeShardServer(s, generation);
+      {
+        std::lock_guard<std::mutex> lock(shard.serverMutex);
+        shard.server = replacement;
+        shard.restarts = generation;
+      }
+      current->shutdown(InferenceServer::ShutdownMode::kReject);
+      workerRestarts_->add();
+      log::warn("serve.net", "shard ", s,
+                " worker crashed; restarted (generation ", generation, ")");
+    }
+  }
+}
+
+std::size_t NetServer::workerRestarts() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->serverMutex);
+    total += shard->restarts;
+  }
+  return total;
 }
 
 NetServer::~NetServer() { stop(); }
@@ -138,12 +186,14 @@ void NetServer::stop() {
   const std::uint64_t one = 1;
   [[maybe_unused]] const ssize_t n = ::write(wakeFd_, &one, sizeof(one));
   if (ioThread_.joinable()) ioThread_.join();
+  // Supervisor before shard shutdown: no restarts may race the drain.
+  if (supervisorThread_.joinable()) supervisorThread_.join();
 
   // Drain order: every request already dispatched to a shard resolves its
   // future (kDrain), then each collector flushes its FIFO of replies —
   // only after that do connections close. Nothing accepted is lost.
   for (auto& shard : shards_)
-    shard->server->shutdown(InferenceServer::ShutdownMode::kDrain);
+    shardServer(*shard)->shutdown(InferenceServer::ShutdownMode::kDrain);
   for (auto& shard : shards_) {
     {
       std::lock_guard<std::mutex> lock(shard->mutex);
@@ -168,7 +218,7 @@ ServeMetrics::Report NetServer::metrics() const {
   ServeMetrics::Report rep = metrics_->report();
   rep.queueDepth = 0;
   for (const auto& shard : shards_)
-    rep.queueDepth += shard->server->metrics().queueDepth;
+    rep.queueDepth += shardServer(*shard)->metrics().queueDepth;
   return rep;
 }
 
@@ -292,14 +342,15 @@ void NetServer::dispatchFrame(const std::shared_ptr<Connection>& conn,
   const std::uint64_t deadline =
       frame.meta > 0 ? frame.meta : cfg_.defaultDeadlineMicros;
   Shard& shard = *shards_[pickShard()];
+  // Pin this request to one incarnation: copy the pointer once so a
+  // supervisor swap mid-dispatch cannot split submit and reply routing.
+  const std::shared_ptr<InferenceServer> server = shardServer(shard);
   PendingReply p;
   p.conn = conn;
   p.requestId = frame.requestId;
   p.future = isPredict
-                 ? shard.server->predictSpectrum(std::move(frame.values),
-                                                 deadline)
-                 : shard.server->invertSpectrum(std::move(frame.values),
-                                                deadline);
+                 ? server->predictSpectrum(std::move(frame.values), deadline)
+                 : server->invertSpectrum(std::move(frame.values), deadline);
   {
     std::lock_guard<std::mutex> lock(shard.mutex);
     shard.pending.push_back(std::move(p));
@@ -315,8 +366,14 @@ std::size_t NetServer::pickShard() {
   // Snapshot the per-shard queue depths (the gauges the batchers already
   // maintain), then pick the shallowest; the rotating hint both spreads
   // ties and keeps the scan O(shards) worst case.
-  for (std::size_t s = 0; s < shards_.size(); ++s)
-    depthScratch_[s] = shards_[s]->server->queueDepth();
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::shared_ptr<InferenceServer> srv = shardServer(*shards_[s]);
+    // An unhealthy shard (worker crashed, supervisor restart pending) is
+    // routed around: give it the worst possible depth so least-loaded
+    // dispatch only picks it when every shard is down.
+    depthScratch_[s] = srv->healthy() ? srv->queueDepth()
+                                      : std::numeric_limits<std::size_t>::max();
+  }
   return pickLeastLoadedShard(depthScratch_.data(), depthScratch_.size(),
                               hint);
 }

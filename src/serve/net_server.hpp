@@ -83,6 +83,16 @@ struct NetServerConfig {
   /// Per-frame payload cap enforced by the decoder before any allocation.
   std::size_t maxPayloadBytes = proto::kDefaultMaxPayloadBytes;
   std::uint64_t seed = 0xced5ULL;  ///< base seed for posterior-draw RNGs
+  /// Restart crashed shard workers. A supervisor thread polls shard
+  /// health; when a worker died (simulated via
+  /// FAULT_POINT("serve.worker_batch")) it builds a fresh InferenceServer
+  /// from the registry snapshot, swaps it in, and fails the dead one's
+  /// queued requests with typed kShuttingDown errors — every request
+  /// still gets exactly one reply, and the shard returns to service
+  /// within ~supervisorPollMillis. Each restart bumps the
+  /// `serve.worker_restarts` counter.
+  bool superviseWorkers = true;
+  std::uint64_t supervisorPollMillis = 2;
 };
 
 /// The network front end. Construction binds, listens, and starts the I/O
@@ -103,6 +113,10 @@ class NetServer {
   /// its shard, flush all replies, then close every connection.
   /// Idempotent.
   void stop();
+
+  /// Shard workers replaced by the supervisor so far (also exported as
+  /// the `serve.worker_restarts` counter).
+  std::size_t workerRestarts() const;
 
   /// Aggregated metrics across all shards (shared ServeMetrics; queue
   /// depth summed over the shard batchers).
@@ -134,15 +148,28 @@ class NetServer {
   };
 
   /// One shard: a single-worker InferenceServer plus the collector that
-  /// turns resolved futures into wire frames in dispatch order.
+  /// turns resolved futures into wire frames in dispatch order. The
+  /// server pointer is swapped by the supervisor after a worker crash;
+  /// `serverMutex` guards the pointer itself (the InferenceServer is
+  /// internally thread-safe once you hold a reference).
   struct Shard {
-    std::unique_ptr<InferenceServer> server;
+    std::shared_ptr<InferenceServer> server;  ///< guarded by serverMutex
+    mutable std::mutex serverMutex;
+    std::size_t restarts = 0;  ///< guarded by serverMutex
     std::thread collector;
     std::mutex mutex;
     std::condition_variable cv;
     std::deque<PendingReply> pending;
     bool stopped = false;
   };
+
+  std::shared_ptr<InferenceServer> makeShardServer(std::size_t index,
+                                                   std::size_t generation);
+  static std::shared_ptr<InferenceServer> shardServer(const Shard& shard) {
+    std::lock_guard<std::mutex> lock(shard.serverMutex);
+    return shard.server;
+  }
+  void supervisorLoop();
 
   void ioLoop();
   void handleReadable(const std::shared_ptr<Connection>& conn);
@@ -176,6 +203,7 @@ class NetServer {
   std::uint64_t nextConnId_ = 1;
 
   std::thread ioThread_;
+  std::thread supervisorThread_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
 
@@ -186,6 +214,7 @@ class NetServer {
   obs::Counter* protocolErrors_ = nullptr;
   obs::Counter* repliesOut_ = nullptr;
   obs::Counter* errorsOut_ = nullptr;
+  obs::Counter* workerRestarts_ = nullptr;
   obs::Gauge* openConns_ = nullptr;
 };
 

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace artsci::serve {
@@ -69,6 +70,15 @@ std::future<InferenceResult> InferenceServer::submit(
         std::make_exception_ptr(ShutdownError("server is shut down")));
     return fut;
   }
+  if (!healthy_.load(std::memory_order_acquire)) {
+    // A crashed worker means queued work may never execute; reject at the
+    // door with a typed error so no future dangles while the supervisor
+    // replaces this server.
+    metrics_->recordRejected(endpoint);
+    r.promise.set_exception(std::make_exception_ptr(
+        RuntimeError("inference worker crashed; server awaiting restart")));
+    return fut;
+  }
   if (!batcher_.enqueue(r)) {
     // Admission control: the bounded queue is at capacity, so the newest
     // request is the one shed — the queued ones are older and closer to
@@ -110,6 +120,23 @@ void InferenceServer::workerLoop(std::size_t workerIndex) {
     if (batch.empty()) {
       if (expired.empty()) return;  // stopped and drained: worker exits
       continue;
+    }
+    try {
+      FAULT_POINT("serve.worker_batch");
+    } catch (const fault::PeerDeathError& e) {
+      // Simulated worker crash: contain it to this shard. The batch in
+      // hand gets typed failures (exactly one reply per request, even
+      // across a crash), the server goes unhealthy so submits are
+      // rejected and dispatch routes around it, and the worker thread
+      // exits — the supervisor (net_server.cpp) builds a replacement.
+      healthy_.store(false, std::memory_order_release);
+      const auto err = std::make_exception_ptr(RuntimeError(
+          std::string("inference worker crashed: ") + e.what()));
+      for (auto& r : batch) {
+        metrics_->recordRejected(r.endpoint);
+        r.promise.set_exception(err);
+      }
+      return;
     }
     // The batch left the queue but is not done: keep it visible to
     // queueDepth() until right before its promises resolve, so

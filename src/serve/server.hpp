@@ -108,6 +108,13 @@ class InferenceServer {
     return batcher_.depth() + inFlight_.load(std::memory_order_relaxed);
   }
 
+  /// False once a worker crashed (FAULT_POINT("serve.worker_batch") peer
+  /// death). An unhealthy server keeps its exactly-one-reply contract —
+  /// the crashed worker's batch is failed with typed errors, later
+  /// submits are rejected — but executes nothing new; the sharded front
+  /// end routes around it and its supervisor replaces it.
+  bool healthy() const { return healthy_.load(std::memory_order_acquire); }
+
   /// Metrics snapshot (includes current queue depth).
   ServeMetrics::Report metrics() const;
   /// The (possibly shared) metrics sink this server records into.
@@ -135,6 +142,7 @@ class InferenceServer {
   std::shared_ptr<ServeMetrics> metrics_;
   std::atomic<bool> accepting_{true};
   std::atomic<bool> shutdownDone_{false};
+  std::atomic<bool> healthy_{true};
   /// Requests popped from the queue whose batch is still executing.
   std::atomic<std::size_t> inFlight_{0};
   // Declared last: destroyed first, after shutdown() joined the loops.

@@ -1,8 +1,10 @@
 #include "stream/sst.hpp"
 
+#include <chrono>
 #include <cstring>
 
 #include "common/timer.hpp"
+#include "fault/fault.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -67,6 +69,101 @@ SstEngine::SstEngine(SstParams params) : params_(params) {
   ARTSCI_EXPECTS(params.queueLimit >= 1);
 }
 
+// --- failure machinery ------------------------------------------------------
+
+void SstEngine::failLocked(const std::string& reason) {
+  if (failed_) return;  // first failure wins; later ones add no information
+  failed_ = true;
+  failReason_ = reason;
+}
+
+void SstEngine::abort(const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    failLocked(reason);
+  }
+  cv_.notify_all();
+}
+
+bool SstEngine::failed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failed_;
+}
+
+std::string SstEngine::failReason() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return failReason_;
+}
+
+void SstEngine::throwIfFailedLocked(const char* where) const {
+  if (failed_)
+    throw StreamPeerFailedError(std::string("nanoSST ") + where +
+                                ": stream failed: " + failReason_);
+}
+
+void SstEngine::waitStepLocked(std::unique_lock<std::mutex>& lock,
+                               const char* what,
+                               const std::function<bool()>& pred) {
+  if (params_.stepTimeoutMicros == 0) {
+    cv_.wait(lock, pred);
+    return;
+  }
+  if (cv_.wait_for(lock, std::chrono::microseconds(params_.stepTimeoutMicros),
+                   pred))
+    return;
+  // Deadline expired: this peer gives up on the step, which makes the
+  // whole stream unusable (a collective step cannot complete without it).
+  // Fail the stream so every other waiter wakes with a peer-failure error
+  // instead of blocking forever on a group that will never re-form.
+  obs::Registry::global().counter("sst.step_timeouts").add();
+  const std::string what_s(what);
+  failLocked(what_s + " deadline of " +
+             std::to_string(params_.stepTimeoutMicros) + " us expired");
+  cv_.notify_all();
+  throw StreamTimeoutError("nanoSST " + what_s + ": no progress within " +
+                           std::to_string(params_.stepTimeoutMicros) +
+                           " us step deadline");
+}
+
+void SstEngine::injectSiteFault(const char* site, const char* who,
+                                std::size_t rank) {
+#if ARTSCI_FAULTS
+  if (!fault::Plan::global().armed()) return;
+  try {
+    fault::Plan::global().onSite(site);
+  } catch (const fault::PeerDeathError& e) {
+    // Peer death is a *stream* failure, not a local one: fail the group so
+    // every blocked peer wakes, then let the death propagate to the caller.
+    abort(std::string(who) + " rank " + std::to_string(rank) +
+          " died: " + e.what());
+    throw;
+  }
+#else
+  (void)site;
+  (void)who;
+  (void)rank;
+#endif
+}
+
+void SstEngine::publishLocked(std::size_t ended) {
+  bytesPublished_ += assembling_->totalBytes();
+  obs::Registry::global().counter("stream.bytes_published")
+      .add(assembling_->totalBytes());
+  obs::Registry::global().counter("stream.steps_published").add();
+  queue_.push_back(std::move(assembling_));
+  obs::Registry::global().gauge("stream.queue_depth")
+      .set(static_cast<double>(queue_.size()));
+  assembling_.reset();
+  ++stepsPublished_;
+  ++nextStep_;
+  writersBegun_ = 0;
+  writersEnded_ = 0;
+  // The other `ended - 1` ranks are still inside endStep; the next step
+  // must not start assembling until all of them left (gates beginStep).
+  writersDraining_ = ended - 1;
+  cv_.notify_all();
+}
+
 long SstEngine::stepsPublished() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stepsPublished_;
@@ -97,14 +194,18 @@ SstEngine::Writer::Writer(SstEngine& engine, std::size_t rank)
 void SstEngine::Writer::beginStep() {
   TRACE_SCOPE("stream", "writer_begin_step");
   ARTSCI_CHECK_MSG(!inStep_, "writer rank already in a step");
+  ARTSCI_CHECK_MSG(!closed_, "beginStep on closed writer");
+  engine_.injectSiteFault("sst.writer.begin_step", "writer", rank_);
   std::unique_lock<std::mutex> lock(engine_.mutex_);
-  ARTSCI_CHECK_MSG(!engine_.closed_, "beginStep on closed stream");
   // A publication is complete only once every straggler of the previous
   // group has left endStep (writersDraining_ reaches 0, see endStep).
   // Opening the next assembling step before that would let a straggler
   // observe next-step state from inside the previous step's endStep —
   // the interleaving behind the step-id race this engine had.
-  engine_.cv_.wait(lock, [this] { return engine_.writersDraining_ == 0; });
+  engine_.waitStepLocked(lock, "writer beginStep", [this] {
+    return engine_.failed_ || engine_.writersDraining_ == 0;
+  });
+  engine_.throwIfFailedLocked("writer beginStep");
   if (!engine_.assembling_) {
     engine_.assembling_ = std::make_unique<StepData>();
     engine_.assembling_->step = engine_.nextStep_;
@@ -126,6 +227,7 @@ void SstEngine::Writer::put(const std::string& variable, Block block,
   ARTSCI_EXPECTS(block.extent.size() == globalExtent.size());
   block.writerRank = rank_;
   std::lock_guard<std::mutex> lock(engine_.mutex_);
+  engine_.throwIfFailedLocked("writer put");
   auto& step = *engine_.assembling_;
   auto [it, inserted] = step.globalExtents.emplace(variable, globalExtent);
   if (!inserted) {
@@ -138,6 +240,7 @@ void SstEngine::Writer::put(const std::string& variable, Block block,
 void SstEngine::Writer::setAttribute(const std::string& name, double value) {
   ARTSCI_CHECK_MSG(inStep_, "setAttribute outside a step");
   std::lock_guard<std::mutex> lock(engine_.mutex_);
+  engine_.throwIfFailedLocked("writer setAttribute");
   engine_.assembling_->numericAttributes[name] = value;
 }
 
@@ -145,43 +248,42 @@ void SstEngine::Writer::setAttribute(const std::string& name,
                                      const std::string& value) {
   ARTSCI_CHECK_MSG(inStep_, "setAttribute outside a step");
   std::lock_guard<std::mutex> lock(engine_.mutex_);
+  engine_.throwIfFailedLocked("writer setAttribute");
   engine_.assembling_->stringAttributes[name] = value;
 }
 
 void SstEngine::Writer::endStep() {
   TRACE_SCOPE("stream", "writer_end_step");
   ARTSCI_CHECK_MSG(inStep_, "endStep without beginStep");
+  engine_.injectSiteFault("sst.writer.end_step", "writer", rank_);
   Timer stall;
   std::unique_lock<std::mutex> lock(engine_.mutex_);
   ++engine_.writersEnded_;
-  if (engine_.writersEnded_ == engine_.params_.writerRanks) {
-    // Last rank publishes — but only once a queue slot is free
-    // (back-pressure on the whole writer group).
-    engine_.cv_.wait(lock, [this] {
-      return engine_.queue_.size() < engine_.params_.queueLimit;
+  engine_.cv_.notify_all();
+  // Collective EndStep. Every ender waits on one predicate: the step got
+  // published (by a peer, identified via the id captured at beginStep so
+  // the wait is correct however late it runs), or this ender can publish
+  // it — all *active* writers ended and a queue slot is free
+  // (back-pressure on the whole group). "Active" shrinks when a rank
+  // close()s mid-step, so a departure can complete the step: the waiters
+  // are re-woken by close() and the first one through publishes.
+  try {
+    engine_.waitStepLocked(lock, "writer endStep", [this] {
+      return engine_.failed_ || engine_.nextStep_ > step_ ||
+             (engine_.writersEnded_ == engine_.activeWritersLocked() &&
+              engine_.queue_.size() < engine_.params_.queueLimit);
     });
-    engine_.bytesPublished_ += engine_.assembling_->totalBytes();
-    obs::Registry::global().counter("stream.bytes_published")
-        .add(engine_.assembling_->totalBytes());
-    obs::Registry::global().counter("stream.steps_published").add();
-    engine_.queue_.push_back(std::move(engine_.assembling_));
-    obs::Registry::global().gauge("stream.queue_depth")
-        .set(static_cast<double>(engine_.queue_.size()));
-    engine_.assembling_.reset();
-    ++engine_.stepsPublished_;
-    ++engine_.nextStep_;
-    engine_.writersBegun_ = 0;
-    engine_.writersEnded_ = 0;
-    // The other ranks are still inside endStep; the next step must not
-    // start assembling until all of them have left (gates beginStep).
-    engine_.writersDraining_ = engine_.params_.writerRanks - 1;
-    engine_.cv_.notify_all();
+    engine_.throwIfFailedLocked("writer endStep");
+  } catch (...) {
+    // The step died with the stream. Leave the handle out-of-step so the
+    // caller's next beginStep surfaces the typed stream failure instead
+    // of a misuse ContractError.
+    inStep_ = false;
+    throw;
+  }
+  if (engine_.nextStep_ == step_) {
+    engine_.publishLocked(engine_.writersEnded_);
   } else {
-    // Collective EndStep: wait for this rank's step — identified by the
-    // id captured at beginStep, so the wait is correct no matter how
-    // late it runs relative to the publication or to the next step's
-    // beginStep — to be published.
-    engine_.cv_.wait(lock, [this] { return engine_.nextStep_ > step_; });
     --engine_.writersDraining_;
     if (engine_.writersDraining_ == 0) engine_.cv_.notify_all();
   }
@@ -190,12 +292,30 @@ void SstEngine::Writer::endStep() {
 }
 
 void SstEngine::Writer::close() {
+  if (closed_) return;
+  closed_ = true;
   std::lock_guard<std::mutex> lock(engine_.mutex_);
   ++engine_.writersClosed_;
+  if (inStep_) {
+    // Mid-step departure. The step cannot have published yet — publication
+    // needs writersEnded_ == activeWriters and this rank, still active and
+    // not ended, kept that false. Leave the assembling group; the puts
+    // this rank already made stay in the step.
+    --engine_.writersBegun_;
+    inStep_ = false;
+  }
   if (engine_.writersClosed_ == engine_.params_.writerRanks) {
     engine_.closed_ = true;
-    engine_.cv_.notify_all();
+    // A partially assembled step with no live participant can never
+    // publish — drop it rather than leave readers a step that never
+    // completes. (With participants still inside endStep at least one
+    // rank has not closed, so we cannot get here.)
+    if (engine_.assembling_ && engine_.writersEnded_ == 0)
+      engine_.assembling_.reset();
   }
+  // A departure can complete the current step (remaining enders' predicate
+  // flips) or declare end-of-stream — wake everyone either way.
+  engine_.cv_.notify_all();
 }
 
 // --- Reader ---------------------------------------------------------------
@@ -208,15 +328,22 @@ SstEngine::Reader::Reader(SstEngine& engine, std::size_t rank)
 std::shared_ptr<const StepData> SstEngine::Reader::beginStep() {
   TRACE_SCOPE("stream", "reader_begin_step");
   ARTSCI_CHECK_MSG(!inStep_, "reader rank already in a step");
+  engine_.injectSiteFault("sst.reader.begin_step", "reader", rank_);
   std::unique_lock<std::mutex> lock(engine_.mutex_);
-  engine_.cv_.wait(lock, [this] {
-    // Wait for a fresh step, an in-flight group step, or end-of-stream.
+  engine_.waitStepLocked(lock, "reader beginStep", [this] {
+    // Wait for a fresh step, an in-flight group step, end-of-stream, or a
+    // failed stream.
+    if (engine_.failed_) return true;
     if (engine_.current_ &&
         engine_.readersBegun_ < engine_.params_.readerRanks)
       return true;
     if (!engine_.current_ && !engine_.queue_.empty()) return true;
     return engine_.closed_ && engine_.queue_.empty() && !engine_.current_;
   });
+  // Fail fast even when steps are still queued: a failed stream's queued
+  // steps precede an incomplete one, and consuming them would hand the
+  // application a silently truncated run instead of a typed error.
+  engine_.throwIfFailedLocked("reader beginStep");
   if (!engine_.current_) {
     if (engine_.queue_.empty()) return nullptr;  // end-of-stream
     engine_.current_ = engine_.queue_.front();
@@ -232,20 +359,28 @@ std::shared_ptr<const StepData> SstEngine::Reader::beginStep() {
 void SstEngine::Reader::endStep() {
   TRACE_SCOPE("stream", "reader_end_step");
   ARTSCI_CHECK_MSG(inStep_, "reader endStep without beginStep");
+  engine_.injectSiteFault("sst.reader.end_step", "reader", rank_);
   std::unique_lock<std::mutex> lock(engine_.mutex_);
-  ++engine_.readersEnded_;
-  if (engine_.readersEnded_ == engine_.params_.readerRanks) {
-    // Releasing the step frees the writer-side buffer (queue slot).
-    engine_.queue_.pop_front();
-    obs::Registry::global().gauge("stream.queue_depth")
-        .set(static_cast<double>(engine_.queue_.size()));
-    engine_.current_.reset();
-    engine_.cv_.notify_all();
-  } else {
-    const std::shared_ptr<StepData> mine = engine_.current_;
-    engine_.cv_.wait(lock, [this, &mine] {
-      return engine_.current_ != mine;
-    });
+  try {
+    engine_.throwIfFailedLocked("reader endStep");
+    ++engine_.readersEnded_;
+    if (engine_.readersEnded_ == engine_.params_.readerRanks) {
+      // Releasing the step frees the writer-side buffer (queue slot).
+      engine_.queue_.pop_front();
+      obs::Registry::global().gauge("stream.queue_depth")
+          .set(static_cast<double>(engine_.queue_.size()));
+      engine_.current_.reset();
+      engine_.cv_.notify_all();
+    } else {
+      const std::shared_ptr<StepData> mine = engine_.current_;
+      engine_.waitStepLocked(lock, "reader endStep", [this, &mine] {
+        return engine_.failed_ || engine_.current_ != mine;
+      });
+      engine_.throwIfFailedLocked("reader endStep");
+    }
+  } catch (...) {
+    inStep_ = false;  // as in Writer::endStep: fail typed, not ContractError
+    throw;
   }
   inStep_ = false;
 }

@@ -1,0 +1,189 @@
+/// Fuzz-style corruption battery for the checkpoint reader
+/// (core/checkpoint.hpp): truncations at every stride, single-bit flips
+/// across the file, wrong magic/version with a *valid* CRC (exercising
+/// the semantic checks, not just the checksum), trailing garbage, and
+/// rank mismatches. Every defect must surface as a typed CheckpointError
+/// and leave the restoring trainer bit-for-bit untouched — never UB,
+/// never a partial restore.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "common/crc32.hpp"
+#include "core/checkpoint.hpp"
+
+namespace artsci::core {
+namespace {
+
+Sample smallSample(long index) {
+  Rng rng(0x77ULL + static_cast<std::uint64_t>(index));
+  Sample s;
+  s.cloud.resize(64 * 6);
+  for (auto& v : s.cloud) v = rng.uniform(-1, 1);
+  s.spectrum.resize(32);
+  for (auto& v : s.spectrum) v = 0.5 + 0.1 * rng.normal();
+  s.region = static_cast<int>(index % 3);
+  s.step = index;
+  return s;
+}
+
+class CheckpointCorruptTest : public ::testing::Test {
+ protected:
+  // One trainer + serialization for the whole battery: the mutations are
+  // cheap, the model build is not.
+  static void SetUpTestSuite() {
+    TrainerConfig tcfg;
+    tcfg.ranks = 1;
+    trainer_ = new InTransitTrainer(
+        ArtificialScientistModel::Config::reduced(), tcfg);
+    for (long i = 0; i < 6; ++i) trainer_->buffer().push(smallSample(i));
+    trainer_->trainIterations(4);
+    bytes_ = serializePipelineCheckpoint(*trainer_, {6, 4});
+    baseline_ = paramsOf(*trainer_);
+  }
+
+  static void TearDownTestSuite() {
+    delete trainer_;
+    trainer_ = nullptr;
+  }
+
+  static std::vector<std::vector<ml::Real>> paramsOf(
+      const InTransitTrainer& t) {
+    std::vector<std::vector<ml::Real>> out;
+    for (const auto& p : t.model(0).parameters()) out.push_back(p.data());
+    return out;
+  }
+
+  std::string writeFile(const std::vector<std::uint8_t>& bytes) {
+    const std::string path =
+        ::testing::TempDir() + "artsci_corrupt_" +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".artsci";
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    written_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const auto& p : written_) std::remove(p.c_str());
+    written_.clear();
+  }
+
+  /// The defect contract: typed error, untouched trainer.
+  void expectRejected(const std::vector<std::uint8_t>& bytes,
+                      const std::string& what) {
+    const std::string path = writeFile(bytes);
+    EXPECT_THROW(loadPipelineCheckpoint(path, *trainer_), CheckpointError)
+        << what;
+    const auto after = paramsOf(*trainer_);
+    ASSERT_EQ(after.size(), baseline_.size()) << what;
+    for (std::size_t t = 0; t < after.size(); ++t)
+      ASSERT_EQ(after[t], baseline_[t]) << what << ": tensor " << t
+                                        << " was modified";
+  }
+
+  /// Rebuild a valid CRC footer over `body` so mutations *before* the
+  /// footer survive the checksum and reach the semantic validators. The
+  /// footer magic is lifted from the intact serialization rather than
+  /// duplicating the constant here.
+  static std::vector<std::uint8_t> withValidFooter(
+      std::vector<std::uint8_t> body) {
+    const std::uint32_t crc = crc32(body.data(), body.size());
+    std::uint8_t buf[4];
+    std::memcpy(buf, &crc, 4);
+    body.insert(body.end(), buf, buf + 4);
+    body.insert(body.end(), bytes_.end() - 4, bytes_.end());
+    return body;
+  }
+
+  static InTransitTrainer* trainer_;
+  static std::vector<std::uint8_t> bytes_;
+  static std::vector<std::vector<ml::Real>> baseline_;
+  std::vector<std::string> written_;
+};
+
+InTransitTrainer* CheckpointCorruptTest::trainer_ = nullptr;
+std::vector<std::uint8_t> CheckpointCorruptTest::bytes_;
+std::vector<std::vector<ml::Real>> CheckpointCorruptTest::baseline_;
+
+TEST_F(CheckpointCorruptTest, IntactFileLoadsCleanly) {
+  // Guards the battery against vacuity: the unmutated bytes restore fine.
+  const std::string path = writeFile(bytes_);
+  const CheckpointMeta meta = loadPipelineCheckpoint(path, *trainer_);
+  EXPECT_EQ(meta.streamedSteps, 6);
+  EXPECT_EQ(meta.trainerIterations, 4);
+}
+
+TEST_F(CheckpointCorruptTest, TruncationAtEveryStrideRejected) {
+  const std::size_t n = bytes_.size();
+  std::vector<std::size_t> cuts{0, 1, 7, 8, 11, 12, n - 9, n - 4, n - 1};
+  for (std::size_t frac = 1; frac <= 7; ++frac) cuts.push_back(n * frac / 8);
+  for (const std::size_t cut : cuts) {
+    std::vector<std::uint8_t> t(bytes_.begin(),
+                                bytes_.begin() + static_cast<long>(cut));
+    expectRejected(t, "truncated to " + std::to_string(cut) + " bytes");
+  }
+}
+
+TEST_F(CheckpointCorruptTest, SingleBitFlipAnywhereRejected) {
+  // Strided sweep across the whole file, footer included: every flip must
+  // fail the CRC (body), the CRC comparison (stored CRC) or the footer
+  // magic check — all typed, none UB.
+  const std::size_t stride = std::max<std::size_t>(1, bytes_.size() / 29);
+  for (std::size_t off = 0; off < bytes_.size(); off += stride) {
+    auto copy = bytes_;
+    copy[off] ^= 0x10;
+    expectRejected(copy, "bit flip at offset " + std::to_string(off));
+  }
+}
+
+TEST_F(CheckpointCorruptTest, WrongMagicWithValidCrcRejected) {
+  std::vector<std::uint8_t> body(bytes_.begin(), bytes_.end() - 8);
+  body[0] = 'X';
+  expectRejected(withValidFooter(std::move(body)), "wrong magic");
+}
+
+TEST_F(CheckpointCorruptTest, WrongVersionWithValidCrcRejected) {
+  std::vector<std::uint8_t> body(bytes_.begin(), bytes_.end() - 8);
+  const std::uint32_t version = 99;
+  std::memcpy(body.data() + 8, &version, 4);  // version follows the magic
+  expectRejected(withValidFooter(std::move(body)), "version 99");
+}
+
+TEST_F(CheckpointCorruptTest, TrailingGarbageWithValidCrcRejected) {
+  std::vector<std::uint8_t> body(bytes_.begin(), bytes_.end() - 8);
+  body.insert(body.end(), 16, std::uint8_t{0});
+  expectRejected(withValidFooter(std::move(body)), "trailing garbage");
+}
+
+TEST_F(CheckpointCorruptTest, EmptyFileRejected) {
+  expectRejected({}, "empty file");
+}
+
+TEST_F(CheckpointCorruptTest, MissingFileRejected) {
+  InTransitTrainer& t = *trainer_;
+  EXPECT_THROW(
+      loadPipelineCheckpoint(::testing::TempDir() + "does_not_exist.artsci",
+                             t),
+      CheckpointError);
+}
+
+TEST_F(CheckpointCorruptTest, RankMismatchRejectedBeforeAnyRestore) {
+  const std::string path = writeFile(bytes_);  // written with ranks=1
+  TrainerConfig tcfg;
+  tcfg.ranks = 2;
+  InTransitTrainer two(ArtificialScientistModel::Config::reduced(), tcfg);
+  const auto before = paramsOf(two);
+  EXPECT_THROW(loadPipelineCheckpoint(path, two), CheckpointError);
+  const auto after = paramsOf(two);
+  for (std::size_t t = 0; t < after.size(); ++t)
+    ASSERT_EQ(after[t], before[t]) << "tensor " << t;
+}
+
+}  // namespace
+}  // namespace artsci::core

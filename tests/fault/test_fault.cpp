@@ -1,0 +1,188 @@
+/// Unit tests for the deterministic fault-injection subsystem
+/// (src/fault/fault.hpp): spec parsing (good and bad grammar), trigger
+/// counts and ranges, all four actions, zero interference while disarmed,
+/// the obs counters each injection feeds, ScopedPlan hygiene, and
+/// environment-variable arming.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+
+namespace artsci::fault {
+namespace {
+
+/// Every test leaves the global plan disarmed; assert it on entry so a
+/// leak from a foreign test is caught at its source, not three tests on.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { ASSERT_FALSE(Plan::global().armed()); }
+  void TearDown() override { Plan::global().disarm(); }
+};
+
+TEST_F(FaultTest, ParseSpecSingleRule) {
+  const auto rules = Plan::parseSpec("sst.writer.end_step@3:die");
+  ASSERT_EQ(rules.size(), 1u);
+  EXPECT_EQ(rules[0].site, "sst.writer.end_step");
+  EXPECT_EQ(rules[0].hit, 3u);
+  EXPECT_EQ(rules[0].count, 1u);
+  EXPECT_EQ(rules[0].action, Action::kPeerDeath);
+}
+
+TEST_F(FaultTest, ParseSpecAllActionsAndRanges) {
+  const auto rules = Plan::parseSpec(
+      "a@1:error;b@2+3:delay=1500;c@4:torn=128;d@5:die;");
+  ASSERT_EQ(rules.size(), 4u);
+  EXPECT_EQ(rules[0].action, Action::kError);
+  EXPECT_EQ(rules[1].action, Action::kDelay);
+  EXPECT_EQ(rules[1].hit, 2u);
+  EXPECT_EQ(rules[1].count, 3u);
+  EXPECT_EQ(rules[1].delayMicros, 1500u);
+  EXPECT_EQ(rules[2].action, Action::kTornWrite);
+  EXPECT_EQ(rules[2].keepBytes, 128u);
+  EXPECT_EQ(rules[3].action, Action::kPeerDeath);
+}
+
+TEST_F(FaultTest, ParseSpecEmptyStringYieldsNoRules) {
+  EXPECT_TRUE(Plan::parseSpec("").empty());
+  EXPECT_TRUE(Plan::parseSpec(";;").empty());
+}
+
+TEST_F(FaultTest, ParseSpecRejectsBadGrammar) {
+  EXPECT_THROW(Plan::parseSpec("no-at-or-colon"), ContractError);
+  EXPECT_THROW(Plan::parseSpec("site@:error"), ContractError);
+  EXPECT_THROW(Plan::parseSpec("@1:error"), ContractError);
+  EXPECT_THROW(Plan::parseSpec("site@x:error"), ContractError);
+  EXPECT_THROW(Plan::parseSpec("site@0:error"), ContractError);
+  EXPECT_THROW(Plan::parseSpec("site@1:explode"), ContractError);
+  EXPECT_THROW(Plan::parseSpec("site@1:delay=abc"), ContractError);
+  EXPECT_THROW(Plan::parseSpec("site@1+0:error"), ContractError);
+}
+
+TEST_F(FaultTest, DisarmedSitesDoNothingAndCountNothing) {
+  Plan& plan = Plan::global();
+  EXPECT_FALSE(plan.armed());
+  for (int i = 0; i < 100; ++i) FAULT_POINT("quiet.site");
+  EXPECT_EQ(plan.tornBytes("quiet.write", 4096), 4096u);
+  EXPECT_EQ(plan.siteHits().count("quiet.site"), 0u);
+  EXPECT_EQ(plan.siteHits().count("quiet.write"), 0u);
+}
+
+TEST_F(FaultTest, ErrorFiresOnExactHitOnly) {
+  ScopedPlan plan(Plan::parseSpec("t.err@3:error"));
+  FAULT_POINT("t.err");  // hit 1
+  FAULT_POINT("t.err");  // hit 2
+  EXPECT_THROW(FAULT_POINT("t.err"), FaultInjectedError);  // hit 3 fires
+  FAULT_POINT("t.err");  // hit 4: past the window, quiet again
+  EXPECT_EQ(Plan::global().injectedCount(), 1u);
+  EXPECT_EQ(Plan::global().siteHits().at("t.err"), 4u);
+}
+
+TEST_F(FaultTest, CountRangeFiresOnConsecutiveHits) {
+  ScopedPlan plan(Plan::parseSpec("t.range@2+2:error"));
+  FAULT_POINT("t.range");                                    // hit 1
+  EXPECT_THROW(FAULT_POINT("t.range"), FaultInjectedError);  // hit 2
+  EXPECT_THROW(FAULT_POINT("t.range"), FaultInjectedError);  // hit 3
+  FAULT_POINT("t.range");                                    // hit 4
+  EXPECT_EQ(Plan::global().injectedCount(), 2u);
+}
+
+TEST_F(FaultTest, PeerDeathIsAFaultInjectedError) {
+  ScopedPlan plan(Plan::parseSpec("t.die@1:die"));
+  try {
+    FAULT_POINT("t.die");
+    FAIL() << "expected PeerDeathError";
+  } catch (const PeerDeathError& e) {
+    EXPECT_NE(std::string(e.what()).find("t.die"), std::string::npos);
+  }
+  // The hierarchy lets generic handlers catch both flavours.
+  ScopedPlan again(Plan::parseSpec("t.die2@1:die"));
+  EXPECT_THROW(FAULT_POINT("t.die2"), FaultInjectedError);
+}
+
+TEST_F(FaultTest, DelayStallsTheSite) {
+  ScopedPlan plan(Plan::parseSpec("t.delay@1:delay=20000"));
+  const auto t0 = std::chrono::steady_clock::now();
+  FAULT_POINT("t.delay");
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                .count(),
+            20000);
+  // Second hit: outside the window, no stall.
+  const auto t1 = std::chrono::steady_clock::now();
+  FAULT_POINT("t.delay");
+  const auto fast = std::chrono::steady_clock::now() - t1;
+  EXPECT_LT(
+      std::chrono::duration_cast<std::chrono::microseconds>(fast).count(),
+      20000);
+}
+
+TEST_F(FaultTest, TornWriteKeepsPrefixOnScheduledHit) {
+  ScopedPlan plan(Plan::parseSpec("t.torn@2:torn=100"));
+  EXPECT_EQ(Plan::global().tornBytes("t.torn", 4096), 4096u);  // hit 1 intact
+  EXPECT_EQ(Plan::global().tornBytes("t.torn", 4096), 100u);   // hit 2 torn
+  EXPECT_EQ(Plan::global().tornBytes("t.torn", 4096), 4096u);  // hit 3 intact
+  // keepBytes larger than the payload tears nothing.
+  ScopedPlan big(Plan::parseSpec("t.torn2@1:torn=9999"));
+  EXPECT_EQ(Plan::global().tornBytes("t.torn2", 64), 64u);
+}
+
+TEST_F(FaultTest, InjectionsFeedTheObsCounters) {
+  auto& reg = obs::Registry::global();
+  const std::uint64_t before = reg.counter("fault.injected").value();
+  const std::uint64_t siteBefore =
+      reg.counter("fault.site.t.counted.error").value();
+  ScopedPlan plan(Plan::parseSpec("t.counted@1:error"));
+  EXPECT_THROW(FAULT_POINT("t.counted"), FaultInjectedError);
+  EXPECT_EQ(reg.counter("fault.injected").value(), before + 1);
+  EXPECT_EQ(reg.counter("fault.site.t.counted.error").value(), siteBefore + 1);
+}
+
+TEST_F(FaultTest, ScopedPlanDisarmsOnScopeExit) {
+  {
+    ScopedPlan plan(Plan::parseSpec("t.scoped@1:error"));
+    EXPECT_TRUE(Plan::global().armed());
+  }
+  EXPECT_FALSE(Plan::global().armed());
+  FAULT_POINT("t.scoped");  // must be inert now
+}
+
+TEST_F(FaultTest, ArmResetsTallies) {
+  {
+    ScopedPlan plan(Plan::parseSpec("t.reset@1:error"));
+    EXPECT_THROW(FAULT_POINT("t.reset"), FaultInjectedError);
+    EXPECT_EQ(Plan::global().injectedCount(), 1u);
+  }
+  // Tallies survive disarm (coverage readable post-run)...
+  EXPECT_EQ(Plan::global().injectedCount(), 1u);
+  // ...and reset on the next arm.
+  ScopedPlan next(Plan::parseSpec("t.other@1:error"));
+  EXPECT_EQ(Plan::global().injectedCount(), 0u);
+  EXPECT_TRUE(Plan::global().siteHits().empty());
+}
+
+TEST_F(FaultTest, ArmFromEnvParsesTheVariable) {
+  ASSERT_EQ(::setenv("ARTSCI_FAULT_PLAN", "t.env@1:error", 1), 0);
+  EXPECT_TRUE(Plan::global().armFromEnv());
+  EXPECT_TRUE(Plan::global().armed());
+  EXPECT_THROW(FAULT_POINT("t.env"), FaultInjectedError);
+  Plan::global().disarm();
+  ASSERT_EQ(::unsetenv("ARTSCI_FAULT_PLAN"), 0);
+  EXPECT_FALSE(Plan::global().armFromEnv());
+  EXPECT_FALSE(Plan::global().armed());
+}
+
+TEST_F(FaultTest, RulesOnDifferentSitesDoNotCrossTalk) {
+  ScopedPlan plan(Plan::parseSpec("t.a@1:error;t.b@2:die"));
+  FAULT_POINT("t.b");  // hit 1 on b: quiet
+  EXPECT_THROW(FAULT_POINT("t.a"), FaultInjectedError);
+  EXPECT_THROW(FAULT_POINT("t.b"), PeerDeathError);
+  const auto hits = Plan::global().siteHits();
+  EXPECT_EQ(hits.at("t.a"), 1u);
+  EXPECT_EQ(hits.at("t.b"), 2u);
+}
+
+}  // namespace
+}  // namespace artsci::fault

@@ -5,15 +5,22 @@
 /// request goes unanswered.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "core/model.hpp"
+#include "fault/fault.hpp"
 #include "serve/client.hpp"
 #include "serve/net_server.hpp"
 
@@ -391,6 +398,137 @@ TEST(NetServer, LeastLoadedDispatchImprovesSkewedTailLatency) {
   EXPECT_LT(bestLeastLoaded, bestRoundRobin)
       << "least-loaded p99 " << bestLeastLoaded
       << "us should beat round-robin p99 " << bestRoundRobin << "us";
+}
+
+/// Minimal TCP listener for client-side fault tests: binds an ephemeral
+/// port; what happens to accepted connections is up to the test.
+class RawListener {
+ public:
+  RawListener() {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd_, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = 0;
+    EXPECT_EQ(::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(fd_, 8), 0);
+    socklen_t len = sizeof(addr);
+    EXPECT_EQ(::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len),
+              0);
+    port_ = ntohs(addr.sin_port);
+  }
+  ~RawListener() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  std::uint16_t port() const { return port_; }
+  int accept() const { return ::accept(fd_, nullptr, nullptr); }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+TEST(NetServer, WorkerCrashIsContainedAndSupervisorRestartsIt) {
+  auto registry = std::make_shared<ModelRegistry>();
+  registry->publish(tinyModel(82));
+  // Two shards: the crash takes one down; the supervisor replaces it while
+  // the other keeps serving. Each sequential round trip must end in
+  // exactly one outcome — a reply or a typed error frame, never a hang.
+  NetServer server(quickNetConfig(/*shards=*/2, /*maxBatch=*/8,
+                                  /*maxWaitMicros=*/500),
+                   registry);
+  Rng rng(53);
+  const auto cloud = randomCloud(8, rng);
+  NetClient client("127.0.0.1", server.port());
+
+  int ok = 0, failed = 0;
+  {
+    // The second batch processed anywhere in the process dies mid-flight.
+    fault::ScopedPlan plan(
+        fault::Plan::parseSpec("serve.worker_batch@2:die"));
+    for (int i = 0; i < 10; ++i) {
+      try {
+        const NetReply r = client.predictSpectrum(cloud);
+        EXPECT_EQ(r.snapshotVersion, 1u);
+        ++ok;
+      } catch (const NetError& e) {
+        // The crashed batch (kInternal) or a submit racing the restart
+        // window — typed either way, and the connection survives.
+        ++failed;
+      }
+    }
+  }
+  EXPECT_EQ(ok + failed, 10);
+  EXPECT_GE(failed, 1) << "the injected crash must surface to a caller";
+  EXPECT_GE(ok, 1) << "the surviving shard must keep answering";
+
+  // The supervisor polls every ~2 ms; give it a bounded moment.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.workerRestarts() == 0 &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GE(server.workerRestarts(), 1u);
+
+  // Post-restart the full shard set serves again (plan is disarmed).
+  const NetReply after = client.predictSpectrum(cloud);
+  EXPECT_EQ(after.snapshotVersion, 1u);
+  const std::string json = server.serveMetrics().toJson();
+  EXPECT_NE(json.find("serve.worker_restarts"), std::string::npos);
+}
+
+TEST(NetClient, RecvTimeoutSurfacesAsTypedError) {
+  // The listener never accepts: the connect lands in the kernel backlog
+  // and the request is never answered. Without a timeout this recv would
+  // block forever; with one it must become NetTimeoutError, bounded.
+  RawListener silent;
+  NetClientOptions opts;
+  opts.recvTimeoutMillis = 50;
+  opts.maxRetries = 0;
+  NetClient client("127.0.0.1", silent.port(), opts);
+  Rng rng(59);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW(client.predictSpectrum(randomCloud(8, rng)), NetTimeoutError);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 5000) << "timeout must be bounded";
+}
+
+TEST(NetClient, TransportFailureRetriesWithSameIdAndSucceeds) {
+  // First accepted connection is dropped before any reply (EOF mid
+  // round-trip); the retry reconnects and the second incarnation answers.
+  // The reply is encoded for request id 1: the retry must resend the SAME
+  // id — a client that burned a fresh id per attempt would reject it.
+  RawListener listener;
+  std::thread backend([&] {
+    const int c1 = listener.accept();
+    ASSERT_GE(c1, 0);
+    ::close(c1);  // server "crashes" before replying
+    const int c2 = listener.accept();
+    ASSERT_GE(c2, 0);
+    char drain[4096];
+    (void)::read(c2, drain, sizeof(drain));  // consume the resent request
+    const auto reply = proto::encodeReply(/*requestId=*/1,
+                                          /*snapshotVersion=*/1,
+                                          /*batchSize=*/1, {42.0});
+    ASSERT_EQ(::write(c2, reply.data(), reply.size()),
+              static_cast<ssize_t>(reply.size()));
+    ::close(c2);  // no drain-to-EOF: the client closes after we join
+  });
+
+  NetClientOptions opts;
+  opts.maxRetries = 3;
+  opts.backoffBaseMillis = 1;
+  opts.backoffMaxMillis = 5;
+  NetClient client("127.0.0.1", listener.port(), opts);
+  Rng rng(61);
+  const NetReply r = client.predictSpectrum(randomCloud(8, rng));
+  backend.join();
+  ASSERT_EQ(r.values.size(), 1u);
+  EXPECT_EQ(r.values[0], 42.0);
+  EXPECT_GE(client.retriesPerformed(), 1u);
 }
 
 TEST(NetServer, MetricsJsonExposesNetAndServeCounters) {

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "common/thread_pool.hpp"
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
 #include "stream/sst.hpp"
 
 namespace artsci::stream {
@@ -290,6 +293,176 @@ TEST(Sst, BytesPublishedAccounted) {
   auto step = reader.beginStep();
   reader.endStep();
   EXPECT_EQ(engine.bytesPublished(), 100 * sizeof(double));
+}
+
+TEST(Sst, CloseMidStepPublishesRemainderAndShrinksGroup) {
+  // Close audit (companion to LateEndStepKeepsCapturedStepId): a rank
+  // that close()s with a group step in flight must not strand the step —
+  // the remaining writers publish it (the departed rank's puts included),
+  // and end-of-stream arrives only after every rank closed. Scripted
+  // single-threaded so every interleaving decision is explicit.
+  SstEngine engine(SstParams{2, 1, /*queueLimit=*/2});
+  auto wa = engine.makeWriter(0);
+  auto wb = engine.makeWriter(1);
+  auto reader = engine.makeReader(0);
+
+  wa.beginStep();
+  wb.beginStep();
+  wa.put("tag", makeBlock({0.0}, {0}, {1}), {2});
+  wb.put("tag", makeBlock({1.0}, {1}, {1}), {2});
+  wb.close();    // leaves mid-step: the group shrinks to {rank 0}
+  wa.endStep();  // publishes solo — must not wait for the departed rank
+
+  // Rank 0 continues alone.
+  wa.beginStep();
+  wa.put("tag", makeBlock({0.0}, {0}, {1}), {2});
+  wa.endStep();
+  wa.close();
+
+  auto step0 = reader.beginStep();
+  ASSERT_NE(step0, nullptr);
+  EXPECT_EQ(step0->step, 0);
+  EXPECT_EQ(step0->variables.at("tag").size(), 2u);  // both puts survived
+  reader.endStep();
+  auto step1 = reader.beginStep();
+  ASSERT_NE(step1, nullptr);
+  EXPECT_EQ(step1->step, 1);
+  EXPECT_EQ(step1->variables.at("tag").size(), 1u);
+  reader.endStep();
+  EXPECT_EQ(reader.beginStep(), nullptr);  // clean end-of-stream
+  EXPECT_FALSE(engine.failed());
+}
+
+TEST(Sst, StaggeredWriterClosuresNeverStrandPeers) {
+  // The close() audit under concurrency: three writers leave the group at
+  // different step counts (5, 8, 11). Each departure must wake the
+  // remaining enders — the shrunk group publishes with fewer blocks, the
+  // reader drains every step, and nobody hangs.
+  constexpr std::size_t kWriters = 3;
+  const long stepsOf[kWriters] = {5, 8, 11};
+  SstEngine engine(SstParams{kWriters, 1, /*queueLimit=*/1});
+
+  std::thread producerGroup([&] {
+    runRankTeam(kWriters, [&](std::size_t rank) {
+      auto writer = engine.makeWriter(rank);
+      for (long s = 0; s < stepsOf[rank]; ++s) {
+        writer.beginStep();
+        writer.put("tag",
+                   makeBlock({double(s)}, {static_cast<long>(rank)}, {1}),
+                   {static_cast<long>(kWriters)});
+        writer.endStep();
+      }
+      writer.close();
+    });
+  });
+
+  auto reader = engine.makeReader(0);
+  long expected = 0;
+  while (auto step = reader.beginStep()) {
+    EXPECT_EQ(step->step, expected);
+    const std::size_t alive =
+        expected < 5 ? 3u : (expected < 8 ? 2u : 1u);
+    EXPECT_EQ(step->variables.at("tag").size(), alive)
+        << "step " << expected;
+    reader.endStep();
+    ++expected;
+  }
+  producerGroup.join();
+  EXPECT_EQ(expected, 11);
+  EXPECT_FALSE(engine.failed());
+}
+
+TEST(Sst, StepTimeoutThrowsTypedErrorAndFailsStream) {
+  // queueLimit=1 and no reader: the second endStep back-pressures
+  // forever, so the 20 ms deadline must fire — typed StreamTimeoutError,
+  // the stream failed for everyone, and the counter bumped.
+  auto& timeouts = obs::Registry::global().counter("sst.step_timeouts");
+  const std::uint64_t before = timeouts.value();
+  SstEngine engine(SstParams{1, 1, /*queueLimit=*/1,
+                             /*stepTimeoutMicros=*/20000});
+  auto writer = engine.makeWriter(0);
+  writer.beginStep();
+  writer.put("v", makeBlock({1.0}, {0}, {1}), {1});
+  writer.endStep();  // queue now full
+
+  writer.beginStep();
+  writer.put("v", makeBlock({2.0}, {0}, {1}), {1});
+  EXPECT_THROW(writer.endStep(), StreamTimeoutError);
+  EXPECT_EQ(timeouts.value(), before + 1);
+  EXPECT_TRUE(engine.failed());
+  EXPECT_FALSE(engine.failReason().empty());
+
+  // The failure is stream-wide: the reader fails fast instead of being
+  // handed the stale queued step, and further writer calls fail too.
+  auto reader = engine.makeReader(0);
+  EXPECT_THROW(reader.beginStep(), StreamPeerFailedError);
+  EXPECT_THROW(writer.beginStep(), StreamPeerFailedError);
+}
+
+TEST(Sst, InjectedPeerDeathAbortsTheWholeGroup) {
+  // Seeded fault plan: the writer's 2nd endStep dies. The writer sees
+  // PeerDeathError; the reader — blocked waiting for step 1 — must wake
+  // with StreamPeerFailedError carrying the death notice, never hang.
+  fault::ScopedPlan plan(
+      fault::Plan::parseSpec("sst.writer.end_step@2:die"));
+  SstEngine engine(SstParams{1, 1, /*queueLimit=*/2});
+
+  std::atomic<bool> writerDied{false};
+  std::thread producer([&] {
+    auto writer = engine.makeWriter(0);
+    try {
+      for (long s = 0; s < 3; ++s) {
+        writer.beginStep();
+        writer.put("v", makeBlock({double(s)}, {0}, {1}), {1});
+        writer.endStep();
+      }
+      writer.close();
+    } catch (const fault::PeerDeathError&) {
+      writerDied.store(true);
+    }
+  });
+
+  auto reader = engine.makeReader(0);
+  auto step0 = reader.beginStep();
+  ASSERT_NE(step0, nullptr);
+  EXPECT_EQ(step0->step, 0);
+  reader.endStep();
+  try {
+    while (auto step = reader.beginStep()) reader.endStep();
+    FAIL() << "reader saw clean end-of-stream from a dead peer";
+  } catch (const StreamPeerFailedError& e) {
+    EXPECT_NE(std::string(e.what()).find("died"), std::string::npos);
+  }
+  producer.join();
+  EXPECT_TRUE(writerDied.load());
+  EXPECT_TRUE(engine.failed());
+  EXPECT_GE(fault::Plan::global().injectedCount(), 1u);
+}
+
+TEST(Sst, AbortWakesBlockedWriter) {
+  // Explicit abort() (what the pipeline supervisor calls when the sibling
+  // channel fails) must wake a writer stuck in back-pressure.
+  SstEngine engine(SstParams{1, 1, /*queueLimit=*/1});
+  auto writer = engine.makeWriter(0);
+  writer.beginStep();
+  writer.put("v", makeBlock({1.0}, {0}, {1}), {1});
+  writer.endStep();  // fills the queue
+
+  std::atomic<bool> unblocked{false};
+  std::thread stuck([&] {
+    try {
+      writer.beginStep();
+      writer.put("v", makeBlock({2.0}, {0}, {1}), {1});
+      writer.endStep();  // blocks: queue full, nobody reading
+    } catch (const StreamPeerFailedError&) {
+      unblocked.store(true);
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine.abort("partner channel failed");
+  stuck.join();
+  EXPECT_TRUE(unblocked.load());
+  EXPECT_EQ(engine.failReason(), "partner channel failed");
 }
 
 }  // namespace
